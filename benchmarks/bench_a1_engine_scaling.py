@@ -1,0 +1,45 @@
+"""A1 ablation — engine partitioning and parallelism.
+
+DESIGN.md calls out the engine's stage/partition model as a design
+choice; this ablation measures a representative shuffle-heavy job
+(group-by over 200k rows) across partition counts and checks the result
+is invariant — partitioning is a performance knob, never a semantics
+knob.
+"""
+
+import pytest
+
+from repro.engine.context import SparkLiteContext
+
+ROWS = 200_000
+
+
+def _job(sc: SparkLiteContext, partitions: int):
+    return (sc.parallelize(range(ROWS), partitions)
+            .map(lambda x: (x % 97, x))
+            .reduce_by_key(lambda a, b: a + b)
+            .count())
+
+
+@pytest.mark.parametrize("partitions", [1, 4, 16])
+def test_a1_engine_partition_scaling(benchmark, partitions):
+    with SparkLiteContext(parallelism=4) as sc:
+        result = benchmark.pedantic(lambda: _job(sc, partitions),
+                                    rounds=3, iterations=1)
+    assert result == 97
+
+
+def test_a1_results_invariant_across_parallelism(benchmark):
+    def all_configs():
+        outputs = set()
+        for parallelism in (1, 2, 8):
+            with SparkLiteContext(parallelism=parallelism) as sc:
+                keyed = (sc.parallelize(range(5000), parallelism * 2)
+                         .map(lambda x: (x % 13, x))
+                         .reduce_by_key(lambda a, b: a + b)
+                         .collect())
+                outputs.add(tuple(sorted(keyed)))
+        return outputs
+
+    outputs = benchmark.pedantic(all_configs, rounds=3, iterations=1)
+    assert len(outputs) == 1

@@ -1,0 +1,57 @@
+"""A2 ablation — Twitter token-pool size vs crawl completion time.
+
+The paper dodged the 180-calls/15-min limit by spreading tokens over
+machines. This ablation fetches 1,000 profiles with 1, 4, and 16 tokens
+and checks the simulated completion time falls roughly inversely with
+pool size (until the pool stops being the bottleneck).
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SEED, paper_row
+from repro.crawl.client import ApiClient, AUTH_QUERY_ACCESS_TOKEN
+from repro.crawl.tokens import TokenPool, provision_twitter_tokens
+from repro.sources.twitter import TwitterServer
+from repro.world.config import WorldConfig
+from repro.world.generator import generate_world
+
+FETCHES = 1000
+
+
+def _run_crawl(world, num_tokens: int) -> float:
+    """Returns simulated seconds to complete FETCHES profile fetches."""
+    server = TwitterServer(world)
+    tokens = provision_twitter_tokens(server, num_tokens)
+    pool = TokenPool(tokens, server.clock)
+    client = ApiClient(server, server.clock,
+                       auth_style=AUTH_QUERY_ACCESS_TOKEN, token_pool=pool)
+    profiles = list(world.twitter_profiles.values())
+    started = server.clock.now()
+    for i in range(FETCHES):
+        profile = profiles[i % len(profiles)]
+        client.get("/1.1/users/show.json",
+                   {"screen_name": profile.screen_name})
+    return server.clock.now() - started
+
+
+@pytest.fixture(scope="module")
+def a2_world():
+    return generate_world(WorldConfig.tiny(seed=BENCH_SEED))
+
+
+@pytest.mark.parametrize("num_tokens", [1, 4, 16])
+def test_a2_token_pool_throughput(benchmark, a2_world, num_tokens):
+    sim_seconds = benchmark.pedantic(
+        lambda: _run_crawl(a2_world, num_tokens), rounds=3, iterations=1)
+    windows_needed = -(-FETCHES // (180 * num_tokens)) - 1
+    print(paper_row(f"{num_tokens} token(s): sim time for {FETCHES} fetches",
+                    "inverse in pool size", f"{sim_seconds:.0f}s"))
+    # Completion requires exactly `windows_needed` full 15-min waits.
+    assert sim_seconds == pytest.approx(windows_needed * 900.0, abs=60.0)
+
+
+def test_a2_bigger_pool_never_slower(benchmark, a2_world):
+    times = benchmark.pedantic(
+        lambda: [_run_crawl(a2_world, n) for n in (1, 4, 16)],
+        rounds=3, iterations=1)
+    assert times[0] >= times[1] >= times[2]

@@ -1,0 +1,50 @@
+"""A3 ablation — CoDA sweep budget vs community quality.
+
+DESIGN.md fixes CoDA's gradient-sweep budget; this ablation measures
+what the iterations buy: log-likelihood and the strength of the
+detected communities at 5 / 20 / 40 sweeps. Likelihood must be
+monotone non-decreasing in the budget, and the strongest community's
+avg shared size should stabilize rather than keep drifting.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SEED, paper_row
+from repro.community.coda import CoDA
+from repro.metrics.shared import community_strength
+
+
+@pytest.mark.parametrize("iters", [5, 20, 40])
+def test_a3_coda_iteration_budget(benchmark, bench_platform, bench_graph,
+                                  iters):
+    filtered = bench_graph.filter_investors(4)
+    num = bench_platform.world.config.num_communities
+
+    result = benchmark.pedantic(
+        lambda: CoDA(num_communities=num, max_iters=iters,
+                     seed=BENCH_SEED).fit(filtered),
+        rounds=3, iterations=1)
+
+    portfolios = bench_graph.portfolios()
+    strengths = [community_strength(cid, sorted(m), portfolios)
+                 for cid, m in result.investor_communities.items()]
+    top = max((s.avg_shared_size for s in strengths), default=0.0)
+    print(paper_row(f"iters={iters}: ll / communities / top-shared", "—",
+                    f"{result.log_likelihood:.0f} / "
+                    f"{result.num_communities} / {top:.2f}"))
+    assert result.num_communities > 0
+
+
+def test_a3_likelihood_monotone_in_budget(benchmark, bench_platform,
+                                          bench_graph):
+    filtered = bench_graph.filter_investors(4)
+    num = bench_platform.world.config.num_communities
+
+    def sweep():
+        return [CoDA(num_communities=num, max_iters=budget,
+                     seed=BENCH_SEED).fit(filtered).log_likelihood
+                for budget in (2, 10, 40)]
+
+    lls = benchmark.pedantic(sweep, rounds=3, iterations=1)
+    assert lls[0] <= lls[1] + 1e-6
+    assert lls[1] <= lls[2] + 1e-6

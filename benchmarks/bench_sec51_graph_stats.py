@@ -1,0 +1,46 @@
+"""E3 / §5.1 — bipartite graph construction and degree concentration.
+
+Paper: 46,966 investors, 59,953 companies, 158,199 edges (2.6 investors
+per company); deg≥3 → 30% of investors / 75% of edges; deg≥4 →
+22.2%/68.3%; deg≥5 → 17.0%/62.0%.
+"""
+
+from benchmarks.conftest import paper_row
+
+PAPER_ROWS = {3: (30.0, 75.0), 4: (22.2, 68.3), 5: (17.0, 62.0)}
+
+
+def test_sec51_graph_build_and_stats(benchmark, bench_platform):
+    from repro.graph.build import build_investor_graph
+    from repro.analysis.concentration import concentration_report
+
+    graph = benchmark.pedantic(
+        lambda: build_investor_graph(bench_platform.sc, bench_platform.dfs),
+        rounds=3, iterations=1)
+    report = concentration_report(graph)
+
+    scale = bench_platform.world.config.scale
+    print("\n§5.1 — investor graph")
+    print(report.render())
+    print(paper_row("investors", f"46,966 × {scale:.4f}",
+                    f"{graph.num_investors:,}"))
+    print(paper_row("companies", f"59,953 × {scale:.4f}",
+                    f"{graph.num_companies:,}"))
+    print(paper_row("edges", f"158,199 × {scale:.4f}",
+                    f"{graph.num_edges:,}"))
+    print(paper_row("investors per company", "2.6",
+                    f"{graph.mean_investors_per_company:.2f}"))
+    for row in report.rows:
+        paper_inv, paper_edge = PAPER_ROWS[row.min_degree]
+        print(paper_row(f"deg≥{row.min_degree} investors/edges",
+                        f"{paper_inv}% / {paper_edge}%",
+                        f"{100 * row.investor_fraction:.1f}% / "
+                        f"{100 * row.edge_fraction:.1f}%"))
+
+    assert 2.0 < graph.mean_investors_per_company < 4.0
+    for row in report.rows:
+        # the concentration phenomenon: few investors, most edges
+        assert row.edge_fraction > 1.8 * row.investor_fraction
+        paper_inv, paper_edge = PAPER_ROWS[row.min_degree]
+        assert abs(100 * row.investor_fraction - paper_inv) < 12
+        assert abs(100 * row.edge_fraction - paper_edge) < 15

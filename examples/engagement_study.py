@@ -1,0 +1,66 @@
+"""The Figure 6 engagement study, end to end, with paper comparison.
+
+Reproduces §4 of the paper: categorize companies by social-media
+presence and engagement level, compute fundraising success per
+category from CrunchBase-augmented data, and print the lifts the paper
+highlights (30x social, 11.5x video, diminishing returns of multiple
+platforms).
+
+    python examples/engagement_study.py
+"""
+
+import os
+
+from repro import ExploratoryPlatform, WorldConfig
+
+PAPER_SUCCESS = {
+    "No social media presence": 0.4,
+    "Facebook only": 12.2,
+    "Twitter only": 10.2,
+    "Facebook and Twitter": 13.2,
+    "Presence of demo video": 10.4,
+    "No demo video": 0.9,
+}
+
+
+def main() -> None:
+    scale = float(os.environ.get("REPRO_SCALE", "0.0125"))
+    with ExploratoryPlatform.over_new_world(
+            WorldConfig(scale=scale, seed=7)) as platform:
+        platform.run_full_crawl()
+        table = platform.run_plugin("engagement_table")
+
+        print(table.render())
+        print(f"\nmedians recomputed from the crawl: "
+              f"{table.median_likes:.0f} likes (paper 652), "
+              f"{table.median_tweets:.0f} tweets (paper 343), "
+              f"{table.median_tw_followers:.0f} followers (paper 339)")
+
+        print("\npaper vs measured success rates:")
+        for label, paper_pct in PAPER_SUCCESS.items():
+            measured = table.row(label).success_pct
+            print(f"  {label:<28} paper={paper_pct:>5.1f}%   "
+                  f"measured={measured:>5.1f}%")
+
+        fb_lift = table.success_lift("Facebook only")
+        tw_lift = table.success_lift("Twitter only")
+        video = table.row("Presence of demo video").success_pct
+        no_video = table.row("No demo video").success_pct
+        both = table.row("Facebook and Twitter").success_pct
+        fb = table.row("Facebook only").success_pct
+
+        print("\nheadline claims:")
+        print(f"  Facebook lift: {fb_lift:.0f}x (paper ≈30x)")
+        print(f"  Twitter lift:  {tw_lift:.0f}x (paper ≈26x)")
+        print(f"  demo video:    {video / max(1e-9, no_video):.1f}x "
+              "(paper ≥11.5x)")
+        print(f"  both platforms add only "
+              f"{100 * (both - fb) / fb:+.0f}% over Facebook alone "
+              "— the diminishing returns the paper notes")
+
+        print("\ncaveat (paper §4): this is correlation from a snapshot, "
+              "not causality — see examples/longitudinal_study.py")
+
+
+if __name__ == "__main__":
+    main()

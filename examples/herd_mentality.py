@@ -1,0 +1,72 @@
+"""The §5 herd-mentality study: communities, metrics, Figure 7 SVGs.
+
+Builds the bipartite investor graph, runs CoDA, evaluates both §5.3
+strength metrics, prints Figure 4/5-shaped terminal charts, and writes
+the strong/weak community visualizations as SVG files.
+
+    python examples/herd_mentality.py          # writes examples/out/*.svg
+"""
+
+import os
+
+from repro import ExploratoryPlatform, WorldConfig
+from repro.analysis.strength import community_figure_svg
+from repro.viz.ascii import ascii_cdf, ascii_histogram
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+def main() -> None:
+    scale = float(os.environ.get("REPRO_SCALE", "0.0125"))
+    with ExploratoryPlatform.over_new_world(
+            WorldConfig(scale=scale, seed=42)) as platform:
+        platform.run_full_crawl()
+        graph = platform.investor_graph()
+        print(f"bipartite graph: {graph.num_investors:,} investors, "
+              f"{graph.num_companies:,} companies, "
+              f"{graph.num_edges:,} edges")
+
+        study = platform.run_plugin("community_study",
+                                    global_pairs=50_000, seed=42)
+        coda = study.coda
+        print(f"CoDA: {coda.num_communities} communities, "
+              f"average size {coda.average_community_size:.1f} "
+              "(paper: 96 communities, avg 190.2 at full scale)")
+
+        ranked = sorted(study.strengths, key=lambda s: -s.avg_shared_size)
+        print("\nstrongest communities (avg shared size | ≥2-investor %):")
+        for strength in ranked[:5]:
+            print(f"  community {strength.community_id:>3}  "
+                  f"size={strength.size:<4} "
+                  f"shared={strength.avg_shared_size:>5.2f}  "
+                  f"pct={strength.shared_investor_pct:>5.1f}%")
+
+        strong_cdf = next(iter(study.strong_cdfs.values()))
+        print("\nFigure 4 — strongest community's shared-size CDF:")
+        print(ascii_cdf(list(strong_cdf._sorted),
+                        label="shared investment size"))
+        print(f"global i.i.d.-pair baseline mean: "
+              f"{study.global_cdf.mean:.4f} over "
+              f"{study.global_pairs_sampled:,} pairs "
+              f"(sup-norm ≤ {study.dkw_bound:.4f} w.p. 99%)")
+
+        print("\nFigure 5 — per-community ≥2-shared-investor percentage:")
+        print(ascii_histogram(study.shared_pcts, bins=10,
+                              label="% companies"))
+        print(f"community average: {study.mean_shared_pct:.1f}% "
+              f"vs randomized control {study.randomized_mean_shared_pct:.1f}% "
+              "(paper: 23.1% vs 5.8%)")
+
+        os.makedirs(OUT_DIR, exist_ok=True)
+        for cid, name in ((study.strong_community_id, "strong"),
+                          (study.weak_community_id, "weak")):
+            svg = community_figure_svg(study, graph, cid,
+                                       title=f"{name} community")
+            path = os.path.join(OUT_DIR, f"fig7_{name}.svg")
+            with open(path, "w") as handle:
+                handle.write(svg)
+            print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""repro — reproduction of "Collection, Exploration and Analysis of
+Crowdfunding Social Networks" (Cheng et al., ExploreDB/PODS 2016).
+
+The public API re-exports the pieces a downstream user needs:
+
+* :class:`ExploratoryPlatform` — crawl-to-analytics in three lines;
+* :class:`WorldConfig` / :func:`generate_world` — the calibrated
+  synthetic ecosystem standing in for the live sites;
+* the analysis entry points (engagement table, investor activity,
+  community study, prediction, longitudinal);
+* the substrates (:class:`MiniDfs`, :class:`SparkLiteContext`,
+  :class:`BipartiteGraph`, :class:`CoDA`) for users composing their own
+  pipelines.
+
+See README.md for a quickstart and DESIGN.md for the architecture.
+"""
+
+from repro.core.platform import (CrawlSummary, ExploratoryPlatform,
+                                 PlatformConfig)
+from repro.world.config import CalibrationParams, WorldConfig
+from repro.world.generator import World, generate_world
+from repro.world.dynamics import WorldDynamics
+from repro.dfs.filesystem import MiniDfs
+from repro.engine.context import SparkLiteContext
+from repro.engine.dataframe import DataFrame
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.build import build_investor_graph
+from repro.community.coda import CoDA
+from repro.analysis.engagement import compute_engagement_table
+from repro.analysis.investors import compute_investor_activity
+from repro.analysis.concentration import concentration_report
+from repro.analysis.strength import run_community_study
+from repro.analysis.prediction import predict_success
+from repro.analysis.longitudinal import analyze_snapshots
+from repro.analysis.facts import build_company_facts
+from repro.analysis.dynamic_communities import track_communities
+from repro.analysis.recommend import (InvestorRecommender,
+                                      evaluate_recommenders)
+from repro.analysis.syndicates import validate_over_platform
+from repro.core.theories import TheoryEngine
+from repro.community.selection import select_num_communities
+from repro.world.io import load_world, save_world
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CrawlSummary",
+    "ExploratoryPlatform",
+    "PlatformConfig",
+    "CalibrationParams",
+    "WorldConfig",
+    "World",
+    "generate_world",
+    "WorldDynamics",
+    "MiniDfs",
+    "SparkLiteContext",
+    "DataFrame",
+    "BipartiteGraph",
+    "build_investor_graph",
+    "CoDA",
+    "compute_engagement_table",
+    "compute_investor_activity",
+    "concentration_report",
+    "run_community_study",
+    "predict_success",
+    "analyze_snapshots",
+    "build_company_facts",
+    "track_communities",
+    "InvestorRecommender",
+    "evaluate_recommenders",
+    "validate_over_platform",
+    "TheoryEngine",
+    "select_num_communities",
+    "load_world",
+    "save_world",
+    "__version__",
+]

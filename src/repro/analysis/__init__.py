@@ -1,0 +1,60 @@
+"""The paper's analyses, expressed as engine jobs over crawled datasets.
+
+* :mod:`engagement` — Figure 6: social engagement vs fundraising success.
+* :mod:`investors` — Figure 3: CDF of investments per investor.
+* :mod:`concentration` — §5.1: degree concentration of the bipartite graph.
+* :mod:`strength` — §5.2–5.3 + Figures 4/5/7: CoDA communities, strength
+  metrics, global pair-sampled baseline, randomized control.
+* :mod:`prediction` — §7 extension: logistic success prediction from
+  graph/social features (from-scratch numpy implementation).
+* :mod:`longitudinal` — §7 extension: panel analysis over daily
+  snapshots separating engagement→funding from funding→engagement.
+"""
+
+from repro.analysis.engagement import (EngagementRow, EngagementTable,
+                                       compute_engagement_table)
+from repro.analysis.investors import InvestorActivity, compute_investor_activity
+from repro.analysis.concentration import concentration_report
+from repro.analysis.strength import CommunityStudy, run_community_study
+from repro.analysis.prediction import PredictionResult, predict_success
+from repro.analysis.longitudinal import (LongitudinalResult,
+                                         analyze_snapshots)
+from repro.analysis.facts import build_company_facts
+from repro.analysis.syndicates import (SyndicateValidation,
+                                       read_disclosed_syndicates,
+                                       validate_communities,
+                                       validate_over_platform)
+from repro.analysis.dynamic_communities import (DynamicsReport,
+                                                default_coda_detector,
+                                                track_communities)
+from repro.analysis.recommend import (InvestorRecommender,
+                                      PopularityRecommender,
+                                      RecommendationEval,
+                                      evaluate_recommenders)
+
+__all__ = [
+    "EngagementRow",
+    "EngagementTable",
+    "compute_engagement_table",
+    "InvestorActivity",
+    "compute_investor_activity",
+    "concentration_report",
+    "CommunityStudy",
+    "run_community_study",
+    "PredictionResult",
+    "predict_success",
+    "LongitudinalResult",
+    "analyze_snapshots",
+    "build_company_facts",
+    "SyndicateValidation",
+    "read_disclosed_syndicates",
+    "validate_communities",
+    "validate_over_platform",
+    "DynamicsReport",
+    "default_coda_detector",
+    "track_communities",
+    "InvestorRecommender",
+    "PopularityRecommender",
+    "RecommendationEval",
+    "evaluate_recommenders",
+]

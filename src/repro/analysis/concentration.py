@@ -1,0 +1,45 @@
+"""§5.1: headline statistics of the bipartite investment graph."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.graph.bipartite import BipartiteGraph, DegreeConcentration
+from repro.viz.ascii import ascii_table
+
+
+@dataclass
+class ConcentrationReport:
+    """Graph sizes plus the degree-concentration rows."""
+
+    num_investors: int
+    num_companies: int
+    num_edges: int
+    mean_investors_per_company: float
+    rows: List[DegreeConcentration] = field(default_factory=list)
+
+    def render(self) -> str:
+        header = (f"bipartite graph: {self.num_investors:,} investors, "
+                  f"{self.num_companies:,} companies, "
+                  f"{self.num_edges:,} edges "
+                  f"({self.mean_investors_per_company:.1f} investors/company)")
+        table = ascii_table(
+            ["out-degree ≥", "% investors", "% edges"],
+            [[row.min_degree,
+              f"{100 * row.investor_fraction:.1f}",
+              f"{100 * row.edge_fraction:.1f}"] for row in self.rows])
+        return header + "\n" + table
+
+
+def concentration_report(graph: BipartiteGraph,
+                         thresholds: Sequence[int] = (3, 4, 5),
+                         ) -> ConcentrationReport:
+    """The §5.1 numbers for ``graph``."""
+    return ConcentrationReport(
+        num_investors=graph.num_investors,
+        num_companies=graph.num_companies,
+        num_edges=graph.num_edges,
+        mean_investors_per_company=graph.mean_investors_per_company,
+        rows=graph.degree_concentration(thresholds),
+    )

@@ -1,0 +1,77 @@
+"""One unified per-company fact table, joined across all four sources.
+
+Most downstream analyses (the Figure 6 table, prediction, the theory
+layer) start by joining the AngelList startup record with CrunchBase
+funding, the Facebook page, and the Twitter profile. This module runs
+that join once as an engine job and exposes the result as a DataFrame
+with one dict per company:
+
+    id, name, market, location, follower_count, has_facebook,
+    has_twitter, has_video, raised, num_rounds, total_funding_usd,
+    fb_likes, tw_statuses, tw_followers
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.engine.context import SparkLiteContext
+from repro.engine.dataframe import DataFrame
+
+
+def build_company_facts(sc: SparkLiteContext, dfs,
+                        angellist_root: str = "/crawl/angellist",
+                        crunchbase_dir: str = "/crawl/crunchbase/organizations",
+                        facebook_dir: str = "/crawl/facebook/pages",
+                        twitter_dir: str = "/crawl/twitter/profiles",
+                        ) -> DataFrame:
+    """Join the four crawled datasets into one fact table (DataFrame)."""
+    startups = (sc.json_dataset(dfs, f"{angellist_root}/startups")
+                .key_by(lambda s: int(s["id"])))
+    crunchbase = (sc.json_dataset(dfs, crunchbase_dir)
+                  .key_by(lambda org: int(org["angellist_id"])))
+    facebook = (sc.json_dataset(dfs, facebook_dir)
+                .key_by(lambda page: int(page["angellist_id"])))
+    twitter = (sc.json_dataset(dfs, twitter_dir)
+               .key_by(lambda prof: int(prof["angellist_id"])))
+
+    joined = (startups
+              .left_outer_join(crunchbase)
+              .map_values(lambda pair: {"startup": pair[0],
+                                        "crunchbase": pair[1]})
+              .left_outer_join(facebook)
+              .map_values(lambda pair: {**pair[0], "facebook": pair[1]})
+              .left_outer_join(twitter)
+              .map_values(lambda pair: {**pair[0], "twitter": pair[1]}))
+
+    facts = joined.map(lambda kv: _to_fact(kv[0], kv[1]))
+    columns = ["id", "name", "market", "location", "follower_count",
+               "has_facebook", "has_twitter", "has_video", "raised",
+               "num_rounds", "total_funding_usd", "fb_likes",
+               "tw_statuses", "tw_followers"]
+    return DataFrame(facts, columns)
+
+
+def _to_fact(company_id: int, parts: Dict) -> Dict:
+    startup = parts["startup"]
+    crunchbase: Optional[Dict] = parts.get("crunchbase")
+    facebook: Optional[Dict] = parts.get("facebook")
+    twitter: Optional[Dict] = parts.get("twitter")
+    num_rounds = (crunchbase or {}).get("num_funding_rounds", 0)
+    return {
+        "id": company_id,
+        "name": startup.get("name"),
+        "market": startup.get("market"),
+        "location": startup.get("location"),
+        "follower_count": int(startup.get("follower_count", 0)),
+        "has_facebook": bool(startup.get("facebook_url")),
+        "has_twitter": bool(startup.get("twitter_url")),
+        "has_video": bool(startup.get("video_url")),
+        "raised": num_rounds > 0,
+        "num_rounds": int(num_rounds),
+        "total_funding_usd": int((crunchbase or {}).get(
+            "total_funding_usd", 0)),
+        "fb_likes": int((facebook or {}).get("fan_count", 0)),
+        "tw_statuses": int((twitter or {}).get("statuses_count", 0)),
+        "tw_followers": int((twitter or {}).get("followers_count", 0)),
+    }

@@ -1,0 +1,281 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``crawl``     — generate a world (or load one), run the full §3 crawl,
+  print the populations; optionally save the world for reuse.
+* ``analyze``   — run one of the built-in analyses over a fresh crawl.
+* ``theory``    — test declarative hypotheses via the translation layer.
+* ``snapshot``  — run the longitudinal study for N days and print the
+  causality panel.
+* ``select-communities`` — sweep CoDA community counts by held-out AUC.
+
+Every command accepts ``--scale`` and ``--seed`` (or ``--world FILE`` to
+reuse a saved world), and is fully offline and deterministic.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.platform import ExploratoryPlatform
+from repro.world.config import WorldConfig
+from repro.world.generator import World, generate_world
+
+
+def _add_world_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", type=float, default=0.0125,
+                        help="world scale; 1.0 = the paper's 744k crawl")
+    parser.add_argument("--seed", type=int, default=20160626)
+    parser.add_argument("--world", metavar="FILE",
+                        help="load a world saved with 'crawl --save'")
+
+
+def _resolve_world(args: argparse.Namespace) -> World:
+    if args.world:
+        from repro.world.io import load_world
+        return load_world(args.world)
+    return generate_world(WorldConfig(scale=args.scale, seed=args.seed))
+
+
+def _crawled_platform(args: argparse.Namespace) -> ExploratoryPlatform:
+    platform = ExploratoryPlatform(_resolve_world(args))
+    platform.run_full_crawl()
+    return platform
+
+
+def cmd_crawl(args: argparse.Namespace) -> int:
+    world = _resolve_world(args)
+    if args.save:
+        from repro.world.io import save_world
+        save_world(world, args.save)
+        print(f"world saved to {args.save}")
+    platform = ExploratoryPlatform(world)
+    summary = platform.run_full_crawl()
+    bfs = summary.angellist
+    print(f"crawled {bfs.startups:,} startups and {bfs.users:,} users "
+          f"in {len(bfs.rounds)} BFS rounds "
+          f"({bfs.client_stats.requests:,} requests, "
+          f"{bfs.sim_duration / 3600:.1f} simulated hours)")
+    print(f"augmented {summary.crunchbase.records:,} CrunchBase orgs "
+          f"({summary.crunchbase.matched_by_url:,} by URL, "
+          f"{summary.crunchbase.matched_by_search:,} by name search)")
+    print(f"enriched {summary.facebook.fetched:,} Facebook pages and "
+          f"{summary.twitter.fetched:,} Twitter profiles")
+    platform.close()
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    platform = _crawled_platform(args)
+    try:
+        if args.what == "engagement":
+            table = platform.run_plugin("engagement_table")
+            print(table.render())
+            print(f"\nFacebook lift vs no-social: "
+                  f"{table.success_lift('Facebook only'):.0f}x")
+        elif args.what == "investors":
+            activity = platform.run_plugin("investor_activity")
+            print(activity.render_cdf())
+            print(f"mean={activity.mean_investments:.2f} "
+                  f"median={activity.median_investments:.0f} "
+                  f"max={activity.max_investments} "
+                  f"mean_follows={activity.mean_follows_per_investor:.1f}")
+        elif args.what == "concentration":
+            print(platform.run_plugin("concentration").render())
+        elif args.what == "communities":
+            study = platform.run_plugin("community_study",
+                                        global_pairs=args.pairs)
+            print(f"{study.coda.num_communities} communities, "
+                  f"avg size {study.coda.average_community_size:.1f}")
+            print(f"mean shared-investor pct: {study.mean_shared_pct:.1f}% "
+                  f"(random control {study.randomized_mean_shared_pct:.1f}%)")
+            strong = study.strength(study.strong_community_id)
+            print(f"strongest: size={strong.size} "
+                  f"avg_shared={strong.avg_shared_size:.2f} "
+                  f"pct={strong.shared_investor_pct:.1f}%")
+        elif args.what == "prediction":
+            result = platform.run_plugin("success_prediction")
+            print(f"held-out AUC: {result.test_auc:.3f} "
+                  f"(positive rate {100 * result.positive_rate:.2f}%)")
+            for name, coef in result.top_features(6):
+                print(f"  {name:<22} {coef:+.3f}")
+        else:  # pragma: no cover - argparse restricts choices
+            raise AssertionError(args.what)
+    finally:
+        platform.close()
+    return 0
+
+
+def cmd_theory(args: argparse.Namespace) -> int:
+    from repro.core.theories import TheoryEngine
+    platform = _crawled_platform(args)
+    try:
+        engine = TheoryEngine.over_platform(platform)
+        for hypothesis in args.hypotheses:
+            print(engine.test(hypothesis).render())
+            print()
+    finally:
+        platform.close()
+    return 0
+
+
+def cmd_snapshot(args: argparse.Namespace) -> int:
+    from repro.analysis.longitudinal import analyze_snapshots
+    from repro.crawl.snapshots import SnapshotScheduler
+    from repro.dfs.filesystem import MiniDfs
+    from repro.sources.hub import SourceHub
+    from repro.world.dynamics import WorldDynamics
+
+    world = _resolve_world(args)
+    hub = SourceHub.from_world(world)
+    dynamics = WorldDynamics(world, seed=args.seed,
+                             base_close_hazard=args.hazard)
+    dfs = MiniDfs()
+    scheduler = SnapshotScheduler(hub, dynamics, dfs)
+    history = scheduler.run(days=args.days)
+    closed = sum(s.rounds_closed for s in history)
+    print(f"tracked {history[-1].tracked} startups over {args.days} days; "
+          f"{closed} rounds closed")
+    result = analyze_snapshots(dfs, window=args.window)
+    print(f"pre-event engagement lift: {result.pre_event_lift:.2f}x")
+    print(f"post-event follower bump: "
+          f"+{result.post_event_follower_bump:.0f}")
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    """Regenerate every paper artifact into an output directory."""
+    import json
+    import os
+
+    from repro.analysis.strength import community_figure_svg
+    from repro.viz.ascii import ascii_cdf, ascii_histogram
+
+    os.makedirs(args.out, exist_ok=True)
+    platform = _crawled_platform(args)
+    try:
+        def write(name: str, content: str) -> None:
+            path = os.path.join(args.out, name)
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(content)
+            print(f"wrote {path}")
+
+        table = platform.run_plugin("engagement_table")
+        write("fig6_engagement_table.txt", table.render() + "\n")
+
+        activity = platform.run_plugin("investor_activity")
+        write("fig3_investor_cdf.txt", activity.render_cdf() + "\n")
+
+        report = platform.run_plugin("concentration")
+        write("sec51_concentration.txt", report.render() + "\n")
+
+        study = platform.run_plugin("community_study",
+                                    global_pairs=args.pairs)
+        strong_cdf = next(iter(study.strong_cdfs.values()))
+        write("fig4_shared_size_cdf.txt",
+              ascii_cdf(list(strong_cdf._sorted),
+                        label="shared investment size") + "\n")
+        write("fig5_community_pdf.txt",
+              ascii_histogram(study.shared_pcts, bins=10,
+                              label="% companies ≥2 shared investors")
+              + "\n")
+        graph = platform.investor_graph()
+        write("fig7a_strong.svg", community_figure_svg(
+            study, graph, study.strong_community_id, title="strong"))
+        write("fig7b_weak.svg", community_figure_svg(
+            study, graph, study.weak_community_id, title="weak"))
+
+        summary = {
+            "engagement": {row.label: row.success_pct
+                           for row in table.rows},
+            "investor_activity": {
+                "mean": activity.mean_investments,
+                "median": activity.median_investments,
+                "max": activity.max_investments},
+            "communities": {
+                "count": study.coda.num_communities,
+                "mean_shared_pct": study.mean_shared_pct,
+                "randomized_pct": study.randomized_mean_shared_pct},
+        }
+        write("summary.json", json.dumps(summary, indent=2) + "\n")
+    finally:
+        platform.close()
+    return 0
+
+
+def cmd_select_communities(args: argparse.Namespace) -> int:
+    from repro.community.selection import select_num_communities
+    platform = _crawled_platform(args)
+    try:
+        graph = platform.investor_graph().filter_investors(4)
+        result = select_num_communities(graph, args.candidates,
+                                        seed=args.seed)
+        print(f"held-out edges: {result.holdout_edges}")
+        for num, auc in result.ranked():
+            marker = "  ← best" if num == result.best_num_communities else ""
+            print(f"  C={num:<4} AUC={auc:.3f}{marker}")
+    finally:
+        platform.close()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of the ExploreDB'16 crowdfunding study")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    crawl = sub.add_parser("crawl", help="run the full §3 crawl")
+    _add_world_args(crawl)
+    crawl.add_argument("--save", metavar="FILE",
+                       help="save the generated world (gzipped JSON)")
+    crawl.set_defaults(fn=cmd_crawl)
+
+    analyze = sub.add_parser("analyze", help="run a built-in analysis")
+    _add_world_args(analyze)
+    analyze.add_argument("what", choices=("engagement", "investors",
+                                          "concentration", "communities",
+                                          "prediction"))
+    analyze.add_argument("--pairs", type=int, default=50_000,
+                         help="global pair-sample size for Figure 4")
+    analyze.set_defaults(fn=cmd_analyze)
+
+    theory = sub.add_parser(
+        "theory", help='test hypotheses, e.g. "raised ~ has_facebook"')
+    _add_world_args(theory)
+    theory.add_argument("hypotheses", nargs="+")
+    theory.set_defaults(fn=cmd_theory)
+
+    snapshot = sub.add_parser("snapshot", help="longitudinal study")
+    _add_world_args(snapshot)
+    snapshot.add_argument("--days", type=int, default=30)
+    snapshot.add_argument("--window", type=int, default=3)
+    snapshot.add_argument("--hazard", type=float, default=0.02)
+    snapshot.set_defaults(fn=cmd_snapshot)
+
+    figures = sub.add_parser(
+        "figures", help="regenerate every paper artifact into a directory")
+    _add_world_args(figures)
+    figures.add_argument("--out", default="artifacts")
+    figures.add_argument("--pairs", type=int, default=50_000)
+    figures.set_defaults(fn=cmd_figures)
+
+    select = sub.add_parser("select-communities",
+                            help="sweep CoDA community counts")
+    _add_world_args(select)
+    select.add_argument("--candidates", type=int, nargs="+",
+                        default=[6, 12, 24, 48])
+    select.set_defaults(fn=cmd_select_communities)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""Community detection over the bipartite investor graph (§5.2, §6, §7).
+
+* :class:`CoDA` — reimplementation of Communities through Directed
+  Affiliations (Yang, McAuley & Leskovec, WSDM '14), the algorithm the
+  paper ran from the SNAP library. Specialized to directed bipartite
+  graphs: investors hold outgoing memberships F, companies incoming
+  memberships H, and an edge exists with probability
+  ``1 − exp(−F_u · H_v)``. Fit by row-wise projected gradient ascent
+  with backtracking, seeded from high-degree company neighborhoods.
+* :class:`BigClam` — the undirected ancestor, run on the co-investment
+  projection (baseline).
+* :class:`BipartiteSBM` — the stochastic-block-model inference the paper
+  proposes as future work (§7), spectral init + Poisson EM.
+* :func:`label_propagation` — cheap one-mode baseline.
+* :func:`random_communities` — the paper's randomized control (§5.3).
+* :mod:`repro.community.scoring` — best-match F1 against planted truth.
+"""
+
+from repro.community.coda import CoDA, CodaResult
+from repro.community.bigclam import BigClam
+from repro.community.sbm import BipartiteSBM, SbmResult
+from repro.community.labelprop import label_propagation
+from repro.community.random_baseline import random_communities
+from repro.community.scoring import best_match_f1, cover_f1
+from repro.community.selection import (SelectionResult,
+                                       select_num_communities)
+
+__all__ = [
+    "CoDA",
+    "CodaResult",
+    "BigClam",
+    "BipartiteSBM",
+    "SbmResult",
+    "label_propagation",
+    "random_communities",
+    "best_match_f1",
+    "cover_f1",
+    "SelectionResult",
+    "select_num_communities",
+]

@@ -1,0 +1,58 @@
+"""Weighted label propagation on the investor projection (cheap baseline)."""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.util.rng import RngStream
+
+
+def label_propagation(graph: BipartiteGraph, seed: int = 0,
+                      max_iters: int = 20,
+                      min_overlap: int = 1,
+                      min_community_size: int = 2) -> Dict[int, Set[int]]:
+    """Detect non-overlapping investor communities by label propagation.
+
+    Edges of the one-mode projection are weighted by co-investment count;
+    each investor repeatedly adopts the label with the largest total
+    weight among its neighbors (ties broken by smaller label for
+    determinism), until a fixed point or ``max_iters``.
+    """
+    rng = RngStream(seed, "labelprop")
+    weights: Dict[int, Dict[int, int]] = {}
+    for (a, b), weight in graph.investor_projection().items():
+        if weight < min_overlap:
+            continue
+        weights.setdefault(a, {})[b] = weight
+        weights.setdefault(b, {})[a] = weight
+
+    labels = {uid: uid for uid in weights}
+    nodes = sorted(weights)
+    for _ in range(max_iters):
+        rng.shuffle(nodes)
+        changed = 0
+        for node in nodes:
+            tallies: Dict[int, int] = {}
+            for neighbor, weight in weights[node].items():
+                tallies[labels[neighbor]] = (
+                    tallies.get(labels[neighbor], 0) + weight)
+            if not tallies:
+                continue
+            best = min(label for label, score in tallies.items()
+                       if score == max(tallies.values()))
+            if best != labels[node]:
+                labels[node] = best
+                changed += 1
+        if changed == 0:
+            break
+
+    communities: Dict[int, Set[int]] = {}
+    for node, label in labels.items():
+        communities.setdefault(label, set()).add(node)
+    renumbered = {}
+    for index, (_, members) in enumerate(sorted(
+            communities.items(), key=lambda kv: (-len(kv[1]), kv[0]))):
+        if len(members) >= min_community_size:
+            renumbered[index] = members
+    return renumbered

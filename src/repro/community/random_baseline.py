@@ -1,0 +1,26 @@
+"""Randomized communities — the paper's §5.3 control.
+
+"As a point of comparison with a randomized community of investors, we
+observe that the shared investment percentage is only 5.8%." The control
+keeps the *size profile* of the detected communities but samples members
+uniformly, destroying any herd structure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Set
+
+from repro.util.rng import RngStream
+
+
+def random_communities(investors: Sequence[int], sizes: Sequence[int],
+                       rng: RngStream) -> Dict[int, Set[int]]:
+    """Communities with the given sizes, members sampled uniformly."""
+    pool = list(investors)
+    communities: Dict[int, Set[int]] = {}
+    for index, size in enumerate(sizes):
+        if size < 0:
+            raise ValueError(f"community size must be >= 0, got {size}")
+        size = min(size, len(pool))
+        communities[index] = set(rng.sample(pool, size)) if size else set()
+    return communities

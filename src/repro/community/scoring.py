@@ -1,0 +1,37 @@
+"""Scoring detected communities against planted ground truth.
+
+Uses the average best-match F1 of Yang & Leskovec: for each detected
+community take its best F1 against any planted community, and vice
+versa, then average the two directions. 1.0 = perfect recovery.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Set
+
+
+def _f1(a: Set[int], b: Set[int]) -> float:
+    if not a or not b:
+        return 0.0
+    intersection = len(a & b)
+    if intersection == 0:
+        return 0.0
+    precision = intersection / len(a)
+    recall = intersection / len(b)
+    return 2 * precision * recall / (precision + recall)
+
+
+def best_match_f1(detected: Sequence[Set[int]],
+                  truth: Sequence[Set[int]]) -> float:
+    """Mean over detected communities of their best F1 against truth."""
+    if not detected:
+        return 0.0
+    return sum(max((_f1(d, t) for t in truth), default=0.0)
+               for d in detected) / len(detected)
+
+
+def cover_f1(detected: Sequence[Set[int]],
+             truth: Sequence[Set[int]]) -> float:
+    """Symmetric average of the two best-match directions."""
+    return 0.5 * (best_match_f1(detected, truth)
+                  + best_match_f1(truth, detected))

@@ -1,0 +1,20 @@
+"""The extensible exploratory platform — the paper's primary contribution.
+
+:class:`ExploratoryPlatform` owns the simulated sources, the DFS, and
+the engine; ``run_full_crawl`` executes the §3 pipeline (BFS → CrunchBase
+augmentation → Facebook/Twitter enrichment) and analytics run as
+registered plug-ins over the landed datasets — the architecture of the
+paper's Figure 2.
+"""
+
+from repro.core.platform import (CrawlSummary, ExploratoryPlatform,
+                                 PlatformConfig)
+from repro.core.plugins import AnalyticsPlugin, PluginRegistry
+
+__all__ = [
+    "CrawlSummary",
+    "ExploratoryPlatform",
+    "PlatformConfig",
+    "AnalyticsPlugin",
+    "PluginRegistry",
+]

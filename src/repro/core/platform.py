@@ -1,0 +1,194 @@
+"""ExploratoryPlatform: sources → crawlers → DFS → engine → plug-ins."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.crawl.augment import AugmentResult, CrunchBaseAugmenter
+from repro.crawl.client import (ApiClient, AUTH_QUERY_USER_KEY)
+from repro.crawl.enrich import EnrichResult, FacebookCrawler, TwitterCrawler
+from repro.crawl.frontier import BfsCrawler, CrawlResult
+from repro.crawl.tokens import TokenPool
+from repro.dfs.filesystem import MiniDfs
+from repro.engine.context import SparkLiteContext
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.build import build_investor_graph
+from repro.net.faults import FaultPlan
+from repro.net.latency import LatencyModel
+from repro.core.plugins import PluginRegistry
+from repro.sources.hub import SourceHub
+from repro.util.clock import SimClock
+from repro.util.errors import ConfigError
+from repro.world.config import WorldConfig
+from repro.world.generator import World, generate_world
+
+
+@dataclass
+class PlatformConfig:
+    """Operational knobs of the platform (not the world)."""
+
+    angellist_tokens: int = 8
+    twitter_tokens: int = 10
+    twitter_workers: int = 5
+    engine_parallelism: int = 4
+    dfs_datanodes: int = 4
+    records_per_part: int = 5000
+    latency: LatencyModel = field(default_factory=LatencyModel.zero)
+    faults: FaultPlan = field(default_factory=FaultPlan.none)
+
+
+@dataclass
+class CrawlSummary:
+    """Results of the full §3 pipeline."""
+
+    angellist: CrawlResult
+    crunchbase: AugmentResult
+    facebook: EnrichResult
+    twitter: EnrichResult
+
+    @property
+    def total_requests(self) -> int:
+        return (self.angellist.client_stats.requests
+                + (self.crunchbase.client_stats.requests
+                   if self.crunchbase.client_stats else 0)
+                + (self.facebook.client_stats.requests
+                   if self.facebook.client_stats else 0)
+                + (self.twitter.client_stats.requests
+                   if self.twitter.client_stats else 0))
+
+
+class ExploratoryPlatform:
+    """The end-to-end system of the paper's Figure 2.
+
+    Typical use::
+
+        platform = ExploratoryPlatform.over_new_world(WorldConfig.small())
+        platform.run_full_crawl()
+        table = platform.run_plugin("engagement_table")
+    """
+
+    def __init__(self, world: World,
+                 config: Optional[PlatformConfig] = None):
+        self.world = world
+        self.config = config or PlatformConfig()
+        self.clock = SimClock()
+        self.hub = SourceHub.from_world(world, clock=self.clock,
+                                        latency=self.config.latency,
+                                        faults=self.config.faults)
+        self.dfs = MiniDfs(num_datanodes=self.config.dfs_datanodes)
+        self.sc = SparkLiteContext(
+            parallelism=self.config.engine_parallelism)
+        self.plugins = PluginRegistry()
+        self.crawl_summary: Optional[CrawlSummary] = None
+        self._graph: Optional[BipartiteGraph] = None
+        _register_builtin_plugins(self.plugins)
+
+    # ---------------------------------------------------------- construction
+    @classmethod
+    def over_new_world(cls, world_config: Optional[WorldConfig] = None,
+                       config: Optional[PlatformConfig] = None,
+                       ) -> "ExploratoryPlatform":
+        return cls(generate_world(world_config or WorldConfig.small()),
+                   config=config)
+
+    # ----------------------------------------------------------------- crawl
+    def run_full_crawl(self) -> CrawlSummary:
+        """§3 end to end: BFS, augmentation, enrichment. Idempotent-ish:
+        raises if datasets already exist (re-create the platform to
+        recrawl)."""
+        if self.crawl_summary is not None:
+            raise ConfigError("this platform already crawled; build a new "
+                              "one for a fresh crawl")
+        al_tokens = [self.hub.angellist.issue_token(f"bfs-{i}")
+                     for i in range(self.config.angellist_tokens)]
+        al_client = ApiClient(self.hub.angellist, self.clock,
+                              token_pool=TokenPool(al_tokens, self.clock))
+        bfs = BfsCrawler(al_client, self.dfs,
+                         records_per_part=self.config.records_per_part).run()
+
+        cb_client = ApiClient(self.hub.crunchbase, self.clock,
+                              auth_style=AUTH_QUERY_USER_KEY,
+                              token=self.hub.crunchbase.issue_key())
+        augment = CrunchBaseAugmenter(
+            cb_client, self.dfs,
+            records_per_part=self.config.records_per_part).run()
+
+        facebook = FacebookCrawler(
+            self.hub.facebook, self.clock, self.dfs,
+            records_per_part=self.config.records_per_part).run()
+        twitter = TwitterCrawler(
+            self.hub.twitter, self.clock, self.dfs,
+            num_tokens=self.config.twitter_tokens,
+            num_workers=self.config.twitter_workers,
+            records_per_part=self.config.records_per_part).run()
+
+        self.crawl_summary = CrawlSummary(
+            angellist=bfs, crunchbase=augment,
+            facebook=facebook, twitter=twitter)
+        return self.crawl_summary
+
+    # ------------------------------------------------------------------ data
+    def require_crawled(self) -> None:
+        if self.crawl_summary is None:
+            raise ConfigError("run_full_crawl() must run before analytics")
+
+    def investor_graph(self) -> BipartiteGraph:
+        """The §5.1 merged bipartite graph (memoized)."""
+        self.require_crawled()
+        if self._graph is None:
+            self._graph = build_investor_graph(self.sc, self.dfs)
+        return self._graph
+
+    # --------------------------------------------------------------- plug-ins
+    def run_plugin(self, name: str, **kwargs: Any) -> Any:
+        """Run a registered analytics plug-in over this platform."""
+        self.require_crawled()
+        return self.plugins.get(name).run(self, **kwargs)
+
+    def close(self) -> None:
+        self.sc.stop()
+
+    def __enter__(self) -> "ExploratoryPlatform":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _register_builtin_plugins(registry: PluginRegistry) -> None:
+    """The analyses shipped with the platform, as plug-ins."""
+    from repro.analysis.engagement import compute_engagement_table
+    from repro.analysis.investors import compute_investor_activity
+    from repro.analysis.concentration import concentration_report
+    from repro.analysis.strength import run_community_study
+    from repro.analysis.prediction import predict_success
+
+    registry.register(
+        "engagement_table",
+        lambda platform, **kw: compute_engagement_table(
+            platform.sc, platform.dfs, **kw),
+        "Figure 6: social engagement vs fundraising success")
+    registry.register(
+        "investor_activity",
+        lambda platform, **kw: compute_investor_activity(
+            platform.sc, platform.dfs, platform.investor_graph(), **kw),
+        "Figure 3: CDF of investments per investor")
+    registry.register(
+        "concentration",
+        lambda platform, **kw: concentration_report(
+            platform.investor_graph(), **kw),
+        "§5.1: degree concentration of the bipartite graph")
+    registry.register(
+        "community_study",
+        lambda platform, num_communities=None, **kw: run_community_study(
+            platform.investor_graph(),
+            num_communities=(num_communities
+                             or platform.world.config.num_communities),
+            **kw),
+        "§5.2–5.3 + Figures 4/5/7: CoDA communities and strength metrics")
+    registry.register(
+        "success_prediction",
+        lambda platform, **kw: predict_success(
+            platform.sc, platform.dfs, platform.investor_graph(), **kw),
+        "§7: logistic success prediction from graph/social features")

@@ -1,0 +1,56 @@
+"""Plug-in registry for platform analytics.
+
+The paper's platform "allows for external plug-ins, for example, the use
+of external community detection libraries". A plug-in is any callable
+``fn(platform) -> result`` registered under a name; built-in analyses
+register themselves when :mod:`repro.core.platform` is imported, and
+downstream users add their own the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List
+
+from repro.util.errors import ConfigError
+
+
+@dataclass
+class AnalyticsPlugin:
+    """A named analysis over the platform's crawled data."""
+
+    name: str
+    run: Callable[..., Any]
+    description: str = ""
+
+
+class PluginRegistry:
+    """Name → plug-in mapping with helpful failure messages."""
+
+    def __init__(self):
+        self._plugins: Dict[str, AnalyticsPlugin] = {}
+
+    def register(self, name: str, run: Callable[..., Any],
+                 description: str = "",
+                 replace: bool = False) -> AnalyticsPlugin:
+        if name in self._plugins and not replace:
+            raise ConfigError(f"plugin {name!r} is already registered "
+                              "(pass replace=True to override)")
+        plugin = AnalyticsPlugin(name=name, run=run, description=description)
+        self._plugins[name] = plugin
+        return plugin
+
+    def get(self, name: str) -> AnalyticsPlugin:
+        if name not in self._plugins:
+            known = ", ".join(sorted(self._plugins)) or "(none)"
+            raise ConfigError(f"unknown plugin {name!r}; registered: {known}")
+        return self._plugins[name]
+
+    def names(self) -> List[str]:
+        return sorted(self._plugins)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._plugins
+
+    def __len__(self) -> int:
+        return len(self._plugins)

@@ -1,0 +1,41 @@
+"""The crawler framework (§3 of the paper).
+
+Layers, bottom-up:
+
+* :class:`ApiClient` — request wrapper with retry/backoff for transient
+  faults, token rotation on 401/429, and per-call statistics.
+* :class:`TokenPool` — rotates access tokens and benches ones that hit a
+  rate limit until their window resets (the paper's multi-app Twitter
+  trick, generalized).
+* :class:`BfsCrawler` — the frontier BFS over the AngelList follow graph
+  that turns "~4000 currently raising startups" into the full population.
+* :class:`CrunchBaseAugmenter` — one-time augmentation: linked URL first,
+  unique name-search fallback second.
+* :class:`FacebookCrawler` / :class:`TwitterCrawler` — per-company
+  enrichment from the URLs found on AngelList profiles.
+* :class:`SnapshotScheduler` — daily longitudinal capture (§7).
+
+Everything lands in :class:`~repro.dfs.MiniDfs` JSON-lines datasets.
+"""
+
+from repro.crawl.client import ApiClient, ClientStats
+from repro.crawl.tokens import TokenPool, provision_twitter_tokens
+from repro.crawl.frontier import BfsCrawler, CrawlResult
+from repro.crawl.augment import CrunchBaseAugmenter, AugmentResult
+from repro.crawl.enrich import FacebookCrawler, TwitterCrawler, EnrichResult
+from repro.crawl.snapshots import SnapshotScheduler
+
+__all__ = [
+    "ApiClient",
+    "ClientStats",
+    "TokenPool",
+    "provision_twitter_tokens",
+    "BfsCrawler",
+    "CrawlResult",
+    "CrunchBaseAugmenter",
+    "AugmentResult",
+    "FacebookCrawler",
+    "TwitterCrawler",
+    "EnrichResult",
+    "SnapshotScheduler",
+]

@@ -1,0 +1,89 @@
+"""One-time CrunchBase augmentation (§3, "CrunchBase").
+
+For every crawled AngelList startup: if the profile links a CrunchBase
+URL, fetch that organization directly; otherwise search CrunchBase by
+name and accept only a *unique* match. The output dataset carries the
+AngelList id on every organization record so the Spark-style merge job
+can join the two sources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.crawl.client import ApiClient, ClientStats
+from repro.dfs.filesystem import MiniDfs
+from repro.dfs.jsonlines import JsonLinesWriter, iter_json_dataset
+
+
+@dataclass
+class AugmentResult:
+    """How each AngelList startup was (or wasn't) matched to CrunchBase."""
+
+    matched_by_url: int = 0
+    matched_by_search: int = 0
+    ambiguous: int = 0
+    unmatched: int = 0
+    records: int = 0
+    client_stats: Optional[ClientStats] = None
+
+    @property
+    def matched(self) -> int:
+        return self.matched_by_url + self.matched_by_search
+
+
+class CrunchBaseAugmenter:
+    """Joins crawled AngelList startups against CrunchBase."""
+
+    def __init__(self, client: ApiClient, dfs: MiniDfs,
+                 angellist_root: str = "/crawl/angellist",
+                 out_dir: str = "/crawl/crunchbase/organizations",
+                 records_per_part: int = 5000):
+        self.client = client
+        self.dfs = dfs
+        self.angellist_root = angellist_root.rstrip("/")
+        self.out_dir = out_dir
+        self.records_per_part = records_per_part
+
+    def run(self) -> AugmentResult:
+        result = AugmentResult()
+        with JsonLinesWriter(self.dfs, self.out_dir,
+                             self.records_per_part) as writer:
+            startups = iter_json_dataset(
+                self.dfs, f"{self.angellist_root}/startups")
+            for startup in startups:
+                org = self._resolve(startup, result)
+                if org is None:
+                    continue
+                org = dict(org)
+                org["angellist_id"] = startup["id"]
+                writer.write(org)
+                result.records += 1
+        result.client_stats = self.client.stats
+        return result
+
+    def _resolve(self, startup: Dict, result: AugmentResult) -> Optional[Dict]:
+        url = startup.get("crunchbase_url")
+        if url:
+            permalink = url.rstrip("/").rsplit("/", 1)[-1]
+            body = self.client.get(f"/v3/organizations/{permalink}",
+                                   allow_not_found=True)
+            if body is not None:
+                result.matched_by_url += 1
+                return body["data"]
+        body = self.client.get("/v3/organizations",
+                               {"name": startup.get("name", "")})
+        items = body.get("items", [])
+        if len(items) == 1:
+            org = self.client.get(
+                f"/v3/organizations/{items[0]['permalink']}",
+                allow_not_found=True)
+            if org is not None:
+                result.matched_by_search += 1
+                return org["data"]
+        if len(items) > 1:
+            result.ambiguous += 1
+        else:
+            result.unmatched += 1
+        return None

@@ -1,0 +1,200 @@
+"""Resilient API client: retries, backoff, token rotation, statistics.
+
+The client is the one place that knows how to survive the simulated
+network: transient 5xx → exponential backoff; 429 → bench the token and
+rotate to another (or sleep out the window); 401 → ask the token
+refresher for a new credential. Every outcome is counted so crawl
+benchmarks can report throughput and retry overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from repro.crawl.tokens import TokenPool
+from repro.net.http import Response, SimServer
+from repro.util.clock import Clock
+from repro.util.errors import AuthError, CrawlError, NotFoundError
+
+#: attribute of the request the credential rides in, per source style.
+AUTH_BEARER = "bearer"          # Authorization: Bearer <token> (AngelList)
+AUTH_QUERY_ACCESS_TOKEN = "access_token"  # ?access_token= (Facebook, Twitter)
+AUTH_QUERY_USER_KEY = "user_key"          # ?user_key= (CrunchBase)
+
+
+@dataclass
+class ClientStats:
+    """Counters for one client instance."""
+
+    requests: int = 0
+    successes: int = 0
+    retries: int = 0
+    throttled: int = 0
+    auth_refreshes: int = 0
+    not_found: int = 0
+    failures: int = 0
+    slept_seconds: float = 0.0
+
+    def merge(self, other: "ClientStats") -> "ClientStats":
+        return ClientStats(
+            requests=self.requests + other.requests,
+            successes=self.successes + other.successes,
+            retries=self.retries + other.retries,
+            throttled=self.throttled + other.throttled,
+            auth_refreshes=self.auth_refreshes + other.auth_refreshes,
+            not_found=self.not_found + other.not_found,
+            failures=self.failures + other.failures,
+            slept_seconds=self.slept_seconds + other.slept_seconds,
+        )
+
+
+class ApiClient:
+    """Wraps one simulated server with retry/rotate/refresh behaviour.
+
+    Args:
+        server: the simulated API.
+        clock: shared simulated clock (used for backoff sleeps).
+        auth_style: where the credential goes (see module constants).
+        token_pool: pool to rotate through on 429s; mutually exclusive
+            with ``token``.
+        token: a single fixed credential.
+        token_refresher: zero-arg callable returning a fresh credential,
+            invoked on 401 (e.g. re-run the Facebook OAuth dance).
+        max_retries: transient-failure budget per logical request.
+    """
+
+    def __init__(self, server: SimServer, clock: Clock,
+                 auth_style: str = AUTH_BEARER,
+                 token_pool: Optional[TokenPool] = None,
+                 token: Optional[str] = None,
+                 token_refresher: Optional[Callable[[], str]] = None,
+                 max_retries: int = 5,
+                 backoff_base: float = 0.5):
+        if token_pool is not None and token is not None:
+            raise CrawlError("pass either token_pool or token, not both")
+        if token_pool is None and token is None and token_refresher is None:
+            raise CrawlError("client needs a credential source")
+        self.server = server
+        self.clock = clock
+        self.auth_style = auth_style
+        self.token_pool = token_pool
+        self._token = token
+        self.token_refresher = token_refresher
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.stats = ClientStats()
+        if self._token is None and token_refresher is not None and token_pool is None:
+            self._token = token_refresher()
+
+    # -------------------------------------------------------------- internals
+    def _credential(self) -> str:
+        if self.token_pool is not None:
+            return self.token_pool.acquire()
+        if self._token is None:
+            raise AuthError("client has no credential")
+        return self._token
+
+    def _send(self, method: str, path: str, params: Dict[str, Any],
+              credential: str) -> Response:
+        params = dict(params)
+        headers: Dict[str, str] = {}
+        if self.auth_style == AUTH_BEARER:
+            headers["Authorization"] = f"Bearer {credential}"
+        elif self.auth_style == AUTH_QUERY_ACCESS_TOKEN:
+            params["access_token"] = credential
+        elif self.auth_style == AUTH_QUERY_USER_KEY:
+            params["user_key"] = credential
+        else:
+            raise CrawlError(f"unknown auth style {self.auth_style!r}")
+        if method == "GET":
+            return self.server.get(path, params, headers)
+        if method == "POST":
+            return self.server.post(path, params, headers)
+        raise CrawlError(f"unsupported method {method!r}")
+
+    def _sleep(self, seconds: float) -> None:
+        self.stats.slept_seconds += seconds
+        self.clock.sleep(seconds)
+
+    # ------------------------------------------------------------------- api
+    def request(self, method: str, path: str,
+                params: Optional[Dict[str, Any]] = None,
+                allow_not_found: bool = False) -> Optional[Any]:
+        """Issue a request, surviving 5xx/429/401 within the retry budget.
+
+        Returns the decoded JSON body; ``None`` for a 404 when
+        ``allow_not_found`` (enrichment crawls tolerate dead links).
+        """
+        params = params or {}
+        transient_left = self.max_retries
+        auth_left = 2
+        attempt = 0
+        while True:
+            attempt += 1
+            credential = self._credential()
+            self.stats.requests += 1
+            response = self._send(method, path, params, credential)
+            if response.ok:
+                self.stats.successes += 1
+                return response.body
+            if response.status == 404:
+                self.stats.not_found += 1
+                if allow_not_found:
+                    return None
+                raise NotFoundError(f"{self.server.name}: {path} not found")
+            if response.status == 429:
+                self.stats.throttled += 1
+                retry_after = float(response.headers.get("Retry-After", "1"))
+                if self.token_pool is not None:
+                    self.token_pool.bench(credential, retry_after)
+                    wait = self.token_pool.next_available_in()
+                    if wait > 0:
+                        self._sleep(wait)
+                else:
+                    self._sleep(retry_after)
+                continue
+            if response.status == 401:
+                if self.token_refresher is not None and auth_left > 0:
+                    auth_left -= 1
+                    self.stats.auth_refreshes += 1
+                    self._token = self.token_refresher()
+                    continue
+                self.stats.failures += 1
+                raise AuthError(f"{self.server.name}: unauthorized at {path}")
+            if 500 <= response.status < 600:
+                if transient_left > 0:
+                    transient_left -= 1
+                    self.stats.retries += 1
+                    backoff = self.backoff_base * (
+                        2 ** (self.max_retries - transient_left - 1))
+                    self._sleep(backoff)
+                    continue
+                self.stats.failures += 1
+                raise CrawlError(
+                    f"{self.server.name}: {path} failed after "
+                    f"{self.max_retries} retries "
+                    f"({response.status}: {response.body})")
+            self.stats.failures += 1
+            raise CrawlError(f"{self.server.name}: unexpected status "
+                             f"{response.status} for {path}: {response.body}")
+
+    def get(self, path: str, params: Optional[Dict[str, Any]] = None,
+            allow_not_found: bool = False) -> Optional[Any]:
+        return self.request("GET", path, params, allow_not_found)
+
+    def paged(self, path: str, params: Optional[Dict[str, Any]] = None,
+              items_key: str = "items"):
+        """Iterate a paginated endpoint, yielding items across pages."""
+        params = dict(params or {})
+        page = 1
+        while True:
+            params["page"] = page
+            body = self.get(path, params)
+            items = body.get(items_key, [])
+            for item in items:
+                yield item
+            last = int(body.get("last_page", page))
+            if page >= last:
+                return
+            page += 1

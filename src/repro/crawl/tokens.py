@@ -1,0 +1,90 @@
+"""Client-side token pooling.
+
+Twitter allows 180 calls / 15 min *per token* and five app tokens per
+account; the paper worked around this by spreading tokens over machines.
+:class:`TokenPool` is that strategy in one process: ``acquire`` returns a
+token that is not benched, and ``bench`` parks a token until its window
+resets (per the server's ``Retry-After``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.sources.twitter import TwitterServer, MAX_APPS_PER_ACCOUNT
+from repro.util.clock import Clock
+from repro.util.errors import CrawlError
+
+
+@dataclass
+class _TokenState:
+    value: str
+    benched_until: float = 0.0
+    uses: int = 0
+
+
+class TokenPool:
+    """Round-robin over tokens, skipping ones benched by rate limits."""
+
+    def __init__(self, tokens: List[str], clock: Clock):
+        if not tokens:
+            raise CrawlError("token pool needs at least one token")
+        self._clock = clock
+        self._states = [_TokenState(value=t) for t in tokens]
+        self._cursor = 0
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def acquire(self) -> str:
+        """An available token — if all are benched, sleeps until one frees."""
+        now = self._clock.now()
+        for _ in range(len(self._states)):
+            state = self._states[self._cursor]
+            self._cursor = (self._cursor + 1) % len(self._states)
+            if state.benched_until <= now:
+                state.uses += 1
+                return state.value
+        soonest = min(s.benched_until for s in self._states)
+        self._clock.sleep(max(0.0, soonest - now))
+        return self.acquire()
+
+    def bench(self, token: str, retry_after: float) -> None:
+        """Park ``token`` until ``retry_after`` seconds from now."""
+        until = self._clock.now() + max(0.0, retry_after)
+        for state in self._states:
+            if state.value == token:
+                state.benched_until = max(state.benched_until, until)
+                return
+
+    def next_available_in(self) -> float:
+        """Seconds until some token is usable (0 if one is free now)."""
+        now = self._clock.now()
+        return max(0.0, min(s.benched_until for s in self._states) - now)
+
+    @property
+    def usage(self) -> Dict[str, int]:
+        return {s.value: s.uses for s in self._states}
+
+
+def provision_twitter_tokens(server: TwitterServer, count: int,
+                             account_prefix: str = "crawler") -> List[str]:
+    """Register enough accounts/apps to obtain ``count`` Twitter tokens.
+
+    Respects the five-apps-per-account cap by creating
+    ``ceil(count / 5)`` accounts, exactly as the paper distributed app
+    registrations across its crawl machines.
+    """
+    if count < 1:
+        raise CrawlError("need at least one token")
+    tokens: List[str] = []
+    account_index = 0
+    while len(tokens) < count:
+        account = f"{account_prefix}-{account_index}"
+        for _ in range(MAX_APPS_PER_ACCOUNT):
+            if len(tokens) >= count:
+                break
+            tokens.append(server.register_app(account))
+        account_index += 1
+    return tokens

@@ -1,0 +1,31 @@
+"""A single-process HDFS-style distributed file system simulator.
+
+The paper lands crawled JSON in HDFS and reads it with Spark. This
+package preserves the pieces of that model the rest of the system
+depends on: a namenode with a path hierarchy, fixed-size blocks placed
+with a replication factor across simulated datanodes, failure injection
+(kill a datanode, reads fail over to surviving replicas,
+re-replication restores the factor), and JSON-lines datasets partitioned
+into part files that the engine maps one-to-one onto RDD partitions.
+"""
+
+from repro.dfs.filesystem import BlockInfo, DataNode, FileStatus, MiniDfs
+from repro.dfs.jsonlines import (
+    JsonLinesWriter,
+    iter_json_dataset,
+    read_json_dataset,
+    list_partitions,
+    write_json_dataset,
+)
+
+__all__ = [
+    "BlockInfo",
+    "DataNode",
+    "FileStatus",
+    "MiniDfs",
+    "JsonLinesWriter",
+    "iter_json_dataset",
+    "read_json_dataset",
+    "list_partitions",
+    "write_json_dataset",
+]

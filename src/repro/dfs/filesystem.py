@@ -1,0 +1,266 @@
+"""Namenode + datanode simulation with block replication.
+
+Semantics follow HDFS where it matters to the rest of the system:
+
+* files are write-once byte streams split into fixed-size blocks;
+* each block is replicated onto ``replication`` distinct datanodes;
+* reading prefers any live replica and raises only when *all* replicas
+  of some block are on dead nodes;
+* :meth:`MiniDfs.rereplicate` restores under-replicated blocks, the way
+  the HDFS namenode does after it declares a datanode dead.
+
+Paths are POSIX-style (``/crawl/angellist/startups/part-00000.jsonl``).
+"""
+
+from __future__ import annotations
+
+import posixpath
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.util.errors import NotFoundError, StorageError
+from repro.util.rng import RngStream
+
+DEFAULT_BLOCK_SIZE = 64 * 1024
+DEFAULT_REPLICATION = 3
+
+
+@dataclass
+class BlockInfo:
+    """Namenode metadata for one block of one file."""
+
+    block_id: int
+    length: int
+    locations: List[str] = field(default_factory=list)
+
+
+@dataclass
+class FileStatus:
+    """What ``stat`` returns: path, length, block layout."""
+
+    path: str
+    length: int
+    block_size: int
+    replication: int
+    blocks: List[BlockInfo] = field(default_factory=list)
+
+
+class DataNode:
+    """Stores block payloads; can be killed and restarted."""
+
+    def __init__(self, node_id: str):
+        self.node_id = node_id
+        self.alive = True
+        self._blocks: Dict[int, bytes] = {}
+
+    def put(self, block_id: int, data: bytes) -> None:
+        if not self.alive:
+            raise StorageError(f"datanode {self.node_id} is down")
+        self._blocks[block_id] = data
+
+    def get(self, block_id: int) -> bytes:
+        if not self.alive:
+            raise StorageError(f"datanode {self.node_id} is down")
+        if block_id not in self._blocks:
+            raise StorageError(
+                f"datanode {self.node_id} does not hold block {block_id}")
+        return self._blocks[block_id]
+
+    def has(self, block_id: int) -> bool:
+        return self.alive and block_id in self._blocks
+
+    def drop(self, block_id: int) -> None:
+        self._blocks.pop(block_id, None)
+
+    @property
+    def block_count(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(len(b) for b in self._blocks.values())
+
+
+def _normalize(path: str) -> str:
+    if not path.startswith("/"):
+        raise StorageError(f"paths must be absolute, got {path!r}")
+    norm = posixpath.normpath(path)
+    return norm
+
+
+class MiniDfs:
+    """The facade: create/read/list/delete files over simulated datanodes."""
+
+    def __init__(self, num_datanodes: int = 4,
+                 block_size: int = DEFAULT_BLOCK_SIZE,
+                 replication: int = DEFAULT_REPLICATION,
+                 seed: int = 0):
+        if num_datanodes < 1:
+            raise StorageError("need at least one datanode")
+        self.block_size = block_size
+        self.replication = min(replication, num_datanodes)
+        self.datanodes: Dict[str, DataNode] = {
+            f"dn{i}": DataNode(f"dn{i}") for i in range(num_datanodes)}
+        self._files: Dict[str, FileStatus] = {}
+        self._next_block_id = 0
+        self._rng = RngStream(seed, "dfs")
+
+    # -- write ---------------------------------------------------------------
+    def create(self, path: str, data: bytes) -> FileStatus:
+        """Write a new file; fails if the path already exists."""
+        path = _normalize(path)
+        if path in self._files:
+            raise StorageError(f"file already exists: {path}")
+        status = FileStatus(path=path, length=len(data),
+                            block_size=self.block_size,
+                            replication=self.replication)
+        for offset in range(0, max(1, len(data)), self.block_size):
+            chunk = data[offset:offset + self.block_size]
+            status.blocks.append(self._store_block(chunk))
+        self._files[path] = status
+        return status
+
+    def create_text(self, path: str, text: str) -> FileStatus:
+        return self.create(path, text.encode("utf-8"))
+
+    def _store_block(self, chunk: bytes) -> BlockInfo:
+        block_id = self._next_block_id
+        self._next_block_id += 1
+        live = [dn for dn in self.datanodes.values() if dn.alive]
+        if len(live) < 1:
+            raise StorageError("no live datanodes")
+        want = min(self.replication, len(live))
+        targets = self._rng.sample(live, want)
+        for node in targets:
+            node.put(block_id, chunk)
+        return BlockInfo(block_id=block_id, length=len(chunk),
+                         locations=[n.node_id for n in targets])
+
+    # -- read ----------------------------------------------------------------
+    def read(self, path: str) -> bytes:
+        path = _normalize(path)
+        status = self._files.get(path)
+        if status is None:
+            raise NotFoundError(f"no such file: {path}")
+        parts = []
+        for block in status.blocks:
+            parts.append(self._fetch_block(block))
+        return b"".join(parts)
+
+    def read_text(self, path: str) -> str:
+        return self.read(path).decode("utf-8")
+
+    def _fetch_block(self, block: BlockInfo) -> bytes:
+        for node_id in block.locations:
+            node = self.datanodes[node_id]
+            if node.has(block.block_id):
+                return node.get(block.block_id)
+        raise StorageError(
+            f"block {block.block_id} unavailable: all replicas down")
+
+    # -- namespace -------------------------------------------------------------
+    def exists(self, path: str) -> bool:
+        return _normalize(path) in self._files
+
+    def stat(self, path: str) -> FileStatus:
+        path = _normalize(path)
+        status = self._files.get(path)
+        if status is None:
+            raise NotFoundError(f"no such file: {path}")
+        return status
+
+    def delete(self, path: str) -> None:
+        path = _normalize(path)
+        status = self._files.pop(path, None)
+        if status is None:
+            raise NotFoundError(f"no such file: {path}")
+        for block in status.blocks:
+            for node_id in block.locations:
+                self.datanodes[node_id].drop(block.block_id)
+
+    def listdir(self, prefix: str) -> List[str]:
+        """All file paths under ``prefix`` (a pseudo-directory), sorted."""
+        prefix = _normalize(prefix).rstrip("/") + "/"
+        return sorted(p for p in self._files if p.startswith(prefix))
+
+    def glob_parts(self, directory: str) -> List[str]:
+        """The ``part-*`` files of a dataset directory, in order."""
+        return [p for p in self.listdir(directory)
+                if posixpath.basename(p).startswith("part-")]
+
+    def rename(self, src: str, dst: str) -> None:
+        """Move a file to a new path (metadata-only, like HDFS mv)."""
+        src, dst = _normalize(src), _normalize(dst)
+        if src not in self._files:
+            raise NotFoundError(f"no such file: {src}")
+        if dst in self._files:
+            raise StorageError(f"destination exists: {dst}")
+        status = self._files.pop(src)
+        status.path = dst
+        self._files[dst] = status
+
+    def copy(self, src: str, dst: str) -> FileStatus:
+        """Copy a file (new blocks, fresh placement)."""
+        return self.create(dst, self.read(src))
+
+    def disk_usage(self, prefix: str) -> int:
+        """Total logical bytes under a pseudo-directory (HDFS du)."""
+        return sum(self._files[p].length for p in self.listdir(prefix))
+
+    @property
+    def file_count(self) -> int:
+        return len(self._files)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(s.length for s in self._files.values())
+
+    # -- failure handling --------------------------------------------------------
+    def kill_datanode(self, node_id: str) -> None:
+        node = self.datanodes.get(node_id)
+        if node is None:
+            raise NotFoundError(f"no such datanode: {node_id}")
+        node.alive = False
+
+    def restart_datanode(self, node_id: str) -> None:
+        node = self.datanodes.get(node_id)
+        if node is None:
+            raise NotFoundError(f"no such datanode: {node_id}")
+        node.alive = True
+
+    def under_replicated_blocks(self) -> List[BlockInfo]:
+        """Blocks with fewer live replicas than the replication factor."""
+        flagged = []
+        for status in self._files.values():
+            for block in status.blocks:
+                live = [nid for nid in block.locations
+                        if self.datanodes[nid].has(block.block_id)]
+                if len(live) < min(self.replication,
+                                   sum(n.alive for n in self.datanodes.values())):
+                    flagged.append(block)
+        return flagged
+
+    def rereplicate(self) -> int:
+        """Restore replication for under-replicated blocks; returns count."""
+        repaired = 0
+        for status in self._files.values():
+            for block in status.blocks:
+                live_holders = [nid for nid in block.locations
+                                if self.datanodes[nid].has(block.block_id)]
+                if not live_holders:
+                    continue  # unrecoverable until a holder restarts
+                want = min(self.replication,
+                           sum(n.alive for n in self.datanodes.values()))
+                if len(live_holders) >= want:
+                    continue
+                data = self.datanodes[live_holders[0]].get(block.block_id)
+                candidates = [n for n in self.datanodes.values()
+                              if n.alive and not n.has(block.block_id)]
+                needed = want - len(live_holders)
+                for node in self._rng.sample(candidates,
+                                             min(needed, len(candidates))):
+                    node.put(block.block_id, data)
+                    live_holders.append(node.node_id)
+                    repaired += 1
+                block.locations = live_holders
+        return repaired

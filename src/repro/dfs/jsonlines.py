@@ -1,0 +1,116 @@
+"""JSON-lines datasets on the DFS, partitioned into part files.
+
+Crawlers write records through :class:`JsonLinesWriter`; the engine reads
+datasets partition-by-partition so each part file becomes one RDD
+partition (exactly how Spark maps HDFS splits to partitions).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, Iterator, List, Sequence
+
+from repro.dfs.filesystem import MiniDfs
+from repro.util.errors import StorageError
+
+
+def _part_path(directory: str, index: int) -> str:
+    return f"{directory.rstrip('/')}/part-{index:05d}.jsonl"
+
+
+class JsonLinesWriter:
+    """Buffers records and flushes them as numbered part files.
+
+    Use as a context manager::
+
+        with JsonLinesWriter(dfs, "/crawl/startups", records_per_part=5000) as w:
+            for record in crawl():
+                w.write(record)
+    """
+
+    def __init__(self, dfs: MiniDfs, directory: str,
+                 records_per_part: int = 10_000,
+                 start_part_index: int = 0):
+        if records_per_part < 1:
+            raise StorageError("records_per_part must be >= 1")
+        if start_part_index < 0:
+            raise StorageError("start_part_index must be >= 0")
+        self._dfs = dfs
+        self._directory = directory.rstrip("/")
+        self._records_per_part = records_per_part
+        self._buffer: List[str] = []
+        self._part_index = start_part_index
+        self.records_written = 0
+        self._closed = False
+
+    @property
+    def next_part_index(self) -> int:
+        """The index the next flushed part file will get (for resume)."""
+        return self._part_index
+
+    def write(self, record: Dict) -> None:
+        if self._closed:
+            raise StorageError("writer is closed")
+        self._buffer.append(json.dumps(record, separators=(",", ":"),
+                                       sort_keys=True))
+        self.records_written += 1
+        if len(self._buffer) >= self._records_per_part:
+            self._flush()
+
+    def write_all(self, records: Iterable[Dict]) -> None:
+        for record in records:
+            self.write(record)
+
+    def _flush(self) -> None:
+        if not self._buffer:
+            return
+        path = _part_path(self._directory, self._part_index)
+        self._dfs.create_text(path, "\n".join(self._buffer) + "\n")
+        self._part_index += 1
+        self._buffer = []
+
+    def flush(self) -> None:
+        """Force buffered records onto the DFS (checkpoint boundary)."""
+        self._flush()
+
+    def close(self) -> None:
+        if not self._closed:
+            self._flush()
+            self._closed = True
+
+    def __enter__(self) -> "JsonLinesWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def write_json_dataset(dfs: MiniDfs, directory: str,
+                       records: Sequence[Dict],
+                       partitions: int = 4) -> int:
+    """Write ``records`` split evenly into ``partitions`` part files."""
+    if partitions < 1:
+        raise StorageError("partitions must be >= 1")
+    per_part = max(1, -(-len(records) // partitions))
+    with JsonLinesWriter(dfs, directory, records_per_part=per_part) as writer:
+        writer.write_all(records)
+    return writer.records_written
+
+
+def list_partitions(dfs: MiniDfs, directory: str) -> List[str]:
+    """Part-file paths of a dataset directory (the engine's input splits)."""
+    return dfs.glob_parts(directory)
+
+
+def iter_json_dataset(dfs: MiniDfs, directory: str) -> Iterator[Dict]:
+    """Stream every record of a dataset in partition order."""
+    for path in list_partitions(dfs, directory):
+        text = dfs.read_text(path)
+        for line in text.splitlines():
+            if line:
+                yield json.loads(line)
+
+
+def read_json_dataset(dfs: MiniDfs, directory: str) -> List[Dict]:
+    """Materialize a dataset as a list of records."""
+    return list(iter_json_dataset(dfs, directory))

@@ -1,0 +1,24 @@
+"""A miniature Spark: lazy RDDs, shuffles, and a thin DataFrame layer.
+
+The paper runs its cleaning/merging/analytics as Spark queries over HDFS
+JSON. :class:`SparkLiteContext` reproduces that programming model in one
+process: transformations build a lazy lineage DAG, actions trigger a job,
+narrow transformations fuse within a partition, and wide transformations
+(reduceByKey / join / groupByKey / sortBy / distinct) run a hash-partition
+shuffle. Partitions of a job run on a thread pool; results of ``cache()``d
+RDDs are reused across jobs.
+
+Example::
+
+    sc = SparkLiteContext(parallelism=4)
+    counts = (sc.parallelize(words)
+                .map(lambda w: (w, 1))
+                .reduce_by_key(lambda a, b: a + b)
+                .collect())
+"""
+
+from repro.engine.context import SparkLiteContext
+from repro.engine.rdd import RDD
+from repro.engine.dataframe import DataFrame, Row
+
+__all__ = ["SparkLiteContext", "RDD", "DataFrame", "Row"]

@@ -1,0 +1,455 @@
+"""Lazy RDD lineage and the job runner.
+
+Every transformation returns a new :class:`RDD` node holding a reference
+to its parent(s) and a description of the work; nothing executes until an
+action. The :class:`JobRunner` walks the lineage, computes each distinct
+RDD's partitions once per job (memoized), runs narrow partitions on the
+context's thread pool, and performs hash shuffles for wide dependencies —
+the same split Spark draws between narrow and wide transformations.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import defaultdict
+from typing import (Any, Callable, Dict, Generic, Iterable, List, Optional,
+                    Tuple, TypeVar)
+
+from repro.util.errors import EngineError
+
+T = TypeVar("T")
+U = TypeVar("U")
+K = TypeVar("K")
+V = TypeVar("V")
+
+_rdd_ids = itertools.count()
+
+
+def _hash_partition(key: Any, num_partitions: int) -> int:
+    return hash(key) % num_partitions
+
+
+class RDD(Generic[T]):
+    """A lazily evaluated, partitioned collection with Spark semantics."""
+
+    def __init__(self, context, num_partitions: int,
+                 parents: Tuple["RDD", ...] = (),
+                 compute: Optional[Callable] = None,
+                 wide: bool = False,
+                 name: str = "rdd"):
+        if num_partitions < 1:
+            raise EngineError("an RDD needs at least one partition")
+        self.context = context
+        self.rdd_id = next(_rdd_ids)
+        self.num_partitions = num_partitions
+        self.parents = parents
+        self._compute = compute
+        self.wide = wide
+        self.name = name
+        self._cached: Optional[List[List[T]]] = None
+        self._cache_requested = False
+
+    # ------------------------------------------------------------------ misc
+    def __repr__(self) -> str:
+        return f"<RDD {self.rdd_id} {self.name} p={self.num_partitions}>"
+
+    def cache(self) -> "RDD[T]":
+        """Keep computed partitions for reuse by later jobs."""
+        self._cache_requested = True
+        return self
+
+    def unpersist(self) -> "RDD[T]":
+        self._cached = None
+        self._cache_requested = False
+        return self
+
+    # -------------------------------------------------------- narrow transforms
+    def _narrow(self, fn: Callable[[List[T]], List[U]], name: str) -> "RDD[U]":
+        def compute(runner: "JobRunner", index: int) -> List[U]:
+            return fn(runner.partition(self, index))
+        return RDD(self.context, self.num_partitions, (self,), compute,
+                   name=name)
+
+    def map(self, fn: Callable[[T], U]) -> "RDD[U]":
+        return self._narrow(lambda part: [fn(x) for x in part], "map")
+
+    def filter(self, predicate: Callable[[T], bool]) -> "RDD[T]":
+        return self._narrow(
+            lambda part: [x for x in part if predicate(x)], "filter")
+
+    def flat_map(self, fn: Callable[[T], Iterable[U]]) -> "RDD[U]":
+        return self._narrow(
+            lambda part: [y for x in part for y in fn(x)], "flatMap")
+
+    def map_partitions(self, fn: Callable[[List[T]], Iterable[U]]) -> "RDD[U]":
+        return self._narrow(lambda part: list(fn(part)), "mapPartitions")
+
+    def key_by(self, fn: Callable[[T], K]) -> "RDD[Tuple[K, T]]":
+        return self._narrow(lambda part: [(fn(x), x) for x in part], "keyBy")
+
+    def map_values(self, fn: Callable[[V], U]) -> "RDD[Tuple[K, U]]":
+        return self._narrow(
+            lambda part: [(k, fn(v)) for k, v in part], "mapValues")
+
+    def flat_map_values(self, fn: Callable[[V], Iterable[U]]) -> "RDD":
+        return self._narrow(
+            lambda part: [(k, u) for k, v in part for u in fn(v)],
+            "flatMapValues")
+
+    def union(self, other: "RDD[T]") -> "RDD[T]":
+        if other.context is not self.context:
+            raise EngineError("cannot union RDDs from different contexts")
+        left_parts = self.num_partitions
+
+        def compute(runner: "JobRunner", index: int) -> List[T]:
+            if index < left_parts:
+                return runner.partition(self, index)
+            return runner.partition(other, index - left_parts)
+        return RDD(self.context, left_parts + other.num_partitions,
+                   (self, other), compute, name="union")
+
+    def sample(self, fraction: float, seed: int = 0) -> "RDD[T]":
+        import random
+        if not 0.0 <= fraction <= 1.0:
+            raise EngineError(f"fraction must be in [0, 1], got {fraction}")
+
+        def fn(part: List[T]) -> List[T]:
+            rng = random.Random(seed * 1_000_003 + len(part))
+            return [x for x in part if rng.random() < fraction]
+        return self._narrow(fn, "sample")
+
+    # ---------------------------------------------------------- wide transforms
+    def _shuffle(self, num_partitions: Optional[int],
+                 bucket_fn: Callable[[T], Any],
+                 post: Callable[[List[T]], List[U]],
+                 name: str) -> "RDD[U]":
+        parts = num_partitions or self.num_partitions
+
+        def compute(runner: "JobRunner", index: int) -> List[U]:
+            buckets = runner.shuffle(self, parts, bucket_fn)
+            return post(buckets[index])
+        return RDD(self.context, parts, (self,), compute, wide=True,
+                   name=name)
+
+    def repartition(self, num_partitions: int) -> "RDD[T]":
+        counter = itertools.count()
+        return self._shuffle(
+            num_partitions, lambda _x: next(counter),
+            lambda bucket: bucket, "repartition")
+
+    def distinct(self, num_partitions: Optional[int] = None) -> "RDD[T]":
+        def post(bucket: List[T]) -> List[T]:
+            seen = set()
+            out = []
+            for x in bucket:
+                if x not in seen:
+                    seen.add(x)
+                    out.append(x)
+            return out
+        return self._shuffle(num_partitions, lambda x: x, post, "distinct")
+
+    def group_by_key(self, num_partitions: Optional[int] = None) -> "RDD":
+        def post(bucket: List[Tuple[K, V]]) -> List[Tuple[K, List[V]]]:
+            grouped: Dict[K, List[V]] = defaultdict(list)
+            for k, v in bucket:
+                grouped[k].append(v)
+            return list(grouped.items())
+        return self._shuffle(num_partitions, lambda kv: kv[0], post,
+                             "groupByKey")
+
+    def reduce_by_key(self, fn: Callable[[V, V], V],
+                      num_partitions: Optional[int] = None) -> "RDD":
+        def post(bucket: List[Tuple[K, V]]) -> List[Tuple[K, V]]:
+            acc: Dict[K, V] = {}
+            for k, v in bucket:
+                acc[k] = fn(acc[k], v) if k in acc else v
+            return list(acc.items())
+        return self._shuffle(num_partitions, lambda kv: kv[0], post,
+                             "reduceByKey")
+
+    def aggregate_by_key(self, zero: U, seq: Callable[[U, V], U],
+                         comb: Callable[[U, U], U],
+                         num_partitions: Optional[int] = None) -> "RDD":
+        import copy
+
+        def post(bucket: List[Tuple[K, V]]) -> List[Tuple[K, U]]:
+            acc: Dict[K, U] = {}
+            for k, v in bucket:
+                if k not in acc:
+                    acc[k] = copy.deepcopy(zero)
+                acc[k] = seq(acc[k], v)
+            return list(acc.items())
+        return self._shuffle(num_partitions, lambda kv: kv[0], post,
+                             "aggregateByKey")
+
+    def cogroup(self, other: "RDD", num_partitions: Optional[int] = None) -> "RDD":
+        parts = num_partitions or max(self.num_partitions,
+                                      other.num_partitions)
+
+        def compute(runner: "JobRunner", index: int):
+            left = runner.shuffle(self, parts, lambda kv: kv[0])[index]
+            right = runner.shuffle(other, parts, lambda kv: kv[0])[index]
+            grouped: Dict[Any, Tuple[List, List]] = defaultdict(
+                lambda: ([], []))
+            for k, v in left:
+                grouped[k][0].append(v)
+            for k, v in right:
+                grouped[k][1].append(v)
+            return list(grouped.items())
+        return RDD(self.context, parts, (self, other), compute, wide=True,
+                   name="cogroup")
+
+    def join(self, other: "RDD", num_partitions: Optional[int] = None) -> "RDD":
+        def emit(item):
+            key, (lefts, rights) = item
+            return [(key, (lv, rv)) for lv in lefts for rv in rights]
+        return self.cogroup(other, num_partitions).flat_map(emit)
+
+    def left_outer_join(self, other: "RDD",
+                        num_partitions: Optional[int] = None) -> "RDD":
+        def emit(item):
+            key, (lefts, rights) = item
+            if not rights:
+                return [(key, (lv, None)) for lv in lefts]
+            return [(key, (lv, rv)) for lv in lefts for rv in rights]
+        return self.cogroup(other, num_partitions).flat_map(emit)
+
+    def sort_by(self, key_fn: Callable[[T], Any],
+                ascending: bool = True) -> "RDD[T]":
+        """Total sort into a single partition (fine at simulator scale)."""
+        def compute(runner: "JobRunner", index: int) -> List[T]:
+            everything = [x for p in runner.all_partitions(self) for x in p]
+            return sorted(everything, key=key_fn, reverse=not ascending)
+        return RDD(self.context, 1, (self,), compute, wide=True,
+                   name="sortBy")
+
+    # ----------------------------------------------------------------- actions
+    def collect(self) -> List[T]:
+        return self.context._run_job(self)
+
+    def count(self) -> int:
+        return len(self.collect())
+
+    def take(self, n: int) -> List[T]:
+        return self.collect()[:n]
+
+    def first(self) -> T:
+        result = self.take(1)
+        if not result:
+            raise EngineError("first() on an empty RDD")
+        return result[0]
+
+    def reduce(self, fn: Callable[[T, T], T]) -> T:
+        data = self.collect()
+        if not data:
+            raise EngineError("reduce() on an empty RDD")
+        acc = data[0]
+        for x in data[1:]:
+            acc = fn(acc, x)
+        return acc
+
+    def sum(self) -> float:
+        return sum(self.collect())
+
+    def mean(self) -> float:
+        data = self.collect()
+        if not data:
+            raise EngineError("mean() on an empty RDD")
+        return sum(data) / len(data)
+
+    def top(self, n: int, key: Optional[Callable[[T], Any]] = None) -> List[T]:
+        return sorted(self.collect(), key=key, reverse=True)[:n]
+
+    def take_ordered(self, n: int,
+                     key: Optional[Callable[[T], Any]] = None) -> List[T]:
+        """The n smallest elements in sorted order (Spark's takeOrdered)."""
+        import heapq
+        if key is None:
+            return heapq.nsmallest(n, self.collect())
+        return heapq.nsmallest(n, self.collect(), key=key)
+
+    def zip_with_index(self) -> "RDD[Tuple[T, int]]":
+        """Pair each element with its global position (stable order)."""
+        def compute(runner: "JobRunner", index: int) -> List[Tuple[T, int]]:
+            parts = runner.all_partitions(self)
+            offset = sum(len(p) for p in parts[:index])
+            return [(x, offset + i) for i, x in enumerate(parts[index])]
+        return RDD(self.context, self.num_partitions, (self,), compute,
+                   name="zipWithIndex")
+
+    def stats(self) -> Dict[str, float]:
+        """count / mean / stdev / min / max of a numeric RDD, one pass."""
+        def partial(part: List[T]) -> List[Tuple[int, float, float,
+                                                 float, float]]:
+            if not part:
+                return []
+            values = [float(x) for x in part]
+            return [(len(values), sum(values),
+                     sum(v * v for v in values),
+                     min(values), max(values))]
+        pieces = self.map_partitions(partial).collect()
+        if not pieces:
+            return {"count": 0, "mean": 0.0, "stdev": 0.0,
+                    "min": 0.0, "max": 0.0}
+        count = sum(p[0] for p in pieces)
+        total = sum(p[1] for p in pieces)
+        total_sq = sum(p[2] for p in pieces)
+        mean = total / count
+        variance = max(0.0, total_sq / count - mean * mean)
+        return {"count": count, "mean": mean,
+                "stdev": variance ** 0.5,
+                "min": min(p[3] for p in pieces),
+                "max": max(p[4] for p in pieces)}
+
+    def histogram(self, num_buckets: int) -> Tuple[List[float], List[int]]:
+        """Evenly spaced histogram over the RDD's numeric range."""
+        if num_buckets < 1:
+            raise EngineError("num_buckets must be >= 1")
+        values = [float(x) for x in self.collect()]
+        if not values:
+            return [], []
+        lo, hi = min(values), max(values)
+        if hi == lo:
+            return [lo, hi], [len(values)]
+        width = (hi - lo) / num_buckets
+        edges = [lo + i * width for i in range(num_buckets + 1)]
+        counts = [0] * num_buckets
+        for v in values:
+            bucket = min(num_buckets - 1, int((v - lo) / width))
+            counts[bucket] += 1
+        return edges, counts
+
+    def count_by_value(self) -> Dict[T, int]:
+        counts: Dict[T, int] = defaultdict(int)
+        for x in self.collect():
+            counts[x] += 1
+        return dict(counts)
+
+    def count_by_key(self) -> Dict[Any, int]:
+        counts: Dict[Any, int] = defaultdict(int)
+        for k, _v in self.collect():
+            counts[k] += 1
+        return dict(counts)
+
+    def collect_as_map(self) -> Dict[Any, Any]:
+        return dict(self.collect())
+
+    def save_as_json_dataset(self, dfs, directory: str) -> int:
+        """Write each partition as one part file on the DFS."""
+        import json
+        partitions = self.context._run_job_partitions(self)
+        for index, part in enumerate(partitions):
+            lines = [json.dumps(rec, separators=(",", ":"), sort_keys=True)
+                     for rec in part]
+            dfs.create_text(f"{directory.rstrip('/')}/part-{index:05d}.jsonl",
+                            "\n".join(lines) + ("\n" if lines else ""))
+        return sum(len(p) for p in partitions)
+
+
+class JobMetrics:
+    """Counters for one job: what actually executed.
+
+    Exposed on :class:`SparkLiteContext` as ``last_job_metrics`` so
+    benchmarks (A1) and curious users can see how much work a lineage
+    did — RDDs materialized, partition tasks run, records shuffled —
+    without instrumenting their own closures.
+    """
+
+    def __init__(self):
+        self.rdds_materialized = 0
+        self.partitions_computed = 0
+        self.shuffles = 0
+        self.shuffle_records = 0
+        self.cached_hits = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "rdds_materialized": self.rdds_materialized,
+            "partitions_computed": self.partitions_computed,
+            "shuffles": self.shuffles,
+            "shuffle_records": self.shuffle_records,
+            "cached_hits": self.cached_hits,
+        }
+
+
+class JobRunner:
+    """Evaluates one action: memoizes partitions and shuffles per job.
+
+    Lineage is materialized bottom-up (topological order) from the driver
+    thread, so partition tasks running on the pool only ever *read* their
+    parents' already-computed results — nested pool submission (a classic
+    thread-pool deadlock) can't happen.
+    """
+
+    def __init__(self, context):
+        import threading
+        self.context = context
+        self._partitions: Dict[int, List[List[Any]]] = {}
+        self._shuffles: Dict[Tuple[int, int], List[List[Any]]] = {}
+        self._shuffle_lock = threading.Lock()
+        #: instrumentation for the job that just ran (see JobMetrics)
+        self.metrics = JobMetrics()
+
+    def _lineage(self, rdd: RDD) -> List[RDD]:
+        """Ancestors-first topological order of the lineage DAG."""
+        order: List[RDD] = []
+        seen = set()
+
+        def visit(node: RDD) -> None:
+            if node.rdd_id in seen:
+                return
+            seen.add(node.rdd_id)
+            for parent in node.parents:
+                visit(parent)
+            order.append(node)
+        visit(rdd)
+        return order
+
+    def all_partitions(self, rdd: RDD) -> List[List[Any]]:
+        if rdd._cached is not None:
+            if rdd.rdd_id not in self._partitions:
+                self._partitions[rdd.rdd_id] = rdd._cached
+                self.metrics.cached_hits += 1
+            return rdd._cached
+        if rdd.rdd_id not in self._partitions:
+            for node in self._lineage(rdd):
+                self._materialize(node)
+        return self._partitions[rdd.rdd_id]
+
+    def _materialize(self, rdd: RDD) -> None:
+        if rdd._cached is not None:
+            self._partitions[rdd.rdd_id] = rdd._cached
+            self.metrics.cached_hits += 1
+            return
+        if rdd.rdd_id in self._partitions:
+            return
+        compute = rdd._compute
+        if compute is None:
+            raise EngineError(f"RDD {rdd!r} has no compute function")
+        results = self.context._map_indices(
+            rdd.num_partitions, lambda i: compute(self, i))
+        self._partitions[rdd.rdd_id] = results
+        self.metrics.rdds_materialized += 1
+        self.metrics.partitions_computed += rdd.num_partitions
+        if rdd._cache_requested:
+            rdd._cached = results
+
+    def partition(self, rdd: RDD, index: int) -> List[Any]:
+        return self.all_partitions(rdd)[index]
+
+    def shuffle(self, rdd: RDD, num_buckets: int,
+                bucket_fn: Callable[[Any], Any]) -> List[List[Any]]:
+        key = (rdd.rdd_id, num_buckets)
+        with self._shuffle_lock:
+            if key not in self._shuffles:
+                buckets: List[List[Any]] = [[] for _ in range(num_buckets)]
+                moved = 0
+                for part in self.all_partitions(rdd):
+                    for item in part:
+                        buckets[_hash_partition(bucket_fn(item),
+                                                num_buckets)].append(item)
+                        moved += 1
+                self._shuffles[key] = buckets
+                self.metrics.shuffles += 1
+                self.metrics.shuffle_records += moved
+        return self._shuffles[key]

@@ -1,0 +1,16 @@
+"""The bipartite investor→company investment graph (§5.1).
+
+Built by a Spark-style merge of the AngelList investments dataset with
+CrunchBase funding-round investor lists, deduplicated; investors with no
+investments are omitted, as in the paper.
+"""
+
+from repro.graph.bipartite import BipartiteGraph, DegreeConcentration
+from repro.graph.build import build_investor_graph, merge_investment_edges
+
+__all__ = [
+    "BipartiteGraph",
+    "DegreeConcentration",
+    "build_investor_graph",
+    "merge_investment_edges",
+]

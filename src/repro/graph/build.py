@@ -1,0 +1,45 @@
+"""Spark-style construction of the investor graph from crawled datasets.
+
+§5.1: "The extraction is done via a parallel Spark query that merges
+AngelList and CrunchBase data, and then generates as output a bipartite
+graph connecting investors and companies they invested in."
+
+AngelList contributes the investments users list on their profiles;
+CrunchBase contributes the per-round investor lists. The union is
+deduplicated into distinct ``(investor_id, company_id)`` edges.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.engine.context import SparkLiteContext
+from repro.graph.bipartite import BipartiteGraph
+
+
+def merge_investment_edges(sc: SparkLiteContext, dfs,
+                           angellist_root: str = "/crawl/angellist",
+                           crunchbase_dir: str = "/crawl/crunchbase/organizations",
+                           ) -> List[Tuple[int, int]]:
+    """The merge job; returns distinct (investor, company) edges."""
+    angellist_edges = (
+        sc.json_dataset(dfs, f"{angellist_root}/investments")
+        .map(lambda rec: (int(rec["investor_id"]), int(rec["company_id"]))))
+
+    crunchbase_edges = (
+        sc.json_dataset(dfs, crunchbase_dir)
+        .flat_map(lambda org: [
+            (int(investor_id), int(org["angellist_id"]))
+            for round_ in org.get("funding_rounds", [])
+            for investor_id in round_.get("investor_ids", [])]))
+
+    return angellist_edges.union(crunchbase_edges).distinct().collect()
+
+
+def build_investor_graph(sc: SparkLiteContext, dfs,
+                         angellist_root: str = "/crawl/angellist",
+                         crunchbase_dir: str = "/crawl/crunchbase/organizations",
+                         ) -> BipartiteGraph:
+    """Merged, deduplicated bipartite investment graph."""
+    edges = merge_investment_edges(sc, dfs, angellist_root, crunchbase_dir)
+    return BipartiteGraph(edges)

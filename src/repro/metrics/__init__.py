@@ -1,0 +1,53 @@
+"""The paper's community-strength metrics and distribution estimators.
+
+§5.3 defines two novel metrics, both implemented here exactly as the
+paper's toy examples (Figure 8) compute them:
+
+* **shared investment size** — for investors 1 and 2 with portfolios C1
+  and C2, the overlap ``|C1 ∩ C2|``; a community's strength is the mean
+  over all member pairs.
+* **shared-investor percentage** — the fraction of a community's
+  companies co-invested by at least K of its members.
+
+Plus the estimation machinery Figure 4/5 need: empirical CDFs, pair
+sampling, DKW/Glivenko–Cantelli confidence bounds, and a histogram/KDE
+PDF estimate.
+"""
+
+from repro.metrics.shared import (
+    average_shared_investment_size,
+    pairwise_shared_sizes,
+    sampled_shared_sizes,
+    shared_investment_size,
+    shared_investor_percentage,
+    community_strength,
+    CommunityStrength,
+)
+from repro.metrics.ecdf import EmpiricalCDF, estimate_pdf
+from repro.metrics.bounds import dkw_epsilon, dkw_sample_size
+from repro.metrics.significance import (
+    Chi2Result,
+    bootstrap_mean_ci,
+    chi_square_2x2,
+    odds_ratio,
+    wilson_interval,
+)
+
+__all__ = [
+    "average_shared_investment_size",
+    "pairwise_shared_sizes",
+    "sampled_shared_sizes",
+    "shared_investment_size",
+    "shared_investor_percentage",
+    "community_strength",
+    "CommunityStrength",
+    "EmpiricalCDF",
+    "estimate_pdf",
+    "dkw_epsilon",
+    "dkw_sample_size",
+    "Chi2Result",
+    "bootstrap_mean_ci",
+    "chi_square_2x2",
+    "odds_ratio",
+    "wilson_interval",
+]

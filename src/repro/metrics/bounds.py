@@ -1,0 +1,38 @@
+"""Dvoretzky–Kiefer–Wolfowitz / Glivenko–Cantelli confidence bounds.
+
+§5.3 of the paper invokes the Glivenko–Cantelli theorem to claim that
+with 800,000 sampled pairs, ``||F_n − F||∞ ≤ 0.0196`` with probability
+at least 99%. The sharp quantitative form of that statement is the DKW
+inequality::
+
+    P(sup_x |F_n(x) − F(x)| > ε) ≤ 2 exp(−2 n ε²)
+
+These helpers convert between (n, confidence) and ε. Note the paper's
+ε = 0.0196 is far *looser* than DKW requires at n = 800,000 (which gives
+ε ≈ 0.0018), so their claim holds a fortiori; EXPERIMENTS.md discusses
+the gap.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def dkw_epsilon(n: int, confidence: float = 0.99) -> float:
+    """The ε with ``P(||F_n − F||∞ ≤ ε) ≥ confidence`` at sample size n."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    delta = 1.0 - confidence
+    return math.sqrt(math.log(2.0 / delta) / (2.0 * n))
+
+
+def dkw_sample_size(epsilon: float, confidence: float = 0.99) -> int:
+    """The smallest n guaranteeing ``||F_n − F||∞ ≤ epsilon``."""
+    if epsilon <= 0:
+        raise ValueError(f"epsilon must be > 0, got {epsilon}")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    delta = 1.0 - confidence
+    return math.ceil(math.log(2.0 / delta) / (2.0 * epsilon ** 2))

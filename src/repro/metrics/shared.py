@@ -1,0 +1,109 @@
+"""The two §5.3 community-strength metrics.
+
+Verified against the paper's toy examples: Figure 8a scores
+(2+2+1)/3 = 1.67 and 100% at K=2; Figure 8b scores (1+0+0)/3 = 0.33
+and 25% at K=2.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Set
+
+from repro.util.rng import RngStream
+
+Portfolio = Mapping[int, Set[int]]  # investor id → set of company ids
+
+
+def shared_investment_size(portfolio_a: Set[int],
+                           portfolio_b: Set[int]) -> int:
+    """``|C1 ∩ C2|`` for one pair of investors."""
+    return len(portfolio_a & portfolio_b)
+
+
+def pairwise_shared_sizes(members: Sequence[int],
+                          portfolios: Portfolio) -> List[int]:
+    """Shared investment size for every pair of community members."""
+    sizes = []
+    for a, b in itertools.combinations(members, 2):
+        sizes.append(shared_investment_size(portfolios.get(a, set()),
+                                            portfolios.get(b, set())))
+    return sizes
+
+
+def average_shared_investment_size(members: Sequence[int],
+                                   portfolios: Portfolio) -> float:
+    """The community-strength score: mean shared size over member pairs."""
+    sizes = pairwise_shared_sizes(members, portfolios)
+    if not sizes:
+        return 0.0
+    return sum(sizes) / len(sizes)
+
+
+def sampled_shared_sizes(investors: Sequence[int], portfolios: Portfolio,
+                         num_pairs: int, rng: RngStream) -> List[int]:
+    """Shared sizes for ``num_pairs`` i.i.d. uniformly sampled pairs.
+
+    This is the paper's Figure 4 global baseline: 800,000 i.i.d. sample
+    pairs across the whole bipartite graph.
+    """
+    if len(investors) < 2:
+        return []
+    sizes = []
+    n = len(investors)
+    for _ in range(num_pairs):
+        i = rng.py.randrange(n)
+        j = rng.py.randrange(n - 1)
+        if j >= i:
+            j += 1
+        sizes.append(shared_investment_size(
+            portfolios.get(investors[i], set()),
+            portfolios.get(investors[j], set())))
+    return sizes
+
+
+def shared_investor_percentage(members: Sequence[int],
+                               portfolios: Portfolio,
+                               k: int = 2) -> float:
+    """Percentage of the community's companies with ≥ ``k`` member investors.
+
+    The denominator is every company invested in by *any* member (the
+    paper: "as a percentage over all companies invested by the
+    community"); returns a value in [0, 100].
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    counts: Dict[int, int] = {}
+    for member in members:
+        for company in portfolios.get(member, set()):
+            counts[company] = counts.get(company, 0) + 1
+    if not counts:
+        return 0.0
+    shared = sum(1 for c in counts.values() if c >= k)
+    return 100.0 * shared / len(counts)
+
+
+@dataclass
+class CommunityStrength:
+    """Both §5.3 metrics for one community."""
+
+    community_id: int
+    size: int
+    avg_shared_size: float
+    max_shared_size: int
+    shared_investor_pct: float
+
+
+def community_strength(community_id: int, members: Sequence[int],
+                       portfolios: Portfolio,
+                       k: int = 2) -> CommunityStrength:
+    """Evaluate one community on both metrics."""
+    sizes = pairwise_shared_sizes(members, portfolios)
+    return CommunityStrength(
+        community_id=community_id,
+        size=len(members),
+        avg_shared_size=(sum(sizes) / len(sizes)) if sizes else 0.0,
+        max_shared_size=max(sizes) if sizes else 0,
+        shared_investor_pct=shared_investor_percentage(members, portfolios, k),
+    )

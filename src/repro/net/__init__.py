@@ -1,0 +1,21 @@
+"""In-process simulated HTTP substrate.
+
+The paper's crawlers speak HTTP to four public APIs. Here every "server"
+is an in-process object and a request is a method call — but the interface
+preserves everything that shapes crawler design: status codes, retriable
+faults, latency, authentication headers, pagination, and rate-limit
+responses with ``Retry-After``. No real sockets are ever opened.
+"""
+
+from repro.net.http import Request, Response, Route, SimServer
+from repro.net.latency import LatencyModel
+from repro.net.faults import FaultPlan
+
+__all__ = [
+    "Request",
+    "Response",
+    "Route",
+    "SimServer",
+    "LatencyModel",
+    "FaultPlan",
+]

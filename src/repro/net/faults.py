@@ -1,0 +1,42 @@
+"""Deterministic fault injection for the simulated servers.
+
+A :class:`FaultPlan` decides, purely from the request index, whether a
+request fails with a transient 500/503. Crawlers must survive these via
+retry with backoff — the same discipline the paper's crawlers needed
+against real APIs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.util.rng import derive_seed
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Inject a transient error with probability ``p_error`` per request."""
+
+    p_error: float = 0.0
+    seed: int = 0
+
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        return cls(0.0)
+
+    @classmethod
+    def flaky(cls, p_error: float = 0.02, seed: int = 0) -> "FaultPlan":
+        if not 0.0 <= p_error < 1.0:
+            raise ValueError(f"p_error must be in [0, 1), got {p_error}")
+        return cls(p_error, seed)
+
+    def inject(self, request_index: int) -> Optional["Response"]:
+        from repro.net.http import Response  # local import: avoid cycle
+        if self.p_error <= 0.0:
+            return None
+        fraction = (derive_seed(self.seed, str(request_index)) % 100_000) / 100_000
+        if fraction < self.p_error:
+            status = 503 if fraction < self.p_error / 2 else 500
+            return Response.error(status, "simulated transient failure")
+        return None

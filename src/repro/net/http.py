@@ -1,0 +1,164 @@
+"""Request/response types and a tiny route-dispatching server base.
+
+Routes are template paths such as ``/1/startups/:id``; path parameters are
+extracted into ``request.path_params``. Handlers return a
+:class:`Response`. :class:`SimServer` applies its latency model and fault
+plan around every dispatch so crawler retry logic is exercised for real.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.net.faults import FaultPlan
+from repro.net.latency import LatencyModel
+from repro.util.clock import Clock, SimClock
+
+
+@dataclass
+class Request:
+    """A simulated HTTP request."""
+
+    method: str
+    path: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    path_params: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def token(self) -> Optional[str]:
+        """The bearer token, from header or ``access_token`` param."""
+        auth = self.headers.get("Authorization", "")
+        if auth.startswith("Bearer "):
+            return auth[len("Bearer "):]
+        value = self.params.get("access_token")
+        return str(value) if value is not None else None
+
+
+@dataclass
+class Response:
+    """A simulated HTTP response carrying a decoded JSON body."""
+
+    status: int
+    body: Any = None
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    @classmethod
+    def json(cls, body: Any, status: int = 200) -> "Response":
+        return cls(status=status, body=body)
+
+    @classmethod
+    def error(cls, status: int, message: str,
+              retry_after: Optional[float] = None) -> "Response":
+        headers = {}
+        if retry_after is not None:
+            headers["Retry-After"] = f"{retry_after:.3f}"
+        return cls(status=status, body={"error": message}, headers=headers)
+
+
+Handler = Callable[[Request], Response]
+
+
+@dataclass
+class Route:
+    """A method + template-path route, e.g. ``GET /1/startups/:id``."""
+
+    method: str
+    template: str
+    handler: Handler
+
+    def match(self, method: str, path: str) -> Optional[Dict[str, str]]:
+        """Return extracted path params if this route matches, else None."""
+        if method != self.method:
+            return None
+        tpl_parts = self.template.strip("/").split("/")
+        path_parts = path.strip("/").split("/")
+        if len(tpl_parts) != len(path_parts):
+            return None
+        extracted: Dict[str, str] = {}
+        for tpl, part in zip(tpl_parts, path_parts):
+            if tpl.startswith(":"):
+                extracted[tpl[1:]] = part
+            elif tpl != part:
+                return None
+        return extracted
+
+
+class SimServer:
+    """Base class for the simulated API servers.
+
+    Subclasses register routes in ``__init__`` via :meth:`route` and may
+    override :meth:`authorize` (token checks) and :meth:`throttle` (rate
+    limits). The dispatch order matches a real stack: fault injection,
+    then auth, then throttling, then the handler.
+    """
+
+    #: human-readable name used in error messages and crawl statistics.
+    name = "sim"
+
+    def __init__(self, clock: Optional[Clock] = None,
+                 latency: Optional[LatencyModel] = None,
+                 faults: Optional[FaultPlan] = None):
+        self.clock = clock or SimClock()
+        self.latency = latency or LatencyModel.zero()
+        self.faults = faults or FaultPlan.none()
+        self._routes: List[Route] = []
+        self.request_count = 0
+
+    def route(self, method: str, template: str, handler: Handler) -> None:
+        self._routes.append(Route(method, template, handler))
+
+    # -- hooks -------------------------------------------------------------
+    def authorize(self, request: Request) -> Optional[Response]:
+        """Return an error response to reject the request, or None."""
+        return None
+
+    def throttle(self, request: Request) -> Optional[Response]:
+        """Return a 429 response if the caller is over its rate limit."""
+        return None
+
+    # -- dispatch ----------------------------------------------------------
+    def handle(self, request: Request) -> Response:
+        """Dispatch a request through faults → auth → throttle → handler."""
+        self.request_count += 1
+        self.clock.sleep(self.latency.sample(self.request_count))
+        fault = self.faults.inject(self.request_count)
+        if fault is not None:
+            return fault
+        rejection = self.authorize(request)
+        if rejection is not None:
+            return rejection
+        throttled = self.throttle(request)
+        if throttled is not None:
+            return throttled
+        for candidate in self._routes:
+            extracted = candidate.match(request.method, request.path)
+            if extracted is not None:
+                request.path_params = extracted
+                return candidate.handler(request)
+        return Response.error(404, f"{self.name}: no route for "
+                                   f"{request.method} {request.path}")
+
+    def get(self, path: str, params: Optional[Dict[str, Any]] = None,
+            headers: Optional[Dict[str, str]] = None) -> Response:
+        """Convenience: dispatch a GET request."""
+        return self.handle(Request("GET", path, params or {}, headers or {}))
+
+    def post(self, path: str, params: Optional[Dict[str, Any]] = None,
+             headers: Optional[Dict[str, str]] = None) -> Response:
+        """Convenience: dispatch a POST request."""
+        return self.handle(Request("POST", path, params or {}, headers or {}))
+
+
+def paginate(items: List[Any], page: int, per_page: int) -> Tuple[List[Any], int]:
+    """Slice ``items`` for 1-indexed ``page``; returns (slice, last_page)."""
+    if page < 1:
+        raise ValueError(f"page must be >= 1, got {page}")
+    last_page = max(1, -(-len(items) // per_page))
+    start = (page - 1) * per_page
+    return items[start:start + per_page], last_page

@@ -1,0 +1,35 @@
+"""Deterministic per-request latency model for the simulated servers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.rng import derive_seed
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Base latency plus deterministic pseudo-random jitter (seconds).
+
+    Jitter is a pure function of the request index, so a rerun with the
+    same seed produces the identical latency sequence.
+    """
+
+    base: float = 0.0
+    jitter: float = 0.0
+    seed: int = 0
+
+    @classmethod
+    def zero(cls) -> "LatencyModel":
+        return cls(0.0, 0.0)
+
+    @classmethod
+    def typical(cls, seed: int = 0) -> "LatencyModel":
+        """Roughly what a public API round trip looked like: ~120 ms."""
+        return cls(base=0.08, jitter=0.08, seed=seed)
+
+    def sample(self, request_index: int) -> float:
+        if self.jitter <= 0:
+            return self.base
+        fraction = (derive_seed(self.seed, str(request_index)) % 10_000) / 10_000
+        return self.base + self.jitter * fraction

@@ -1,0 +1,37 @@
+"""Simulated public APIs for the four data sources the paper crawled.
+
+Each server exposes the subset of endpoints the paper's crawlers used,
+with the real services' authentication and throttling behaviour:
+
+* :class:`AngelListServer` — startup/user profiles, follower and following
+  lists, investments; the public listing endpoint only returns *currently
+  fundraising* startups, which is why the paper needs a BFS crawl.
+* :class:`CrunchBaseServer` — organization lookups by permalink and a
+  name-search endpoint used when AngelList lacks a CrunchBase URL.
+* :class:`FacebookServer` — a Graph-API-style page endpoint behind an
+  OAuth dance: short-lived tokens must be exchanged for long-lived ones.
+* :class:`TwitterServer` — a REST-style ``users/show`` endpoint limited to
+  180 calls per 15-minute window per token, with at most five app tokens
+  per registered account (the constraint that forced the paper to spread
+  crawling across machines).
+
+:class:`SourceHub` wires all four over one shared simulated clock.
+"""
+
+from repro.sources.base import ApiToken, FixedWindowLimiter, TokenRegistry
+from repro.sources.angellist import AngelListServer
+from repro.sources.crunchbase import CrunchBaseServer
+from repro.sources.facebook import FacebookServer
+from repro.sources.twitter import TwitterServer
+from repro.sources.hub import SourceHub
+
+__all__ = [
+    "ApiToken",
+    "FixedWindowLimiter",
+    "TokenRegistry",
+    "AngelListServer",
+    "CrunchBaseServer",
+    "FacebookServer",
+    "TwitterServer",
+    "SourceHub",
+]

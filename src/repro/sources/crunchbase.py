@@ -1,0 +1,106 @@
+"""Simulated CrunchBase API.
+
+Two endpoints, matching the paper's one-time augmentation pass (§3):
+
+* ``GET /v3/organizations/:permalink`` — full organization record with
+  funding rounds (the authoritative fundraising-success signal).
+* ``GET /v3/organizations?name=...`` — name search, used when the
+  AngelList profile does not link a CrunchBase URL. Returns all matches;
+  the augmenter only accepts a *unique* result, as in the paper.
+
+Auth: a ``user_key`` query parameter (CrunchBase's scheme). Rate limit is
+generous (the paper notes CrunchBase data changes slowly).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.net.http import Request, Response, SimServer
+from repro.net.faults import FaultPlan
+from repro.net.latency import LatencyModel
+from repro.sources.base import FixedWindowLimiter, TokenRegistry
+from repro.util.clock import Clock
+from repro.world.generator import World
+
+RATE_LIMIT = 5000
+RATE_WINDOW = 3600.0
+
+
+def normalize_name(name: str) -> str:
+    """Lowercase, collapse whitespace — the search key CrunchBase uses."""
+    return " ".join(name.lower().split())
+
+
+class CrunchBaseServer(SimServer):
+    """Serves CrunchBase organization records for companies in the world."""
+
+    name = "crunchbase"
+
+    def __init__(self, world: World, clock: Optional[Clock] = None,
+                 latency: Optional[LatencyModel] = None,
+                 faults: Optional[FaultPlan] = None):
+        super().__init__(clock=clock, latency=latency, faults=faults)
+        self.world = world
+        self.tokens = TokenRegistry("cb", self.clock)
+        self.limiter = FixedWindowLimiter(RATE_LIMIT, RATE_WINDOW, self.clock)
+
+        self._by_permalink: Dict[str, int] = {}
+        self._by_name: Dict[str, List[int]] = {}
+        for cid, company in world.companies.items():
+            if company.crunchbase_id is None:
+                continue
+            self._by_permalink[company.slug] = cid
+            self._by_name.setdefault(normalize_name(company.name), []).append(cid)
+
+        self.route("GET", "/v3/organizations", self._search)
+        self.route("GET", "/v3/organizations/:permalink", self._get_org)
+
+    def issue_key(self, label: str = "crawler") -> str:
+        return self.tokens.issue(label).value
+
+    def authorize(self, request: Request) -> Optional[Response]:
+        key = request.params.get("user_key")
+        if self.tokens.lookup(key) is None:
+            return Response.error(401, "missing or invalid user_key")
+        return None
+
+    def throttle(self, request: Request) -> Optional[Response]:
+        retry_after = self.limiter.check(str(request.params.get("user_key")))
+        if retry_after is not None:
+            return Response.error(429, "rate limit exceeded",
+                                  retry_after=retry_after)
+        return None
+
+    @property
+    def organization_count(self) -> int:
+        return len(self._by_permalink)
+
+    def _org_json(self, cid: int) -> Dict:
+        company = self.world.companies[cid]
+        rounds = [r.to_json() for r in company.rounds]
+        return {
+            "permalink": company.slug,
+            "name": company.name,
+            "total_funding_usd": sum(r.amount_usd for r in company.rounds),
+            "funding_rounds": rounds,
+            "num_funding_rounds": len(rounds),
+            "angellist_id": company.company_id,
+        }
+
+    def _get_org(self, request: Request) -> Response:
+        permalink = request.path_params.get("permalink", "")
+        cid = self._by_permalink.get(permalink)
+        if cid is None:
+            return Response.error(404, f"organization {permalink!r} not found")
+        return Response.json({"data": self._org_json(cid)})
+
+    def _search(self, request: Request) -> Response:
+        query = request.params.get("name")
+        if not query:
+            return Response.error(400, "name parameter is required")
+        matches = self._by_name.get(normalize_name(str(query)), [])
+        items = [{"permalink": self.world.companies[cid].slug,
+                  "name": self.world.companies[cid].name}
+                 for cid in matches]
+        return Response.json({"items": items, "total": len(items)})

@@ -1,0 +1,96 @@
+"""Simulated Facebook Graph API.
+
+Reproduces the auth dance §3 describes: the crawler logs in (client
+credentials) for a *short-lived* token, then exchanges it for a
+*long-lived* one "through certain procedures including creating a
+Facebook App". Short-lived tokens expire after two simulated hours —
+a crawler that skips the exchange stalls mid-crawl with 401s.
+
+Endpoint: ``GET /:page_slug?access_token=...`` returns the page document
+(fan count, location, post count, recent posts).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.net.http import Request, Response, SimServer
+from repro.net.faults import FaultPlan
+from repro.net.latency import LatencyModel
+from repro.sources.base import FixedWindowLimiter, TokenRegistry
+from repro.util.clock import Clock
+from repro.world.generator import World
+
+SHORT_TTL = 2 * 3600.0
+LONG_TTL = 60 * 24 * 3600.0
+RATE_LIMIT = 4800
+RATE_WINDOW = 3600.0
+
+
+class FacebookServer(SimServer):
+    """Serves Facebook pages for companies that have one."""
+
+    name = "facebook"
+
+    def __init__(self, world: World, clock: Optional[Clock] = None,
+                 latency: Optional[LatencyModel] = None,
+                 faults: Optional[FaultPlan] = None):
+        super().__init__(clock=clock, latency=latency, faults=faults)
+        self.world = world
+        self.tokens = TokenRegistry("fb", self.clock)
+        self.limiter = FixedWindowLimiter(RATE_LIMIT, RATE_WINDOW, self.clock)
+        self._by_slug: Dict[str, int] = {}
+        for page in world.facebook_pages.values():
+            company = world.companies[page.company_id]
+            self._by_slug[company.slug] = page.page_id
+
+        self.route("POST", "/oauth/access_token", self._login)
+        self.route("GET", "/oauth/exchange", self._exchange)
+        self.route("GET", "/pg/:slug", self._get_page)
+
+    # -- oauth -----------------------------------------------------------------
+    def _login(self, request: Request) -> Response:
+        if not request.params.get("app_id") or not request.params.get("app_secret"):
+            return Response.error(400, "app_id and app_secret are required")
+        token = self.tokens.issue("short-lived", ttl=SHORT_TTL)
+        return Response.json({"access_token": token.value,
+                              "token_type": "bearer",
+                              "expires_in": SHORT_TTL})
+
+    def _exchange(self, request: Request) -> Response:
+        short = self.tokens.lookup(request.params.get("fb_exchange_token"))
+        if short is None:
+            return Response.error(401, "cannot exchange an invalid token")
+        long_token = self.tokens.issue("long-lived", ttl=LONG_TTL)
+        self.tokens.revoke(short.value)
+        return Response.json({"access_token": long_token.value,
+                              "token_type": "bearer",
+                              "expires_in": LONG_TTL})
+
+    def authorize(self, request: Request) -> Optional[Response]:
+        if request.path.startswith("/oauth/"):
+            return None
+        if self.tokens.lookup(request.token) is None:
+            return Response.error(401, "invalid or expired access token")
+        return None
+
+    def throttle(self, request: Request) -> Optional[Response]:
+        if request.path.startswith("/oauth/"):
+            return None
+        retry_after = self.limiter.check(request.token or "")
+        if retry_after is not None:
+            return Response.error(429, "application request limit reached",
+                                  retry_after=retry_after)
+        return None
+
+    # -- pages -------------------------------------------------------------------
+    @property
+    def page_count(self) -> int:
+        return len(self._by_slug)
+
+    def _get_page(self, request: Request) -> Response:
+        slug = request.path_params.get("slug", "")
+        page_id = self._by_slug.get(slug)
+        if page_id is None:
+            return Response.error(404, f"page {slug!r} not found")
+        return Response.json(self.world.facebook_pages[page_id].to_json())

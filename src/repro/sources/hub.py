@@ -1,0 +1,47 @@
+"""One-stop construction of all four simulated sources over a shared clock."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.net.faults import FaultPlan
+from repro.net.latency import LatencyModel
+from repro.sources.angellist import AngelListServer
+from repro.sources.crunchbase import CrunchBaseServer
+from repro.sources.facebook import FacebookServer
+from repro.sources.twitter import TwitterServer
+from repro.util.clock import Clock, SimClock
+from repro.world.generator import World
+
+
+@dataclass
+class SourceHub:
+    """The four simulated services plus the clock they all share."""
+
+    clock: Clock
+    angellist: AngelListServer
+    crunchbase: CrunchBaseServer
+    facebook: FacebookServer
+    twitter: TwitterServer
+
+    @classmethod
+    def from_world(cls, world: World, clock: Optional[Clock] = None,
+                   latency: Optional[LatencyModel] = None,
+                   faults: Optional[FaultPlan] = None) -> "SourceHub":
+        """Build all servers over ``world`` with shared clock/latency/faults."""
+        clock = clock or SimClock()
+        latency = latency or LatencyModel.zero()
+        faults = faults or FaultPlan.none()
+        return cls(
+            clock=clock,
+            angellist=AngelListServer(world, clock, latency, faults),
+            crunchbase=CrunchBaseServer(world, clock, latency, faults),
+            facebook=FacebookServer(world, clock, latency, faults),
+            twitter=TwitterServer(world, clock, latency, faults),
+        )
+
+    @property
+    def total_requests(self) -> int:
+        return (self.angellist.request_count + self.crunchbase.request_count
+                + self.facebook.request_count + self.twitter.request_count)

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so callers can catch one base type at platform
+boundaries while still distinguishing failure modes.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is missing, malformed, or inconsistent."""
+
+
+class CrawlError(ReproError):
+    """A crawl operation failed after exhausting its retry budget."""
+
+
+class RateLimitExceeded(CrawlError):
+    """A simulated API rejected a request because its rate limit was hit.
+
+    Attributes:
+        retry_after: seconds (simulated) until the limit window resets.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.0):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class AuthError(CrawlError):
+    """An access token was missing, expired, or invalid."""
+
+
+class NotFoundError(ReproError):
+    """A requested entity, file, or path does not exist."""
+
+
+class StorageError(ReproError):
+    """The DFS rejected an operation (bad path, missing block, etc.)."""
+
+
+class EngineError(ReproError):
+    """The dataflow engine failed to plan or execute a job."""

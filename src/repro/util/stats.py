@@ -1,0 +1,77 @@
+"""Small numeric helpers shared across analyses.
+
+These are deliberately tiny wrappers over numpy with input validation and
+edge-case handling; the heavier statistical machinery (ECDF, DKW bounds)
+lives in :mod:`repro.metrics`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence (a count-weighted sum)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return 0.0
+    return float(arr.mean())
+
+
+def median(values: Sequence[float]) -> float:
+    """Median; raises ``ValueError`` on empty input (no sensible default)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("median of empty sequence is undefined")
+    return float(np.median(arr))
+
+
+def quantile(values: Sequence[float], q: float) -> float:
+    """The ``q``-quantile with linear interpolation, ``q`` in [0, 1]."""
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("quantile of empty sequence is undefined")
+    return float(np.quantile(arr, q))
+
+
+def describe(values: Sequence[float]) -> Dict[str, float]:
+    """Summary statistics: count/mean/median/min/max/p90/p99."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return {"count": 0, "mean": 0.0, "median": 0.0, "min": 0.0,
+                "max": 0.0, "p90": 0.0, "p99": 0.0}
+    return {
+        "count": int(arr.size),
+        "mean": float(arr.mean()),
+        "median": float(np.median(arr)),
+        "min": float(arr.min()),
+        "max": float(arr.max()),
+        "p90": float(np.quantile(arr, 0.90)),
+        "p99": float(np.quantile(arr, 0.99)),
+    }
+
+
+def weighted_choice_index(weights: Sequence[float], draw: float) -> int:
+    """Map a uniform draw in [0, 1) to an index proportional to ``weights``.
+
+    Used where callers hold a ``random.Random`` and want a choice without
+    building a numpy Generator.
+    """
+    total = float(sum(weights))
+    if total <= 0:
+        raise ValueError("weights must sum to a positive value")
+    if not 0.0 <= draw < 1.0:
+        raise ValueError(f"draw must be in [0, 1), got {draw}")
+    threshold = draw * total
+    cumulative = 0.0
+    for index, weight in enumerate(weights):
+        if weight < 0:
+            raise ValueError("weights must be non-negative")
+        cumulative += weight
+        if threshold < cumulative:
+            return index
+    return len(weights) - 1

@@ -1,0 +1,31 @@
+"""A small context-manager timer used by benchmarks and crawl statistics."""
+
+from __future__ import annotations
+
+import time
+
+
+class Timer:
+    """Measures wall-clock elapsed seconds as a context manager.
+
+    Example:
+        >>> with Timer() as t:
+        ...     _ = sum(range(1000))
+        >>> t.elapsed >= 0.0
+        True
+    """
+
+    def __init__(self):
+        self._start = 0.0
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+    def restart(self) -> None:
+        self._start = time.perf_counter()
+        self.elapsed = 0.0

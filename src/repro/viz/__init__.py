@@ -1,0 +1,29 @@
+"""Visualization without external plotting dependencies.
+
+Figure 7 of the paper is an igraph force-directed drawing of one strong
+and one weak community (blue investors, red companies). igraph and
+matplotlib are unavailable offline, so this package provides:
+
+* :func:`fruchterman_reingold` — a from-scratch force-directed layout;
+* :func:`bipartite_layout` — two-column layout alternative;
+* :class:`SvgCanvas` / :func:`render_community_svg` — dependency-free
+  SVG output reproducing Figure 7's visual encoding;
+* ASCII charts (:func:`ascii_cdf`, :func:`ascii_histogram`,
+  :func:`ascii_table`) used by the examples and benchmark harnesses to
+  print figure-shaped output in a terminal.
+"""
+
+from repro.viz.layout import bipartite_layout, fruchterman_reingold
+from repro.viz.svg import SvgCanvas, render_community_svg
+from repro.viz.ascii import ascii_cdf, ascii_histogram, ascii_series, ascii_table
+
+__all__ = [
+    "bipartite_layout",
+    "fruchterman_reingold",
+    "SvgCanvas",
+    "render_community_svg",
+    "ascii_cdf",
+    "ascii_histogram",
+    "ascii_series",
+    "ascii_table",
+]

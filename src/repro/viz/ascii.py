@@ -1,0 +1,82 @@
+"""Terminal charts used by examples and benchmark harnesses.
+
+These render figure-shaped output (CDF curves, PDF histograms, summary
+tables) as plain text so every paper artifact can be eyeballed without a
+plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def ascii_series(xs: Sequence[float], ys: Sequence[float],
+                 width: int = 64, height: int = 16,
+                 x_label: str = "x", y_label: str = "y") -> str:
+    """A scatter/line chart of (xs, ys) on a character grid."""
+    xs = np.asarray(list(xs), dtype=np.float64)
+    ys = np.asarray(list(ys), dtype=np.float64)
+    if xs.size == 0:
+        return "(empty series)"
+    x_lo, x_hi = float(xs.min()), float(xs.max())
+    y_lo, y_hi = float(ys.min()), float(ys.max())
+    x_span = max(1e-12, x_hi - x_lo)
+    y_span = max(1e-12, y_hi - y_lo)
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        col = int((x - x_lo) / x_span * (width - 1))
+        row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+        grid[row][col] = "*"
+    lines = [f"{y_hi:>10.3g} ┤" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{y_lo:>10.3g} ┤" + "".join(grid[-1]))
+    lines.append(" " * 12 + "└" + "─" * width)
+    lines.append(" " * 12 + f"{x_lo:<.3g}{' ' * max(1, width - 12)}{x_hi:.3g}")
+    lines.append(f"   y: {y_label}   x: {x_label}")
+    return "\n".join(lines)
+
+
+def ascii_cdf(values: Sequence[float], width: int = 64, height: int = 16,
+              label: str = "value") -> str:
+    """The empirical CDF of ``values`` as a step chart."""
+    arr = np.sort(np.asarray(list(values), dtype=np.float64))
+    if arr.size == 0:
+        return "(empty sample)"
+    xs, counts = np.unique(arr, return_counts=True)
+    ys = np.cumsum(counts) / arr.size
+    return ascii_series(xs, ys, width=width, height=height,
+                        x_label=label, y_label="F(x)")
+
+
+def ascii_histogram(values: Sequence[float], bins: int = 12,
+                    width: int = 48, label: str = "value") -> str:
+    """A horizontal-bar histogram (Figure 5's PDF shape)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return "(empty sample)"
+    counts, edges = np.histogram(arr, bins=bins)
+    peak = max(1, counts.max())
+    lines = []
+    for count, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        bar = "█" * int(round(width * count / peak))
+        lines.append(f"{lo:>9.3g} – {hi:<9.3g} │{bar} {count}")
+    lines.append(f"(n={arr.size}, {label})")
+    return "\n".join(lines)
+
+
+def ascii_table(headers: Sequence[str],
+                rows: Sequence[Sequence[object]]) -> str:
+    """A column-aligned text table (Figure 6's layout)."""
+    table = [list(map(str, headers))] + [list(map(str, r)) for r in rows]
+    widths = [max(len(row[i]) for row in table)
+              for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(table):
+        lines.append("  ".join(cell.ljust(width)
+                               for cell, width in zip(row, widths)).rstrip())
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)

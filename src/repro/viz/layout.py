@@ -1,0 +1,75 @@
+"""Graph layouts implemented from scratch (numpy only)."""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Sequence, Tuple
+
+import numpy as np
+
+from repro.util.rng import RngStream
+
+Position = Tuple[float, float]
+
+
+def fruchterman_reingold(nodes: Sequence[Hashable],
+                         edges: Sequence[Tuple[Hashable, Hashable]],
+                         iterations: int = 120,
+                         seed: int = 0,
+                         size: float = 1.0) -> Dict[Hashable, Position]:
+    """Force-directed layout (Fruchterman & Reingold, 1991).
+
+    Repulsion ``k²/d`` between all pairs, attraction ``d²/k`` along
+    edges, with a linearly cooling temperature. O(n²) per iteration —
+    meant for community-sized subgraphs (Figure 7), not the full graph.
+    """
+    node_list = list(nodes)
+    n = len(node_list)
+    if n == 0:
+        return {}
+    index = {node: i for i, node in enumerate(node_list)}
+    rng = RngStream(seed, "layout")
+    pos = rng.np.random((n, 2)) * size
+    if n == 1:
+        return {node_list[0]: (float(pos[0, 0]), float(pos[0, 1]))}
+
+    edge_idx = np.array([(index[a], index[b]) for a, b in edges
+                         if a in index and b in index], dtype=np.int64)
+    k = size * np.sqrt(1.0 / n)
+    temperature = 0.1 * size
+    cooling = temperature / (iterations + 1)
+
+    for _ in range(iterations):
+        delta = pos[:, None, :] - pos[None, :, :]          # (n, n, 2)
+        distance = np.maximum(0.01 * k, np.linalg.norm(delta, axis=2))
+        repulsion = (k * k) / distance ** 2                # (n, n)
+        displacement = (delta * repulsion[:, :, None]).sum(axis=1)
+        if edge_idx.size:
+            src, dst = edge_idx[:, 0], edge_idx[:, 1]
+            edge_delta = pos[src] - pos[dst]
+            edge_dist = np.maximum(0.01 * k,
+                                   np.linalg.norm(edge_delta, axis=1))
+            pull = (edge_delta / edge_dist[:, None]) * (
+                edge_dist ** 2 / k)[:, None]
+            np.add.at(displacement, src, -pull)
+            np.add.at(displacement, dst, pull)
+        length = np.maximum(1e-9, np.linalg.norm(displacement, axis=1))
+        capped = np.minimum(length, temperature)
+        pos += displacement / length[:, None] * capped[:, None]
+        temperature = max(1e-4 * size, temperature - cooling)
+
+    pos -= pos.min(axis=0)
+    span = np.maximum(1e-9, pos.max(axis=0))
+    pos = pos / span * size
+    return {node: (float(x), float(y))
+            for node, (x, y) in zip(node_list, pos)}
+
+
+def bipartite_layout(left: Sequence[Hashable], right: Sequence[Hashable],
+                     size: float = 1.0) -> Dict[Hashable, Position]:
+    """Two-column layout: ``left`` nodes at x=0, ``right`` at x=size."""
+    positions: Dict[Hashable, Position] = {}
+    for column, nodes in ((0.0, list(left)), (size, list(right))):
+        count = max(1, len(nodes) - 1)
+        for i, node in enumerate(nodes):
+            positions[node] = (column, size * i / count if count else 0.0)
+    return positions

@@ -1,0 +1,92 @@
+"""Minimal SVG rendering for community visualizations (Figure 7)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.viz.layout import Position, fruchterman_reingold
+
+INVESTOR_COLOR = "#2b6cb0"   # blue, as in the paper
+COMPANY_COLOR = "#c53030"    # red
+
+
+class SvgCanvas:
+    """Accumulates SVG elements and serializes the document."""
+
+    def __init__(self, width: int = 640, height: int = 640,
+                 background: str = "#ffffff"):
+        self.width = width
+        self.height = height
+        self._elements = [
+            f'<rect width="{width}" height="{height}" fill="{background}"/>']
+
+    def line(self, x1: float, y1: float, x2: float, y2: float,
+             color: str = "#999999", width: float = 1.0,
+             opacity: float = 0.6) -> None:
+        self._elements.append(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}" '
+            f'stroke="{color}" stroke-width="{width}" '
+            f'stroke-opacity="{opacity}"/>')
+
+    def circle(self, x: float, y: float, radius: float,
+               color: str, title: Optional[str] = None) -> None:
+        body = (f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{radius:.1f}" '
+                f'fill="{color}">')
+        if title:
+            body += f"<title>{title}</title>"
+        body += "</circle>"
+        self._elements.append(body)
+
+    def text(self, x: float, y: float, content: str,
+             font_size: int = 14, color: str = "#333333") -> None:
+        self._elements.append(
+            f'<text x="{x:.1f}" y="{y:.1f}" font-size="{font_size}" '
+            f'fill="{color}" font-family="sans-serif">{content}</text>')
+
+    def to_svg(self) -> str:
+        header = (f'<svg xmlns="http://www.w3.org/2000/svg" '
+                  f'width="{self.width}" height="{self.height}">')
+        return header + "".join(self._elements) + "</svg>"
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_svg())
+
+
+def render_community_svg(investors: Sequence[int],
+                         edges: Sequence[Tuple[int, int]],
+                         title: str = "",
+                         width: int = 640, height: int = 640,
+                         seed: int = 0) -> str:
+    """Figure 7-style drawing: blue investors, red companies.
+
+    ``edges`` are (investor_id, company_id) pairs restricted to the
+    community being drawn; companies are inferred from the edges.
+    """
+    investor_nodes = [("i", uid) for uid in investors]
+    company_ids = sorted({c for _u, c in edges})
+    company_nodes = [("c", cid) for cid in company_ids]
+    nodes = investor_nodes + company_nodes
+    typed_edges = [(("i", u), ("c", c)) for u, c in edges]
+    layout = fruchterman_reingold(nodes, typed_edges, seed=seed)
+
+    margin = 40.0
+    span_x, span_y = width - 2 * margin, height - 2 * margin
+
+    def place(node) -> Position:
+        x, y = layout[node]
+        return margin + x * span_x, margin + y * span_y
+
+    canvas = SvgCanvas(width, height)
+    for a, b in typed_edges:
+        (x1, y1), (x2, y2) = place(a), place(b)
+        canvas.line(x1, y1, x2, y2)
+    for node in investor_nodes:
+        x, y = place(node)
+        canvas.circle(x, y, 6.0, INVESTOR_COLOR, title=f"investor {node[1]}")
+    for node in company_nodes:
+        x, y = place(node)
+        canvas.circle(x, y, 5.0, COMPANY_COLOR, title=f"company {node[1]}")
+    if title:
+        canvas.text(margin, margin / 2, title)
+    return canvas.to_svg()

@@ -1,0 +1,36 @@
+"""Synthetic crowdfunding ecosystem.
+
+This package is the substitute for the live AngelList / CrunchBase /
+Facebook / Twitter sites the paper crawled (see DESIGN.md §2). It generates
+a ground-truth world — companies, users, follow edges, investments with
+planted investor communities, social-media accounts, funding rounds —
+calibrated to every population statistic the paper reports, at a
+configurable scale. The simulated APIs in :mod:`repro.sources` serve views
+of this world; the crawlers never touch it directly.
+"""
+
+from repro.world.config import CalibrationParams, WorldConfig
+from repro.world.entities import (
+    Company,
+    FacebookPage,
+    FundingRound,
+    Investment,
+    TwitterProfile,
+    User,
+)
+from repro.world.generator import World, generate_world
+from repro.world.dynamics import WorldDynamics
+
+__all__ = [
+    "CalibrationParams",
+    "WorldConfig",
+    "Company",
+    "FacebookPage",
+    "FundingRound",
+    "Investment",
+    "TwitterProfile",
+    "User",
+    "World",
+    "generate_world",
+    "WorldDynamics",
+]

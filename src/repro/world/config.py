@@ -1,0 +1,154 @@
+"""Configuration for the synthetic world generator.
+
+Every constant here is traceable to a number reported in the paper; the
+comment on each field cites the section it calibrates against. ``scale``
+shrinks the population (paper scale = 1.0) while preserving distributional
+shape, so a laptop run reproduces the same analyses in seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.errors import ConfigError
+
+#: Population sizes reported in §3 of the paper.
+PAPER_NUM_COMPANIES = 744_036
+PAPER_NUM_USERS = 1_109_441
+PAPER_NUM_CRUNCHBASE = 10_156
+
+
+@dataclass
+class CalibrationParams:
+    """Latent-quality model parameters (see DESIGN.md §5).
+
+    Success is drawn from a logistic model over social presence, demo
+    video, and a per-company engagement latent; engagement metrics (likes,
+    tweets, followers) are lognormal with the same latent. The defaults
+    were tuned numerically so the Figure 6 conditional success rates
+    emerge from the joint distribution rather than being looked up.
+    """
+
+    # --- social presence marginals (Figure 6, column 2) ---
+    p_facebook: float = 0.0507          # 37,762 / 744,036
+    p_twitter_given_fb: float = 0.8620  # so that P(fb ∧ tw) = 4.37%
+    p_twitter_given_no_fb: float = 0.0538  # so that P(tw) = 9.48%
+    p_video_given_social: float = 0.35  # overall video rate 4.88%
+    p_video_given_no_social: float = 0.0148
+
+    # --- success logistic (Figure 6, column 3) ---
+    # Constants below were fit by tools/tune_calibration.py (random search
+    # against the 11 Figure 6 rows; final relative-error score 0.021).
+    success_base: float = -5.5575        # no-social success ≈ 0.4%
+    success_fb: float = 2.3387
+    success_tw: float = 2.5042
+    success_both_penalty: float = -1.6313  # diminishing returns of both
+    success_video: float = 0.7762         # video row ≈ 10.4% vs 0.9%
+    success_engagement: float = 0.6694    # >median splits: 18 / 14.7 / 15.2 / 22.2
+
+    # --- engagement metric lognormals (medians from Figure 6) ---
+    likes_log_median: float = 6.48      # e^6.48 ≈ 652 likes
+    likes_log_sigma: float = 1.7
+    tweets_log_median: float = 5.84     # e^5.84 ≈ 343 tweets
+    tweets_log_sigma: float = 1.6
+    tw_followers_log_median: float = 5.83  # e^5.83 ≈ 339 followers
+    tw_followers_log_sigma: float = 1.8
+    engagement_metric_coupling: float = 0.8953  # latent → log-metric loading
+
+    # --- investor behaviour (§3, §5.1) ---
+    investor_fraction: float = 0.043    # 47,345 / 1,109,441
+    founder_fraction: float = 0.183
+    employee_fraction: float = 0.442
+    active_investor_fraction: float = 0.992  # 46,966 / 47,345 make ≥1 investment
+    investments_zipf_alpha: float = 1.98  # mean ≈ 3.3, median 1 after truncation
+    global_popularity_alpha: float = 0.55  # spread of non-herd investments
+    investments_max: int = 1000         # "most active investor ≈ 1000" (§3)
+    mean_follows: float = 247.0         # per investor (§3)
+    follows_zipf_alpha: float = 0.9
+
+    # --- planted investor communities (§5.2/§5.3) ---
+    num_communities: int = 96           # CoDA found 96
+    community_size_mean: float = 190.2  # average community size
+    community_size_sigma: float = 0.9   # lognormal spread
+    herd_strength_strong: float = 0.95  # strongest communities
+    herd_strength_weak: float = 0.04
+    strong_community_fraction: float = 0.25
+    membership_size_bias: float = 0.3   # whale weighting when joining
+    p_syndicate_disclosed: float = 0.6  # investors listing their syndicate
+    community_pool_factor: float = 1.6  # hot-list companies per member
+    pool_weight_alpha: float = 0.55     # concentration within a pool
+    p_invest_in_community_pool: float = 1.0  # scales every herd strength
+
+    # --- company-side investment targets (§5.1) ---
+    invested_company_fraction: float = 0.0806  # 59,953 / 744,036
+    investors_per_company_mean: float = 2.64   # 158,199 / 59,953
+
+
+@dataclass
+class WorldConfig:
+    """Top-level knobs for :func:`repro.world.generate_world`."""
+
+    scale: float = 1.0 / 16.0
+    seed: int = 20160626  # ExploreDB'16 opening day
+    params: CalibrationParams = field(default_factory=CalibrationParams)
+    #: fraction of AngelList companies that also have a CrunchBase profile
+    #: *with funding data* beyond what AngelList shows (§3: 10,156 / 744,036
+    #: were used for augmentation, but every successful company must be
+    #: discoverable via CrunchBase for the success column to be computable).
+    crunchbase_extra_fraction: float = 0.003
+    #: probability an AngelList profile links its CrunchBase URL directly
+    #: (the rest must be found by the name-search fallback in the augmenter).
+    p_crunchbase_url_on_angellist: float = 0.6
+    #: fraction of currently fundraising companies (the public AngelList
+    #: listing endpoint returns only these; §3 says "about 4000" ≈ 0.54%).
+    p_currently_raising: float = 0.0054
+
+    def __post_init__(self) -> None:
+        if not 0 < self.scale <= 1.0:
+            raise ConfigError(f"scale must be in (0, 1], got {self.scale}")
+
+    @property
+    def num_companies(self) -> int:
+        return max(50, int(round(PAPER_NUM_COMPANIES * self.scale)))
+
+    @property
+    def num_users(self) -> int:
+        return max(80, int(round(PAPER_NUM_USERS * self.scale)))
+
+    @property
+    def num_communities(self) -> int:
+        """Community count shrinks with sqrt(scale) so sizes stay meaningful."""
+        return max(6, int(round(self.params.num_communities * self.scale ** 0.5)))
+
+    @property
+    def community_size_mean(self) -> float:
+        return max(8.0, self.params.community_size_mean * self.scale ** 0.5)
+
+    @property
+    def mean_follows(self) -> float:
+        """Follow fan-out shrinks with sqrt(scale) to keep the graph sparse."""
+        return max(8.0, self.params.mean_follows * self.scale ** 0.5)
+
+    @property
+    def investments_max(self) -> int:
+        return max(20, int(round(self.params.investments_max * self.scale ** 0.5)))
+
+    @classmethod
+    def tiny(cls, seed: int = 7) -> "WorldConfig":
+        """A few-thousand-entity world for unit tests (< 1 s to build)."""
+        return cls(scale=0.003, seed=seed)
+
+    @classmethod
+    def small(cls, seed: int = 7) -> "WorldConfig":
+        """~1/80 scale: big enough for stable statistics, quick to build."""
+        return cls(scale=0.0125, seed=seed)
+
+    @classmethod
+    def default(cls, seed: int = 20160626) -> "WorldConfig":
+        """The benchmark scale: 1/16 of the paper's crawl."""
+        return cls(scale=1.0 / 16.0, seed=seed)
+
+    @classmethod
+    def paper(cls, seed: int = 20160626) -> "WorldConfig":
+        """Full paper scale (744k companies); needs several GB of RAM."""
+        return cls(scale=1.0, seed=seed)

@@ -1,0 +1,41 @@
+"""Shared fixtures.
+
+The expensive artifacts (a generated world, a fully crawled platform)
+are session-scoped: the tiny world builds in well under a second and
+many test modules read from it without mutating it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.platform import ExploratoryPlatform
+from repro.graph.bipartite import BipartiteGraph
+from repro.world.config import WorldConfig
+from repro.world.generator import World, generate_world
+
+
+@pytest.fixture(scope="session")
+def tiny_world() -> World:
+    """A ~2k-company world; read-only for all tests."""
+    return generate_world(WorldConfig.tiny(seed=11))
+
+
+@pytest.fixture(scope="session")
+def crawled_platform(tiny_world) -> ExploratoryPlatform:
+    """A platform that has already run the full §3 crawl; read-only."""
+    platform = ExploratoryPlatform(tiny_world)
+    platform.run_full_crawl()
+    yield platform
+    platform.close()
+
+
+@pytest.fixture(scope="session")
+def investor_graph(crawled_platform) -> BipartiteGraph:
+    return crawled_platform.investor_graph()
+
+
+@pytest.fixture()
+def fresh_world() -> World:
+    """A small world safe to mutate (dynamics tests)."""
+    return generate_world(WorldConfig.tiny(seed=23))

@@ -1,0 +1,126 @@
+"""Tests for community lifecycle tracking over time."""
+
+import pytest
+
+from repro.analysis.dynamic_communities import (LifecycleEvent,
+                                                default_coda_detector,
+                                                track_communities,
+                                                _jaccard)
+from repro.world.entities import Investment
+
+
+def _edges_to_investments(edges, day):
+    return [Investment(investor_id=u, company_id=c, day=day)
+            for u, c in edges]
+
+
+def _block(investors, companies):
+    return [(u, c) for u in investors for c in companies]
+
+
+def _set_detector(min_shared: int = 2):
+    """A deterministic toy detector: connected co-investment groups."""
+    def detect(graph):
+        from repro.community.labelprop import label_propagation
+        return label_propagation(graph, seed=1, min_overlap=min_shared)
+    return detect
+
+
+class TestMechanics:
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            track_communities([], 3, _set_detector())
+        inv = _edges_to_investments([(1, 10)], day=0)
+        with pytest.raises(ValueError):
+            track_communities(inv, 0, _set_detector())
+
+    def test_snapshots_are_cumulative(self):
+        investments = (_edges_to_investments(_block(range(4), range(100, 104)), 0)
+                       + _edges_to_investments(_block(range(20, 24),
+                                                      range(200, 204)), 10))
+        report = track_communities(investments, 2, _set_detector())
+        assert report.snapshots[0].num_edges \
+            <= report.snapshots[1].num_edges
+        assert report.snapshots[1].num_edges == len(investments)
+
+    def test_jaccard(self):
+        assert _jaccard({1, 2}, {2, 3}) == pytest.approx(1 / 3)
+        assert _jaccard(set(), set()) == 0.0
+
+
+class TestLifecycles:
+    def test_birth_of_new_community(self):
+        early = _edges_to_investments(_block(range(4), range(100, 104)), 0)
+        late = _edges_to_investments(_block(range(20, 24),
+                                            range(200, 204)), 10)
+        report = track_communities(early + late, 2, _set_detector())
+        kinds = report.counts()
+        assert kinds.get("born", 0) >= 1
+        assert kinds.get("continued", 0) >= 1
+
+    def test_stable_community_continues(self):
+        block = _block(range(5), range(100, 105))
+        investments = (_edges_to_investments(block, 0)
+                       + _edges_to_investments([(0, 300)], 10))
+        report = track_communities(investments, 2, _set_detector())
+        continued = [e for e in report.events if e.kind == "continued"]
+        assert continued
+        assert all(e.jaccard > 0.5 for e in continued)
+
+    def test_dissolution_recorded_on_detector_loss(self):
+        """If the detector stops returning a community, it dissolves."""
+        calls = {"n": 0}
+
+        def flaky_detector(graph):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                return {0: {1, 2, 3}}
+            return {}
+        investments = _edges_to_investments(_block(range(4), range(100, 103)), 0) \
+            + _edges_to_investments([(9, 999)], 10)
+        report = track_communities(investments, 2, flaky_detector)
+        assert report.counts().get("dissolved", 0) == 1
+
+    def test_merge_detected(self):
+        def detector(graph):
+            if graph.num_edges < 30:
+                return {0: {1, 2, 3}, 1: {4, 5, 6}}
+            return {0: {1, 2, 3, 4, 5, 6}}
+        early = _edges_to_investments(
+            _block(range(1, 7), range(100, 104)), 0)
+        late = _edges_to_investments(
+            _block(range(1, 7), range(104, 110)), 10)
+        report = track_communities(early + late, 2, detector)
+        merged = [e for e in report.events if e.kind == "merged"]
+        assert len(merged) == 1
+        assert merged[0].previous_ids == [0, 1]
+
+    def test_split_detected(self):
+        def detector(graph):
+            if graph.num_edges < 30:
+                return {0: {1, 2, 3, 4, 5, 6}}
+            return {0: {1, 2, 3}, 1: {4, 5, 6}}
+        early = _edges_to_investments(
+            _block(range(1, 7), range(100, 104)), 0)
+        late = _edges_to_investments(
+            _block(range(1, 7), range(104, 110)), 10)
+        report = track_communities(early + late, 2, detector)
+        assert report.counts().get("split", 0) >= 1
+
+
+class TestWithCoda:
+    def test_world_replay(self, tiny_world):
+        detector = default_coda_detector(
+            num_communities=tiny_world.config.num_communities,
+            max_iters=12, seed=2)
+        report = track_communities(tiny_world.investments, 3, detector)
+        assert len(report.snapshots) == 3
+        # Final window sees the whole graph.
+        total_edges = len({(i.investor_id, i.company_id)
+                           for i in tiny_world.investments})
+        assert report.snapshots[-1].num_edges == total_edges
+        # Communities exist by the end and events were classified.
+        assert report.snapshots[-1].communities
+        assert report.events
+        valid = {"born", "continued", "merged", "split", "dissolved"}
+        assert {e.kind for e in report.events} <= valid

@@ -1,0 +1,74 @@
+"""Tests for the Figure 6 engagement table."""
+
+import pytest
+
+
+@pytest.fixture(scope="module")
+def table(crawled_platform):
+    return crawled_platform.run_plugin("engagement_table")
+
+
+class TestTableShape:
+    def test_eleven_rows(self, table):
+        assert len(table.rows) == 11
+
+    def test_total_matches_crawl(self, table, crawled_platform):
+        assert table.total_companies == len(crawled_platform.world.companies)
+
+    def test_presence_counts_partition(self, table, crawled_platform):
+        no_social = table.row("No social media presence")
+        fb = table.row("Facebook only")
+        tw = table.row("Twitter only")
+        both = table.row("Facebook and Twitter")
+        assert (no_social.companies + fb.companies + tw.companies
+                - both.companies) == table.total_companies
+
+    def test_video_rows_partition(self, table):
+        video = table.row("Presence of demo video")
+        no_video = table.row("No demo video")
+        assert video.companies + no_video.companies == table.total_companies
+
+    def test_medians_computed_from_data(self, table, crawled_platform):
+        import numpy as np
+        likes = [p.likes for p in
+                 crawled_platform.world.facebook_pages.values()]
+        assert table.median_likes == pytest.approx(np.median(likes))
+
+
+class TestPaperShape:
+    """The qualitative claims of §4 must hold on crawled data."""
+
+    def test_social_presence_lifts_success(self, table):
+        assert table.success_lift("Facebook only") > 5
+        assert table.success_lift("Twitter only") > 5
+
+    def test_diminishing_returns_of_both(self, table):
+        both = table.row("Facebook and Twitter").success_pct
+        fb = table.row("Facebook only").success_pct
+        assert both < 2.5 * fb  # no multiplicative stacking
+
+    def test_video_lift(self, table):
+        video = table.row("Presence of demo video").success_pct
+        no_video = table.row("No demo video").success_pct
+        assert video > 4 * no_video
+
+    def test_engagement_beats_mere_presence(self, table):
+        hi_likes = next(r for r in table.rows
+                        if "likes)" in r.label and "Twitter" not in r.label)
+        assert hi_likes.success_pct > table.row("Facebook only").success_pct
+
+    def test_combined_engagement_strongest(self, table):
+        combined = [r for r in table.rows if "and Twitter (" in r.label]
+        assert combined
+        fb_only = table.row("Facebook only").success_pct
+        for row in combined:
+            assert row.success_pct > fb_only
+
+    def test_render_contains_all_rows(self, table):
+        text = table.render()
+        for row in table.rows:
+            assert row.label in text
+
+    def test_unknown_row_raises(self, table):
+        with pytest.raises(KeyError):
+            table.row("Myspace only")

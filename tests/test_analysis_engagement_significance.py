@@ -1,0 +1,49 @@
+"""Tests for the significance layer over the Figure 6 table."""
+
+import pytest
+
+
+@pytest.fixture(scope="module")
+def table(crawled_platform):
+    return crawled_platform.run_plugin("engagement_table")
+
+
+class TestRowCis:
+    def test_ci_brackets_rate(self, table):
+        for row in table.rows:
+            if row.companies == 0:
+                continue
+            lo, hi = row.wilson_ci()
+            assert lo <= row.success_pct / 100.0 <= hi
+
+    def test_ci_narrower_for_bigger_rows(self, table):
+        big = table.row("No social media presence")
+        small = table.row("Facebook and Twitter")
+        big_lo, big_hi = big.wilson_ci()
+        small_lo, small_hi = small.wilson_ci()
+        assert (big_hi - big_lo) < (small_hi - small_lo)
+
+    def test_successes_consistent_with_pct(self, table):
+        for row in table.rows:
+            if row.companies:
+                assert row.success_pct == pytest.approx(
+                    100.0 * row.successes / row.companies)
+
+
+class TestSignificance:
+    def test_facebook_vs_baseline_significant(self, table):
+        ratio, p_value = table.significance("Facebook only")
+        assert ratio > 5
+        assert p_value < 1e-6
+
+    def test_video_vs_no_video(self, table):
+        ratio, p_value = table.significance("Presence of demo video",
+                                            baseline="No demo video")
+        assert ratio > 4
+        assert p_value < 1e-6
+
+    def test_self_comparison_not_significant(self, table):
+        ratio, p_value = table.significance(
+            "Facebook only", baseline="Facebook only")
+        assert ratio == pytest.approx(1.0, abs=0.05)
+        assert p_value > 0.5

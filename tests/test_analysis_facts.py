@@ -1,0 +1,56 @@
+"""Tests for the unified company fact table."""
+
+import pytest
+
+from repro.analysis.facts import build_company_facts
+
+
+@pytest.fixture(scope="module")
+def facts(crawled_platform):
+    return build_company_facts(crawled_platform.sc, crawled_platform.dfs)
+
+
+class TestFactTable:
+    def test_one_row_per_company(self, facts, crawled_platform):
+        assert facts.count() == len(crawled_platform.world.companies)
+
+    def test_columns_present(self, facts):
+        row = facts.collect()[0]
+        for column in ("id", "market", "has_facebook", "has_twitter",
+                       "has_video", "raised", "num_rounds",
+                       "total_funding_usd", "fb_likes", "tw_statuses",
+                       "tw_followers"):
+            assert column in row
+
+    def test_raised_matches_world(self, facts, crawled_platform):
+        world = crawled_platform.world
+        for row in facts.collect()[:500]:
+            assert row["raised"] \
+                == world.companies[row["id"]].raised_funding
+
+    def test_social_metrics_joined(self, facts, crawled_platform):
+        world = crawled_platform.world
+        rows = {row["id"]: row for row in facts.collect()}
+        checked = 0
+        for company in world.companies.values():
+            if company.facebook_page_id is not None:
+                page = world.facebook_pages[company.facebook_page_id]
+                assert rows[company.company_id]["fb_likes"] == page.likes
+                checked += 1
+            if checked > 30:
+                break
+        assert checked > 0
+
+    def test_no_social_rows_default_zero(self, facts):
+        lonely = [row for row in facts.collect()
+                  if not row["has_facebook"] and not row["has_twitter"]]
+        assert lonely
+        assert all(row["fb_likes"] == 0 and row["tw_statuses"] == 0
+                   for row in lonely)
+
+    def test_funding_totals(self, facts, crawled_platform):
+        world = crawled_platform.world
+        for row in facts.collect()[:500]:
+            company = world.companies[row["id"]]
+            assert row["total_funding_usd"] \
+                == sum(r.amount_usd for r in company.rounds)

@@ -1,0 +1,64 @@
+"""Tests for success prediction (logistic regression + AUC)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.prediction import auc_score, predict_success
+
+
+class TestAucScore:
+    def test_perfect_separation(self):
+        labels = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        assert auc_score(labels, scores) == 1.0
+
+    def test_inverted(self):
+        labels = np.array([0, 0, 1, 1])
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        assert auc_score(labels, scores) == 0.0
+
+    def test_random_is_half(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 2, size=4000)
+        scores = rng.random(4000)
+        assert auc_score(labels, scores) == pytest.approx(0.5, abs=0.03)
+
+    def test_ties_give_midrank(self):
+        labels = np.array([0, 1, 0, 1])
+        scores = np.array([0.5, 0.5, 0.5, 0.5])
+        assert auc_score(labels, scores) == 0.5
+
+    def test_degenerate_labels_nan(self):
+        assert np.isnan(auc_score(np.array([1, 1]), np.array([0.1, 0.9])))
+
+
+class TestPrediction:
+    @pytest.fixture(scope="class")
+    def result(self, crawled_platform):
+        return crawled_platform.run_plugin("success_prediction", seed=5)
+
+    def test_auc_beats_chance(self, result):
+        """Engagement is planted to be predictive — AUC must clear 0.7."""
+        assert result.test_auc > 0.7
+
+    def test_train_test_split(self, result, crawled_platform):
+        total = len(crawled_platform.world.companies)
+        assert result.num_train + result.num_test == total
+
+    def test_positive_rate_matches_world(self, result, crawled_platform):
+        world_rate = crawled_platform.world.summary()["success_rate"]
+        assert result.positive_rate == pytest.approx(world_rate, abs=1e-9)
+
+    def test_social_features_carry_signal(self, result):
+        top = dict(result.top_features(8))
+        social = {"log_fb_likes", "log_tw_statuses", "log_tw_followers",
+                  "has_facebook", "has_twitter"}
+        assert social & set(top)
+
+    def test_coefficients_shape(self, result):
+        assert len(result.coefficients) == len(result.feature_names)
+
+    def test_deterministic(self, crawled_platform):
+        a = crawled_platform.run_plugin("success_prediction", seed=5)
+        b = crawled_platform.run_plugin("success_prediction", seed=5)
+        assert a.test_auc == b.test_auc

@@ -1,0 +1,72 @@
+"""Tests for the §5 community-strength study (Figures 4/5/7)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.strength import community_figure_svg, run_community_study
+
+
+@pytest.fixture(scope="module")
+def study(crawled_platform, investor_graph):
+    return run_community_study(
+        investor_graph,
+        num_communities=crawled_platform.world.config.num_communities,
+        global_pairs=20_000, seed=3, coda_iters=30)
+
+
+class TestStudyContents:
+    def test_communities_found(self, study):
+        assert study.coda.num_communities >= 3
+
+    def test_strengths_cover_all_communities(self, study):
+        assert {s.community_id for s in study.strengths} \
+            == set(study.coda.investor_communities)
+
+    def test_strong_cdfs_limited(self, study):
+        assert 1 <= len(study.strong_cdfs) <= 3
+
+    def test_global_sample_size(self, study):
+        assert study.global_pairs_sampled == 20_000
+
+    def test_dkw_bound_value(self, study):
+        assert study.dkw_bound == pytest.approx(
+            np.sqrt(np.log(200) / (2 * 20_000)), rel=1e-6)
+
+
+class TestPaperClaims:
+    def test_strong_communities_beat_global_sample(self, study):
+        """Figure 4: strong-community CDFs dominate the global CDF."""
+        for cdf in study.strong_cdfs.values():
+            assert cdf.mean > study.global_cdf.mean
+
+    def test_global_pairs_rarely_overlap(self, study):
+        assert study.global_cdf.mean < 0.5
+
+    def test_communities_beat_randomized_control(self, study):
+        """Figure 5: detected avg >> randomized avg (23.1% vs 5.8%)."""
+        assert study.mean_shared_pct > study.randomized_mean_shared_pct
+
+    def test_strong_beats_weak_exemplar(self, study):
+        strong = study.strength(study.strong_community_id)
+        weak = study.strength(study.weak_community_id)
+        assert strong.avg_shared_size > weak.avg_shared_size
+
+    def test_pdf_curve_shape(self, study):
+        grid, density = study.pdf_curve()
+        assert len(grid) == len(density) == 100
+        assert (density >= 0).all()
+
+
+class TestFigureSeven:
+    def test_svg_renders_both_exemplars(self, study, investor_graph):
+        for cid, title in ((study.strong_community_id, "strong"),
+                           (study.weak_community_id, "weak")):
+            svg = community_figure_svg(study, investor_graph, cid,
+                                       title=title)
+            assert svg.startswith("<svg")
+            assert title in svg
+            assert "<circle" in svg
+
+    def test_unknown_community_raises(self, study):
+        with pytest.raises(KeyError):
+            study.strength(10**9)

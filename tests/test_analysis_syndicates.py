@@ -1,0 +1,77 @@
+"""Tests for disclosed-syndicate validation."""
+
+import pytest
+
+from repro.analysis.syndicates import (read_disclosed_syndicates,
+                                       validate_communities,
+                                       validate_over_platform)
+
+
+class TestReadDisclosed:
+    def test_only_disclosing_investors(self, crawled_platform):
+        syndicates = read_disclosed_syndicates(crawled_platform.sc,
+                                               crawled_platform.dfs)
+        world = crawled_platform.world
+        for sid, members in syndicates.items():
+            for uid in members:
+                user = world.users[uid]
+                assert user.syndicate_disclosed
+                assert user.primary_community_id == sid
+
+    def test_disclosure_rate_tracks_config(self, crawled_platform):
+        world = crawled_platform.world
+        with_primary = [u for u in world.users.values()
+                        if u.primary_community_id is not None]
+        disclosed = sum(1 for u in with_primary if u.syndicate_disclosed)
+        rate = disclosed / len(with_primary)
+        assert abs(rate - world.config.params.p_syndicate_disclosed) < 0.12
+
+    def test_min_size_filter(self, crawled_platform):
+        syndicates = read_disclosed_syndicates(
+            crawled_platform.sc, crawled_platform.dfs, min_size=5)
+        assert all(len(m) >= 5 for m in syndicates.values())
+
+
+class TestValidate:
+    def test_perfect_detection_scores_one(self):
+        syndicates = {0: {1, 2, 3}, 1: {4, 5, 6}}
+        result = validate_communities(dict(syndicates), syndicates)
+        assert result.cover_f1_score == 1.0
+        assert result.mean_purity == 1.0
+
+    def test_mixed_community_low_purity(self):
+        syndicates = {0: {1, 2}, 1: {3, 4}}
+        detected = {0: {1, 3}, 1: {2, 4}}
+        result = validate_communities(detected, syndicates)
+        assert result.mean_purity == pytest.approx(0.5)
+
+    def test_undisclosed_members_ignored(self):
+        syndicates = {0: {1, 2}}
+        detected = {0: {1, 2, 99, 98}}  # 99/98 never disclosed
+        result = validate_communities(detected, syndicates)
+        assert result.mean_purity == 1.0
+
+    def test_counts(self):
+        syndicates = {0: {1, 2}, 1: {3, 4, 5}}
+        result = validate_communities({0: {1, 2}}, syndicates)
+        assert result.num_syndicates == 2
+        assert result.disclosing_investors == 5
+
+
+class TestEndToEnd:
+    def test_coda_communities_align_with_syndicates(self, crawled_platform,
+                                                    investor_graph):
+        """Detected communities must be purer than chance w.r.t. the
+        disclosed syndicates driving the herding."""
+        from repro.community.coda import CoDA
+        filtered = investor_graph.filter_investors(4)
+        if filtered.num_investors < 20:
+            pytest.skip("tiny world too small for this seed")
+        coda = CoDA(num_communities=crawled_platform.world.config
+                    .num_communities, max_iters=30, seed=3).fit(filtered)
+        result = validate_over_platform(crawled_platform,
+                                        coda.investor_communities)
+        assert result.num_syndicates > 0
+        if result.per_community_purity:
+            # chance purity ≈ 1 / num_syndicates, far below 0.3
+            assert result.mean_purity > 3.0 / result.num_syndicates

@@ -1,0 +1,78 @@
+"""Tests for the command-line interface (all at micro scale)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+SCALE = ["--scale", "0.003", "--seed", "5"]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dance"])
+
+    def test_analyze_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["analyze", "astrology"])
+
+
+class TestCommands:
+    def test_crawl(self, capsys):
+        assert main(["crawl", *SCALE]) == 0
+        out = capsys.readouterr().out
+        assert "BFS rounds" in out
+        assert "CrunchBase" in out
+
+    def test_crawl_save_and_reload(self, tmp_path, capsys):
+        path = str(tmp_path / "world.json.gz")
+        assert main(["crawl", *SCALE, "--save", path]) == 0
+        assert main(["analyze", "concentration", "--world", path]) == 0
+        out = capsys.readouterr().out
+        assert "bipartite graph" in out
+
+    def test_analyze_engagement(self, capsys):
+        assert main(["analyze", "engagement", *SCALE]) == 0
+        assert "No social media presence" in capsys.readouterr().out
+
+    def test_analyze_investors(self, capsys):
+        assert main(["analyze", "investors", *SCALE]) == 0
+        assert "median=1" in capsys.readouterr().out
+
+    def test_analyze_communities(self, capsys):
+        assert main(["analyze", "communities", *SCALE,
+                     "--pairs", "2000"]) == 0
+        assert "communities" in capsys.readouterr().out
+
+    def test_analyze_prediction(self, capsys):
+        assert main(["analyze", "prediction", *SCALE]) == 0
+        assert "AUC" in capsys.readouterr().out
+
+    def test_theory(self, capsys):
+        assert main(["theory", *SCALE, "raised ~ has_facebook"]) == 0
+        assert "odds ratio" in capsys.readouterr().out
+
+    def test_snapshot(self, capsys):
+        assert main(["snapshot", *SCALE, "--days", "8",
+                     "--hazard", "0.05"]) == 0
+        assert "lift" in capsys.readouterr().out
+
+    def test_figures(self, tmp_path, capsys):
+        out = str(tmp_path / "artifacts")
+        assert main(["figures", *SCALE, "--out", out,
+                     "--pairs", "2000"]) == 0
+        import os
+        written = set(os.listdir(out))
+        assert {"fig6_engagement_table.txt", "fig3_investor_cdf.txt",
+                "fig4_shared_size_cdf.txt", "fig5_community_pdf.txt",
+                "fig7a_strong.svg", "fig7b_weak.svg",
+                "sec51_concentration.txt", "summary.json"} <= written
+
+    def test_select_communities(self, capsys):
+        assert main(["select-communities", *SCALE,
+                     "--candidates", "2", "4"]) == 0
+        assert "best" in capsys.readouterr().out

@@ -1,0 +1,142 @@
+"""Tests for BigCLAM, bipartite SBM, label propagation, random control."""
+
+import numpy as np
+import pytest
+
+from repro.community.bigclam import BigClam
+from repro.community.labelprop import label_propagation
+from repro.community.random_baseline import random_communities
+from repro.community.sbm import BipartiteSBM
+from repro.community.scoring import best_match_f1, cover_f1
+from repro.graph.bipartite import BipartiteGraph
+from repro.util.rng import RngStream
+
+from tests.test_community_coda import _two_block_graph
+
+
+class TestBigClam:
+    def test_recovers_blocks_via_projection(self):
+        graph, truth = _two_block_graph()
+        result = BigClam(num_communities=2, seed=1).fit(graph)
+        detected = [frozenset(m) for m in result.communities.values()]
+        assert detected, "no communities found"
+        score = cover_f1(detected, [set(t) for t in truth])
+        assert score > 0.6
+
+    def test_empty_projection(self):
+        graph = BipartiteGraph([(1, 100), (2, 200)])  # no co-investment
+        result = BigClam(num_communities=2, seed=1).fit(graph)
+        assert result.communities == {}
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            BigClam(num_communities=0)
+
+
+class TestBipartiteSBM:
+    def test_recovers_blocks(self):
+        graph, truth = _two_block_graph(noise_edges=5)
+        result = BipartiteSBM(num_groups=2, seed=3).fit(graph)
+        detected = list(result.investor_communities().values())
+        score = cover_f1(detected, [set(t) for t in truth])
+        assert score > 0.8
+
+    def test_assignment_is_partition(self):
+        graph, _ = _two_block_graph()
+        result = BipartiteSBM(num_groups=3, seed=1).fit(graph)
+        communities = result.investor_communities()
+        total = sum(len(m) for m in communities.values())
+        assert total == graph.num_investors
+
+    def test_rates_shape(self):
+        graph, _ = _two_block_graph()
+        result = BipartiteSBM(num_groups=2, seed=1).fit(graph)
+        assert result.rates.shape == (2, 2)
+        assert (result.rates > 0).all()
+
+    def test_likelihood_finite(self):
+        graph, _ = _two_block_graph()
+        result = BipartiteSBM(num_groups=2, seed=1).fit(graph)
+        assert np.isfinite(result.log_likelihood)
+
+    def test_invalid_groups(self):
+        with pytest.raises(ValueError):
+            BipartiteSBM(num_groups=0)
+
+
+class TestLabelPropagation:
+    def test_separates_disconnected_blocks(self):
+        graph, truth = _two_block_graph(noise_edges=0)
+        communities = label_propagation(graph, seed=1)
+        detected = list(communities.values())
+        score = cover_f1(detected, [set(t) for t in truth])
+        assert score > 0.8
+
+    def test_min_size_respected(self):
+        graph, _ = _two_block_graph()
+        communities = label_propagation(graph, seed=1,
+                                        min_community_size=3)
+        assert all(len(m) >= 3 for m in communities.values())
+
+
+class TestRandomBaseline:
+    def test_sizes_respected(self):
+        rng = RngStream(4)
+        communities = random_communities(list(range(100)), [10, 5, 3], rng)
+        assert [len(communities[i]) for i in range(3)] == [10, 5, 3]
+
+    def test_members_from_pool(self):
+        rng = RngStream(4)
+        communities = random_communities(list(range(50)), [20], rng)
+        assert communities[0] <= set(range(50))
+
+    def test_size_capped_at_pool(self):
+        rng = RngStream(4)
+        communities = random_communities([1, 2, 3], [10], rng)
+        assert len(communities[0]) == 3
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            random_communities([1], [-1], RngStream(1))
+
+    def test_randomized_communities_are_weaker(self, investor_graph):
+        """The §5.3 control: random groups share far fewer investments."""
+        from repro.metrics.shared import shared_investor_percentage
+        portfolios = investor_graph.portfolios()
+        filtered = investor_graph.filter_investors(4)
+        if filtered.num_investors < 20:
+            pytest.skip("tiny world too small")
+        strong_members = sorted(
+            filtered.investors,
+            key=lambda u: -len(portfolios[u]))[:12]
+        planted_pct = shared_investor_percentage(strong_members, portfolios)
+        rng = RngStream(9)
+        random_pcts = []
+        for child in rng.children("rand", 10):
+            members = sorted(random_communities(
+                filtered.investors, [12], child)[0])
+            random_pcts.append(
+                shared_investor_percentage(members, portfolios))
+        assert planted_pct >= np.mean(random_pcts)
+
+
+class TestScoring:
+    def test_perfect_match(self):
+        cover = [{1, 2, 3}, {4, 5}]
+        assert cover_f1(cover, cover) == 1.0
+
+    def test_no_overlap(self):
+        assert cover_f1([{1, 2}], [{3, 4}]) == 0.0
+
+    def test_empty_detected(self):
+        assert best_match_f1([], [{1}]) == 0.0
+
+    def test_partial_overlap_between_zero_and_one(self):
+        score = cover_f1([{1, 2, 3, 4}], [{3, 4, 5, 6}])
+        assert 0.0 < score < 1.0
+
+    def test_asymmetry_of_best_match(self):
+        detected = [{1, 2}, {1, 2}, {1, 2}]
+        truth = [{1, 2}, {9, 10}]
+        assert best_match_f1(detected, truth) == 1.0
+        assert best_match_f1(truth, detected) == 0.5

@@ -1,0 +1,70 @@
+"""Tests for CoDA model selection by held-out AUC."""
+
+import pytest
+
+from repro.community.selection import (select_num_communities, split_edges,
+                                       holdout_auc, edge_scores)
+from repro.community.coda import CoDA
+from repro.util.rng import RngStream
+
+from tests.test_community_coda import _two_block_graph
+
+
+class TestSplit:
+    def test_partition_of_edges(self):
+        graph, _ = _two_block_graph()
+        train, held = split_edges(graph, 0.25, RngStream(1))
+        assert train.num_edges + len(held) == graph.num_edges
+        assert not (set(train.edges()) & set(held))
+
+    def test_invalid_fraction(self):
+        graph, _ = _two_block_graph()
+        with pytest.raises(ValueError):
+            split_edges(graph, 1.5, RngStream(1))
+
+    def test_deterministic(self):
+        graph, _ = _two_block_graph()
+        _t1, h1 = split_edges(graph, 0.2, RngStream(9))
+        _t2, h2 = split_edges(graph, 0.2, RngStream(9))
+        assert h1 == h2
+
+
+class TestScoring:
+    def test_edge_scores_in_unit_interval(self):
+        graph, _ = _two_block_graph()
+        result = CoDA(num_communities=2, seed=1).fit(graph)
+        scores = edge_scores(result, list(graph.edges())[:20])
+        assert (scores >= 0).all() and (scores <= 1).all()
+
+    def test_fitted_model_separates_held_edges(self):
+        graph, _ = _two_block_graph(noise_edges=0)
+        train, held = split_edges(graph, 0.2, RngStream(3))
+        result = CoDA(num_communities=2, max_iters=40, seed=1).fit(train)
+        auc = holdout_auc(result, held, train, RngStream(4))
+        assert auc > 0.7  # block structure makes hidden edges predictable
+
+    def test_cold_nodes_score_zero(self):
+        graph, _ = _two_block_graph()
+        result = CoDA(num_communities=2, seed=1).fit(graph)
+        scores = edge_scores(result, [(10**6, 10**6)])
+        assert scores[0] == 0.0
+
+
+class TestSelection:
+    def test_right_count_wins_on_clean_blocks(self):
+        graph, _ = _two_block_graph(noise_edges=0, seed=2)
+        result = select_num_communities(graph, candidates=(1, 2),
+                                        seed=5, max_iters=30)
+        assert result.best_num_communities == 2
+        assert set(result.scores) == {1, 2}
+
+    def test_ranked_order(self):
+        graph, _ = _two_block_graph()
+        result = select_num_communities(graph, candidates=(1, 2, 4), seed=5)
+        ranked = result.ranked()
+        assert ranked[0][1] >= ranked[-1][1]
+
+    def test_empty_candidates_rejected(self):
+        graph, _ = _two_block_graph()
+        with pytest.raises(ValueError):
+            select_num_communities(graph, candidates=())

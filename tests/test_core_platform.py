@@ -1,0 +1,76 @@
+"""Tests for the ExploratoryPlatform and its plug-in registry."""
+
+import pytest
+
+from repro.core.platform import ExploratoryPlatform, PlatformConfig
+from repro.core.plugins import PluginRegistry
+from repro.util.errors import ConfigError
+from repro.world.config import WorldConfig
+
+
+class TestPluginRegistry:
+    def test_register_and_get(self):
+        registry = PluginRegistry()
+        registry.register("x", lambda p: 42, "desc")
+        assert registry.get("x").run(None) == 42
+        assert "x" in registry
+
+    def test_duplicate_rejected(self):
+        registry = PluginRegistry()
+        registry.register("x", lambda p: 1)
+        with pytest.raises(ConfigError):
+            registry.register("x", lambda p: 2)
+
+    def test_replace_allowed(self):
+        registry = PluginRegistry()
+        registry.register("x", lambda p: 1)
+        registry.register("x", lambda p: 2, replace=True)
+        assert registry.get("x").run(None) == 2
+
+    def test_unknown_plugin_lists_known(self):
+        registry = PluginRegistry()
+        registry.register("known", lambda p: 1)
+        with pytest.raises(ConfigError, match="known"):
+            registry.get("mystery")
+
+
+class TestPlatform:
+    def test_builtin_plugins_registered(self, crawled_platform):
+        names = crawled_platform.plugins.names()
+        for expected in ("engagement_table", "investor_activity",
+                         "concentration", "community_study",
+                         "success_prediction"):
+            assert expected in names
+
+    def test_analytics_require_crawl(self, tiny_world):
+        platform = ExploratoryPlatform(tiny_world)
+        with pytest.raises(ConfigError):
+            platform.run_plugin("engagement_table")
+        platform.close()
+
+    def test_double_crawl_rejected(self, crawled_platform):
+        with pytest.raises(ConfigError):
+            crawled_platform.run_full_crawl()
+
+    def test_graph_memoized(self, crawled_platform):
+        assert crawled_platform.investor_graph() \
+            is crawled_platform.investor_graph()
+
+    def test_custom_plugin(self, crawled_platform):
+        crawled_platform.plugins.register(
+            "company_count",
+            lambda platform: len(platform.world.companies),
+            replace=True)
+        assert crawled_platform.run_plugin("company_count") \
+            == len(crawled_platform.world.companies)
+
+    def test_crawl_summary_totals(self, crawled_platform):
+        summary = crawled_platform.crawl_summary
+        assert summary.total_requests > 0
+        assert summary.angellist.startups \
+            == len(crawled_platform.world.companies)
+
+    def test_concentration_plugin(self, crawled_platform):
+        report = crawled_platform.run_plugin("concentration")
+        assert report.num_edges == crawled_platform.investor_graph().num_edges
+        assert "bipartite graph" in report.render()

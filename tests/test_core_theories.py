@@ -1,0 +1,104 @@
+"""Tests for the hypothesis translation layer."""
+
+import pytest
+
+from repro.core.theories import Hypothesis, TheoryEngine
+from repro.engine.dataframe import DataFrame
+from repro.util.errors import ConfigError
+
+
+class TestParsing:
+    def test_simple_binary(self):
+        h = Hypothesis.parse("raised ~ has_facebook")
+        assert (h.outcome, h.predictor) == ("raised", "has_facebook")
+        assert h.op is None and not h.negate
+
+    def test_negation(self):
+        h = Hypothesis.parse("raised ~ !has_twitter")
+        assert h.negate
+
+    def test_median_threshold(self):
+        h = Hypothesis.parse("raised ~ fb_likes > median")
+        assert (h.op, h.threshold) == (">", "median")
+
+    def test_numeric_threshold(self):
+        h = Hypothesis.parse("raised ~ tw_statuses < 42.5")
+        assert (h.op, h.threshold) == ("<", "42.5")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ConfigError):
+            Hypothesis.parse("raised depends on facebook")
+
+
+@pytest.fixture(scope="module")
+def engine(crawled_platform):
+    return TheoryEngine.over_platform(crawled_platform)
+
+
+class TestBinaryOutcomes:
+    def test_facebook_hypothesis_supported(self, engine):
+        result = engine.test("raised ~ has_facebook")
+        assert result.kind == "binary"
+        assert result.effect > 3          # strong odds ratio
+        assert result.p_value < 0.01
+        assert result.significant
+
+    def test_group_means_ordered(self, engine):
+        result = engine.test("raised ~ has_twitter")
+        assert result.exposed.outcome_mean > result.control.outcome_mean
+
+    def test_wilson_cis_bracket_means(self, engine):
+        result = engine.test("raised ~ has_video")
+        for group in (result.exposed, result.control):
+            assert group.ci_low <= group.outcome_mean <= group.ci_high
+
+    def test_negated_predictor_flips_groups(self, engine):
+        plain = engine.test("raised ~ has_facebook")
+        flipped = engine.test("raised ~ !has_facebook")
+        assert flipped.exposed.count == plain.control.count
+        assert flipped.exposed.outcome_mean \
+            == pytest.approx(plain.control.outcome_mean)
+
+    def test_median_split(self, engine):
+        result = engine.test("raised ~ follower_count > median")
+        assert result.exposed.count > 0
+        assert result.control.count > 0
+
+    def test_render_mentions_verdict(self, engine):
+        text = engine.test("raised ~ has_facebook").render()
+        assert "odds ratio" in text
+        assert "SUPPORTED" in text or "not significant" in text
+
+
+class TestNumericOutcomes:
+    def test_funding_vs_video(self, engine):
+        result = engine.test("total_funding_usd ~ has_video")
+        assert result.kind == "numeric"
+        assert result.effect > 0          # video companies raise more
+
+    def test_effect_is_difference_of_means(self, engine):
+        result = engine.test("tw_followers ~ has_facebook")
+        assert result.effect == pytest.approx(
+            result.exposed.outcome_mean - result.control.outcome_mean)
+
+
+class TestErrors:
+    def test_unknown_variable(self, engine):
+        with pytest.raises(ConfigError, match="unknown variable"):
+            engine.test("raised ~ myspace_friends")
+
+    def test_non_splitting_predictor(self, engine):
+        with pytest.raises(ConfigError, match="does not split"):
+            engine.test("raised ~ follower_count > -1")
+
+    def test_test_all(self, engine):
+        results = engine.test_all(["raised ~ has_facebook",
+                                   "raised ~ has_twitter"])
+        assert len(results) == 2
+
+    def test_custom_fact_table(self, crawled_platform):
+        records = [{"win": i % 2 == 0, "flag": i < 5} for i in range(10)]
+        engine = TheoryEngine(DataFrame.from_records(
+            crawled_platform.sc, records))
+        result = engine.test("win ~ flag")
+        assert result.exposed.count == 5

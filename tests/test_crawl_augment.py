@@ -1,0 +1,64 @@
+"""Tests for the CrunchBase augmentation pass."""
+
+import pytest
+
+from repro.crawl.augment import CrunchBaseAugmenter
+from repro.crawl.client import ApiClient, AUTH_QUERY_USER_KEY
+from repro.dfs.jsonlines import read_json_dataset
+from repro.sources.crunchbase import CrunchBaseServer
+
+
+@pytest.fixture(scope="module")
+def augmented(crawled_platform):
+    """Reuse the platform's already-run augmentation."""
+    return crawled_platform
+
+
+class TestMatching:
+    def test_all_crunchbase_companies_matched(self, augmented):
+        result = augmented.crawl_summary.crunchbase
+        expected = sum(1 for c in augmented.world.companies.values()
+                       if c.crunchbase_id is not None)
+        assert result.records == expected
+
+    def test_url_and_search_paths_both_used(self, augmented):
+        result = augmented.crawl_summary.crunchbase
+        assert result.matched_by_url > 0
+        assert result.matched_by_search > 0
+
+    def test_url_fraction_tracks_config(self, augmented):
+        result = augmented.crawl_summary.crunchbase
+        fraction = result.matched_by_url / result.matched
+        expected = augmented.world.config.p_crunchbase_url_on_angellist
+        assert abs(fraction - expected) < 0.22
+
+    def test_unmatched_companies_lack_crunchbase(self, augmented):
+        result = augmented.crawl_summary.crunchbase
+        without = sum(1 for c in augmented.world.companies.values()
+                      if c.crunchbase_id is None)
+        assert result.unmatched == without
+
+
+class TestOutputDataset:
+    def test_records_carry_angellist_id(self, augmented):
+        records = read_json_dataset(augmented.dfs,
+                                    "/crawl/crunchbase/organizations")
+        assert records
+        assert all("angellist_id" in r for r in records)
+
+    def test_funding_rounds_match_world(self, augmented):
+        records = read_json_dataset(augmented.dfs,
+                                    "/crawl/crunchbase/organizations")
+        world = augmented.world
+        for record in records[:50]:
+            company = world.companies[record["angellist_id"]]
+            assert record["num_funding_rounds"] == len(company.rounds)
+
+    def test_successful_companies_have_rounds(self, augmented):
+        records = read_json_dataset(augmented.dfs,
+                                    "/crawl/crunchbase/organizations")
+        world = augmented.world
+        for record in records:
+            company = world.companies[record["angellist_id"]]
+            if company.raised_funding:
+                assert record["num_funding_rounds"] >= 1

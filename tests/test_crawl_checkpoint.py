@@ -1,0 +1,81 @@
+"""Tests for BFS crawl checkpoint/resume."""
+
+import pytest
+
+from repro.crawl.client import ApiClient
+from repro.crawl.frontier import BfsCrawler
+from repro.dfs.filesystem import MiniDfs
+from repro.dfs.jsonlines import read_json_dataset
+from repro.sources.angellist import AngelListServer
+from repro.util.clock import SimClock
+from repro.util.errors import CrawlError
+
+
+def _client(world, clock=None):
+    clock = clock or SimClock()
+    server = AngelListServer(world, clock=clock)
+    from repro.crawl.tokens import TokenPool
+    tokens = [server.issue_token(f"t{i}") for i in range(6)]
+    return ApiClient(server, clock, token_pool=TokenPool(tokens, clock))
+
+
+class TestCheckpointing:
+    def test_checkpoint_written_after_rounds(self, tiny_world):
+        dfs = MiniDfs()
+        crawler = BfsCrawler(_client(tiny_world), dfs, checkpoint=True,
+                             max_rounds=1)
+        crawler.run()
+        assert crawler.has_checkpoint()
+
+    def test_resume_requires_checkpoint(self, tiny_world):
+        crawler = BfsCrawler(_client(tiny_world), MiniDfs(),
+                             checkpoint=True)
+        with pytest.raises(CrawlError):
+            crawler.run(resume=True)
+
+    def test_resume_completes_interrupted_crawl(self, tiny_world):
+        # Reference: one uninterrupted crawl.
+        reference = BfsCrawler(_client(tiny_world), MiniDfs()).run()
+
+        # Interrupted after 2 rounds, then resumed on the same DFS.
+        dfs = MiniDfs()
+        clock = SimClock()
+        first = BfsCrawler(_client(tiny_world, clock), dfs,
+                           checkpoint=True, max_rounds=2).run()
+        assert first.startups < reference.startups  # genuinely cut short
+
+        second = BfsCrawler(_client(tiny_world, clock), dfs,
+                            checkpoint=True).run(resume=True)
+        assert second.resumed
+        assert second.startups == reference.startups
+        assert second.users == reference.users
+        assert second.follow_edges == reference.follow_edges
+        assert second.investment_edges == reference.investment_edges
+
+    def test_resumed_datasets_have_no_duplicates(self, tiny_world):
+        dfs = MiniDfs()
+        clock = SimClock()
+        BfsCrawler(_client(tiny_world, clock), dfs, checkpoint=True,
+                   max_rounds=2).run()
+        BfsCrawler(_client(tiny_world, clock), dfs,
+                   checkpoint=True).run(resume=True)
+        records = read_json_dataset(dfs, "/crawl/angellist/startups")
+        ids = [r["id"] for r in records]
+        assert len(ids) == len(set(ids))
+        assert len(ids) == len(tiny_world.companies)
+
+    def test_resumed_result_counts_cumulative(self, tiny_world):
+        dfs = MiniDfs()
+        clock = SimClock()
+        BfsCrawler(_client(tiny_world, clock), dfs, checkpoint=True,
+                   max_rounds=1).run()
+        result = BfsCrawler(_client(tiny_world, clock), dfs,
+                            checkpoint=True).run(resume=True)
+        users = read_json_dataset(dfs, "/crawl/angellist/users")
+        assert result.users == len(users)
+
+    def test_non_checkpoint_crawl_leaves_no_state(self, tiny_world):
+        dfs = MiniDfs()
+        crawler = BfsCrawler(_client(tiny_world), dfs)
+        crawler.run()
+        assert not crawler.has_checkpoint()

@@ -1,0 +1,132 @@
+"""Tests for the resilient API client."""
+
+import pytest
+
+from repro.crawl.client import (ApiClient, AUTH_BEARER,
+                                AUTH_QUERY_ACCESS_TOKEN)
+from repro.crawl.tokens import TokenPool
+from repro.net.http import Response, SimServer
+from repro.net.faults import FaultPlan
+from repro.util.clock import SimClock
+from repro.util.errors import AuthError, CrawlError, NotFoundError
+
+
+class _EchoServer(SimServer):
+    """Accepts token 'good'; optional scripted failures."""
+
+    name = "echo"
+
+    def __init__(self, clock, fail_times=0, faults=None):
+        super().__init__(clock=clock, faults=faults or FaultPlan.none())
+        self.fail_times = fail_times
+        self.valid_tokens = {"good"}
+        self.route("GET", "/ok", lambda r: Response.json({"yes": True}))
+        self.route("GET", "/flaky", self._flaky)
+        self.route("GET", "/gone", lambda r: Response.error(404, "nope"))
+        self.route("GET", "/teapot", lambda r: Response.error(418, "tea"))
+
+    def authorize(self, request):
+        if request.token not in self.valid_tokens:
+            return Response.error(401, "bad token")
+        return None
+
+    def _flaky(self, request):
+        if self.fail_times > 0:
+            self.fail_times -= 1
+            return Response.error(503, "try later")
+        return Response.json({"recovered": True})
+
+
+@pytest.fixture()
+def clock():
+    return SimClock()
+
+
+class TestBasics:
+    def test_success(self, clock):
+        client = ApiClient(_EchoServer(clock), clock, token="good")
+        assert client.get("/ok") == {"yes": True}
+        assert client.stats.successes == 1
+
+    def test_needs_credential_source(self, clock):
+        with pytest.raises(CrawlError):
+            ApiClient(_EchoServer(clock), clock)
+
+    def test_pool_and_token_exclusive(self, clock):
+        pool = TokenPool(["good"], clock)
+        with pytest.raises(CrawlError):
+            ApiClient(_EchoServer(clock), clock, token="good",
+                      token_pool=pool)
+
+    def test_not_found_raises_by_default(self, clock):
+        client = ApiClient(_EchoServer(clock), clock, token="good")
+        with pytest.raises(NotFoundError):
+            client.get("/gone")
+
+    def test_allow_not_found_returns_none(self, clock):
+        client = ApiClient(_EchoServer(clock), clock, token="good")
+        assert client.get("/gone", allow_not_found=True) is None
+        assert client.stats.not_found == 1
+
+    def test_unexpected_status_raises(self, clock):
+        client = ApiClient(_EchoServer(clock), clock, token="good")
+        with pytest.raises(CrawlError):
+            client.get("/teapot")
+
+
+class TestRetries:
+    def test_transient_failures_retried(self, clock):
+        server = _EchoServer(clock, fail_times=3)
+        client = ApiClient(server, clock, token="good", max_retries=5)
+        assert client.get("/flaky") == {"recovered": True}
+        assert client.stats.retries == 3
+        assert client.stats.slept_seconds > 0
+
+    def test_budget_exhaustion_raises(self, clock):
+        server = _EchoServer(clock, fail_times=10)
+        client = ApiClient(server, clock, token="good", max_retries=2)
+        with pytest.raises(CrawlError):
+            client.get("/flaky")
+
+    def test_backoff_grows(self, clock):
+        server = _EchoServer(clock, fail_times=3)
+        client = ApiClient(server, clock, token="good", max_retries=5,
+                           backoff_base=1.0)
+        client.get("/flaky")
+        # 1 + 2 + 4 seconds of exponential backoff
+        assert client.stats.slept_seconds == pytest.approx(7.0)
+
+
+class TestAuthRefresh:
+    def test_refresh_on_401(self, clock):
+        server = _EchoServer(clock)
+        calls = []
+
+        def refresher():
+            calls.append(1)
+            if len(calls) == 1:
+                return "stale"
+            server.valid_tokens.add("fresh")
+            return "fresh"
+
+        client = ApiClient(server, clock, token_refresher=refresher)
+        assert client.get("/ok") == {"yes": True}
+        assert client.stats.auth_refreshes >= 1
+
+    def test_hard_auth_failure(self, clock):
+        client = ApiClient(_EchoServer(clock), clock, token="bad")
+        with pytest.raises(AuthError):
+            client.get("/ok")
+
+
+class TestPaged:
+    def test_iterates_pages(self, clock, tiny_world):
+        from repro.sources.angellist import AngelListServer
+        server = AngelListServer(tiny_world, clock=clock)
+        client = ApiClient(server, clock,
+                           token=server.issue_token("t"))
+        items = list(client.paged("/1/startups", {"filter": "raising"},
+                                  items_key="startups"))
+        raising = sum(1 for c in tiny_world.companies.values()
+                      if c.currently_raising)
+        assert len(items) == raising

@@ -1,0 +1,78 @@
+"""Tests for the Facebook/Twitter enrichment crawlers."""
+
+import pytest
+
+from repro.crawl.enrich import TwitterCrawler
+from repro.dfs.jsonlines import read_json_dataset
+
+
+class TestScreenNameHeuristic:
+    def test_plain_url(self):
+        assert TwitterCrawler.screen_name_from_url(
+            "https://twitter.example/acme_42") == "acme_42"
+
+    def test_trailing_slash(self):
+        assert TwitterCrawler.screen_name_from_url(
+            "https://twitter.example/acme/") == "acme"
+
+
+class TestFacebookEnrichment:
+    def test_every_linked_page_fetched(self, crawled_platform):
+        result = crawled_platform.crawl_summary.facebook
+        assert result.fetched == result.linked
+        assert result.dead_links == 0
+
+    def test_linked_count_matches_world(self, crawled_platform):
+        result = crawled_platform.crawl_summary.facebook
+        expected = len(crawled_platform.world.facebook_pages)
+        assert result.linked == expected
+
+    def test_records_join_back_to_startups(self, crawled_platform):
+        records = read_json_dataset(crawled_platform.dfs,
+                                    "/crawl/facebook/pages")
+        world = crawled_platform.world
+        for record in records[:40]:
+            company = world.companies[record["angellist_id"]]
+            page = world.facebook_pages[company.facebook_page_id]
+            assert record["fan_count"] == page.likes
+
+
+class TestTwitterEnrichment:
+    def test_every_linked_profile_fetched(self, crawled_platform):
+        result = crawled_platform.crawl_summary.twitter
+        assert result.fetched == result.linked
+        assert result.linked == len(crawled_platform.world.twitter_profiles)
+
+    def test_records_preserve_metrics(self, crawled_platform):
+        records = read_json_dataset(crawled_platform.dfs,
+                                    "/crawl/twitter/profiles")
+        world = crawled_platform.world
+        for record in records[:40]:
+            company = world.companies[record["angellist_id"]]
+            profile = world.twitter_profiles[company.twitter_profile_id]
+            assert record["followers_count"] == profile.followers_count
+            assert record["statuses_count"] == profile.statuses_count
+
+    def test_rate_limit_handled_when_tokens_scarce(self, tiny_world):
+        """With a single token the crawl must bench + sleep, not fail."""
+        from repro.dfs import MiniDfs
+        from repro.sources.hub import SourceHub
+        from repro.crawl.client import ApiClient
+        from repro.crawl.frontier import BfsCrawler
+        from repro.crawl.tokens import TokenPool
+
+        hub = SourceHub.from_world(tiny_world)
+        dfs = MiniDfs()
+        al_client = ApiClient(
+            hub.angellist, hub.clock,
+            token_pool=TokenPool([hub.angellist.issue_token(f"t{i}")
+                                  for i in range(8)], hub.clock))
+        BfsCrawler(al_client, dfs).run()
+
+        crawler = TwitterCrawler(hub.twitter, hub.clock, dfs,
+                                 num_tokens=1, num_workers=1)
+        result = crawler.run()
+        assert result.fetched == result.linked
+        if result.linked > 180:
+            assert result.client_stats.throttled > 0
+            assert result.sim_duration >= 900.0

@@ -1,0 +1,101 @@
+"""Tests for the BFS frontier crawler against the tiny world."""
+
+import pytest
+
+from repro.crawl.client import ApiClient
+from repro.crawl.frontier import BfsCrawler
+from repro.crawl.tokens import TokenPool
+from repro.dfs.filesystem import MiniDfs
+from repro.dfs.jsonlines import read_json_dataset
+from repro.sources.angellist import AngelListServer
+from repro.util.clock import SimClock
+
+
+@pytest.fixture(scope="module")
+def crawl(tiny_world):
+    clock = SimClock()
+    server = AngelListServer(tiny_world, clock=clock)
+    tokens = [server.issue_token(f"t{i}") for i in range(6)]
+    client = ApiClient(server, clock, token_pool=TokenPool(tokens, clock))
+    dfs = MiniDfs()
+    result = BfsCrawler(client, dfs).run()
+    return result, dfs, tiny_world
+
+
+class TestCoverage:
+    def test_all_startups_found(self, crawl):
+        result, _dfs, world = crawl
+        assert result.startups == len(world.companies)
+
+    def test_all_users_found(self, crawl):
+        result, _dfs, world = crawl
+        assert result.users == len(world.users)
+
+    def test_no_duplicate_startups(self, crawl):
+        _result, dfs, _world = crawl
+        records = read_json_dataset(dfs, "/crawl/angellist/startups")
+        ids = [r["id"] for r in records]
+        assert len(ids) == len(set(ids))
+
+    def test_investment_edges_match_world(self, crawl):
+        result, dfs, world = crawl
+        expected = {(inv.investor_id, inv.company_id)
+                    for inv in world.investments}
+        records = read_json_dataset(dfs, "/crawl/angellist/investments")
+        crawled = {(r["investor_id"], r["company_id"]) for r in records}
+        assert crawled == expected
+
+    def test_follow_edges_counted(self, crawl):
+        result, _dfs, world = crawl
+        expected = sum(len(u.follows_companies) + len(u.follows_users)
+                       for u in world.users.values())
+        assert result.follow_edges == expected
+
+
+class TestRounds:
+    def test_round_zero_is_raising_startups(self, crawl):
+        result, _dfs, world = crawl
+        raising = sum(1 for c in world.companies.values()
+                      if c.currently_raising)
+        assert result.rounds[0].new_startups == raising
+
+    def test_discovery_eventually_stops(self, crawl):
+        result, _dfs, _world = crawl
+        assert result.rounds[-1].total == 0 or len(result.rounds) >= 2
+
+    def test_multiple_rounds_needed(self, crawl):
+        result, _dfs, _world = crawl
+        assert len(result.rounds) >= 3  # BFS, not a directory listing
+
+
+class TestBudgets:
+    def test_max_rounds_cuts_crawl(self, tiny_world):
+        clock = SimClock()
+        server = AngelListServer(tiny_world, clock=clock)
+        client = ApiClient(server, clock, token=server.issue_token("t"))
+        limited = BfsCrawler(client, MiniDfs(), max_rounds=1).run()
+        assert limited.startups < len(tiny_world.companies)
+
+    def test_max_entities_cuts_crawl(self, tiny_world):
+        clock = SimClock()
+        server = AngelListServer(tiny_world, clock=clock)
+        client = ApiClient(server, clock, token=server.issue_token("t"))
+        limited = BfsCrawler(client, MiniDfs(), max_entities=200).run()
+        assert limited.startups + limited.users <= 500  # soft cap + frontier
+
+
+class TestRateLimitInteraction:
+    def test_crawl_spans_rate_limit_windows(self, crawl):
+        result, _dfs, _world = crawl
+        # 6 tokens × 1000/hr cannot absorb the whole crawl in one window,
+        # so simulated time must have advanced past at least one reset.
+        if result.client_stats.requests > 6000:
+            assert result.sim_duration >= 3600.0
+
+    def test_stats_consistent(self, crawl):
+        result, _dfs, _world = crawl
+        stats = result.client_stats
+        assert stats.successes <= stats.requests
+        assert stats.requests == (stats.successes + stats.throttled
+                                  + stats.retries + stats.not_found
+                                  + stats.failures + stats.auth_refreshes)

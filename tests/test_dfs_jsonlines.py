@@ -1,0 +1,70 @@
+"""Tests for JSON-lines datasets on the DFS."""
+
+import pytest
+
+from repro.dfs.filesystem import MiniDfs
+from repro.dfs.jsonlines import (JsonLinesWriter, iter_json_dataset,
+                                 list_partitions, read_json_dataset,
+                                 write_json_dataset)
+from repro.util.errors import StorageError
+
+
+@pytest.fixture()
+def dfs():
+    return MiniDfs(num_datanodes=3)
+
+
+class TestWriter:
+    def test_roundtrip(self, dfs):
+        records = [{"i": i} for i in range(10)]
+        with JsonLinesWriter(dfs, "/ds", records_per_part=4) as writer:
+            writer.write_all(records)
+        assert read_json_dataset(dfs, "/ds") == records
+
+    def test_partition_count(self, dfs):
+        with JsonLinesWriter(dfs, "/ds", records_per_part=4) as writer:
+            writer.write_all({"i": i} for i in range(10))
+        assert len(list_partitions(dfs, "/ds")) == 3  # 4 + 4 + 2
+
+    def test_records_written_counter(self, dfs):
+        with JsonLinesWriter(dfs, "/ds", records_per_part=100) as writer:
+            writer.write_all({"i": i} for i in range(7))
+        assert writer.records_written == 7
+
+    def test_write_after_close_rejected(self, dfs):
+        writer = JsonLinesWriter(dfs, "/ds")
+        writer.write({"a": 1})
+        writer.close()
+        with pytest.raises(StorageError):
+            writer.write({"a": 2})
+
+    def test_no_records_no_parts(self, dfs):
+        with JsonLinesWriter(dfs, "/ds") as writer:
+            pass
+        assert list_partitions(dfs, "/ds") == []
+
+    def test_invalid_records_per_part(self, dfs):
+        with pytest.raises(StorageError):
+            JsonLinesWriter(dfs, "/ds", records_per_part=0)
+
+
+class TestDatasetHelpers:
+    def test_write_json_dataset_partitions(self, dfs):
+        count = write_json_dataset(dfs, "/d", [{"x": i} for i in range(9)],
+                                   partitions=3)
+        assert count == 9
+        assert len(list_partitions(dfs, "/d")) == 3
+
+    def test_iter_preserves_order(self, dfs):
+        records = [{"x": i} for i in range(25)]
+        write_json_dataset(dfs, "/d", records, partitions=4)
+        assert list(iter_json_dataset(dfs, "/d")) == records
+
+    def test_unicode_payloads(self, dfs):
+        records = [{"name": "Müller & Søn", "emoji": "🚀"}]
+        write_json_dataset(dfs, "/d", records, partitions=1)
+        assert read_json_dataset(dfs, "/d") == records
+
+    def test_invalid_partitions(self, dfs):
+        with pytest.raises(StorageError):
+            write_json_dataset(dfs, "/d", [{}], partitions=0)

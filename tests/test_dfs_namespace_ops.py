@@ -1,0 +1,58 @@
+"""Tests for DFS rename/copy/disk-usage."""
+
+import pytest
+
+from repro.dfs.filesystem import MiniDfs
+from repro.util.errors import NotFoundError, StorageError
+
+
+@pytest.fixture()
+def dfs():
+    store = MiniDfs(num_datanodes=3, block_size=8)
+    store.create("/d/a", b"hello")
+    store.create("/d/b", b"worldwide")
+    return store
+
+
+class TestRename:
+    def test_moves_content(self, dfs):
+        dfs.rename("/d/a", "/e/a")
+        assert dfs.read("/e/a") == b"hello"
+        assert not dfs.exists("/d/a")
+
+    def test_missing_source(self, dfs):
+        with pytest.raises(NotFoundError):
+            dfs.rename("/ghost", "/x")
+
+    def test_existing_destination(self, dfs):
+        with pytest.raises(StorageError):
+            dfs.rename("/d/a", "/d/b")
+
+    def test_stat_path_updated(self, dfs):
+        dfs.rename("/d/a", "/moved")
+        assert dfs.stat("/moved").path == "/moved"
+
+
+class TestCopy:
+    def test_independent_copy(self, dfs):
+        dfs.copy("/d/a", "/d/a2")
+        assert dfs.read("/d/a2") == b"hello"
+        dfs.delete("/d/a")
+        assert dfs.read("/d/a2") == b"hello"  # blocks are independent
+
+    def test_copy_to_existing_rejected(self, dfs):
+        with pytest.raises(StorageError):
+            dfs.copy("/d/a", "/d/b")
+
+
+class TestDiskUsage:
+    def test_sums_directory(self, dfs):
+        assert dfs.disk_usage("/d") == len(b"hello") + len(b"worldwide")
+
+    def test_empty_directory(self, dfs):
+        assert dfs.disk_usage("/nothing") == 0
+
+    def test_after_rename(self, dfs):
+        before = dfs.disk_usage("/d")
+        dfs.rename("/d/b", "/elsewhere/b")
+        assert dfs.disk_usage("/d") == before - len(b"worldwide")

@@ -1,0 +1,68 @@
+"""Tests for the engine context itself."""
+
+import pytest
+
+from repro.engine.context import SparkLiteContext
+from repro.util.errors import EngineError
+
+
+class TestLifecycle:
+    def test_context_manager_stops(self):
+        with SparkLiteContext(parallelism=2) as sc:
+            assert sc.parallelize([1]).count() == 1
+        with pytest.raises(EngineError):
+            sc.parallelize([1]).count()
+
+    def test_invalid_parallelism(self):
+        with pytest.raises(EngineError):
+            SparkLiteContext(parallelism=0)
+
+    def test_jobs_counted(self):
+        with SparkLiteContext(parallelism=1) as sc:
+            rdd = sc.parallelize([1, 2])
+            rdd.count()
+            rdd.collect()
+            assert sc.jobs_run == 2
+
+
+class TestPartitioning:
+    def test_default_partitions_capped_by_data(self):
+        with SparkLiteContext(parallelism=8) as sc:
+            assert sc.parallelize([1, 2]).num_partitions <= 2
+
+    def test_explicit_partitions(self):
+        with SparkLiteContext(parallelism=2) as sc:
+            assert sc.parallelize(range(100), 7).num_partitions == 7
+
+    def test_empty_rdd(self):
+        with SparkLiteContext(parallelism=2) as sc:
+            assert sc.empty().collect() == []
+
+    def test_results_identical_across_parallelism(self):
+        data = list(range(500))
+
+        def job(sc):
+            return (sc.parallelize(data, 8)
+                    .map(lambda x: (x % 7, x))
+                    .reduce_by_key(lambda a, b: a + b)
+                    .collect_as_map())
+        with SparkLiteContext(parallelism=1) as sc1, \
+                SparkLiteContext(parallelism=4) as sc4:
+            assert job(sc1) == job(sc4)
+
+    def test_deep_lineage_no_recursion_blowup(self):
+        with SparkLiteContext(parallelism=2) as sc:
+            rdd = sc.parallelize(range(10))
+            for _ in range(100):
+                rdd = rdd.map(lambda x: x + 1)
+            assert rdd.sum() == sum(range(10)) + 10 * 100
+
+    def test_diamond_lineage_computed_once(self):
+        with SparkLiteContext(parallelism=2) as sc:
+            calls = []
+            base = sc.parallelize([1, 2, 3], 1).map(
+                lambda x: calls.append(x) or x)
+            left = base.map(lambda x: ("l", x))
+            right = base.map(lambda x: ("r", x))
+            left.union(right).collect()
+            assert len(calls) == 3  # base evaluated once per job

@@ -1,0 +1,109 @@
+"""Tests for the DataFrame layer."""
+
+import pytest
+
+from repro.engine.context import SparkLiteContext
+from repro.engine.dataframe import DataFrame
+from repro.util.errors import EngineError
+
+
+@pytest.fixture(scope="module")
+def sc():
+    context = SparkLiteContext(parallelism=2)
+    yield context
+    context.stop()
+
+
+@pytest.fixture()
+def people(sc):
+    return DataFrame.from_records(sc, [
+        {"name": "ann", "city": "sf", "age": 30},
+        {"name": "bob", "city": "nyc", "age": 40},
+        {"name": "cat", "city": "sf", "age": 20},
+        {"name": "dan", "city": "nyc", "age": 50},
+    ])
+
+
+class TestProjectionsAndFilters:
+    def test_select(self, people):
+        rows = people.select("name").collect()
+        assert all(set(row) == {"name"} for row in rows)
+
+    def test_where(self, people):
+        assert people.where(lambda r: r["city"] == "sf").count() == 2
+
+    def test_with_column(self, people):
+        rows = people.with_column("next_age",
+                                  lambda r: r["age"] + 1).collect()
+        assert all(row["next_age"] == row["age"] + 1 for row in rows)
+
+    def test_with_column_tracks_schema(self, people):
+        assert "flag" in people.with_column("flag", lambda r: 1).columns
+
+    def test_drop(self, people):
+        rows = people.drop("age", "city").collect()
+        assert all(set(row) == {"name"} for row in rows)
+
+    def test_column_values(self, people):
+        assert sorted(people.column_values("age")) == [20, 30, 40, 50]
+
+
+class TestGroupBy:
+    def test_count_sum_avg(self, people):
+        out = {row["city"]: row for row in
+               people.group_by("city").agg(
+                   n=("name", "count"),
+                   total=("age", "sum"),
+                   avg_age=("age", "avg")).collect()}
+        assert out["sf"]["n"] == 2
+        assert out["sf"]["total"] == 50
+        assert out["nyc"]["avg_age"] == 45.0
+
+    def test_min_max(self, people):
+        out = {row["city"]: row for row in
+               people.group_by("city").agg(
+                   lo=("age", "min"), hi=("age", "max")).collect()}
+        assert (out["sf"]["lo"], out["sf"]["hi"]) == (20, 30)
+
+    def test_count_distinct(self, people):
+        out = people.group_by("city").agg(
+            cities=("city", "count_distinct")).collect()
+        assert all(row["cities"] == 1 for row in out)
+
+    def test_unknown_aggregate_rejected(self, people):
+        with pytest.raises(EngineError):
+            people.group_by("city").agg(bad=("age", "mode"))
+
+    def test_group_by_requires_keys(self, people):
+        with pytest.raises(EngineError):
+            people.group_by()
+
+
+class TestJoinsAndOrdering:
+    def test_inner_join(self, sc, people):
+        cities = DataFrame.from_records(sc, [
+            {"city": "sf", "state": "CA"}])
+        rows = people.join(cities, on="city").collect()
+        assert len(rows) == 2
+        assert all(row["state"] == "CA" for row in rows)
+
+    def test_left_join_keeps_unmatched(self, sc, people):
+        cities = DataFrame.from_records(sc, [{"city": "sf", "state": "CA"}])
+        rows = people.join(cities, on="city", how="left").collect()
+        assert len(rows) == 4
+        nyc = [r for r in rows if r["city"] == "nyc"]
+        assert all("state" not in r or r["state"] is None for r in nyc)
+
+    def test_unsupported_join_type(self, sc, people):
+        with pytest.raises(EngineError):
+            people.join(people, on="city", how="cross")
+
+    def test_order_by(self, people):
+        ages = [r["age"] for r in people.order_by("age").collect()]
+        assert ages == [20, 30, 40, 50]
+        ages = [r["age"] for r in
+                people.order_by("age", ascending=False).collect()]
+        assert ages == [50, 40, 30, 20]
+
+    def test_limit(self, people):
+        assert people.order_by("age").limit(2).count() == 2

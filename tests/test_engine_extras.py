@@ -1,0 +1,90 @@
+"""Tests for the extra RDD/DataFrame operations."""
+
+import pytest
+
+from repro.engine.context import SparkLiteContext
+from repro.engine.dataframe import DataFrame
+from repro.util.errors import EngineError
+
+
+@pytest.fixture(scope="module")
+def sc():
+    context = SparkLiteContext(parallelism=3)
+    yield context
+    context.stop()
+
+
+class TestTakeOrdered:
+    def test_smallest(self, sc):
+        assert sc.parallelize([5, 1, 9, 3]).take_ordered(2) == [1, 3]
+
+    def test_with_key(self, sc):
+        result = sc.parallelize(["bbb", "a", "cc"]).take_ordered(
+            2, key=len)
+        assert result == ["a", "cc"]
+
+
+class TestZipWithIndex:
+    def test_global_positions(self, sc):
+        pairs = sc.parallelize(list("abcde"), 3).zip_with_index().collect()
+        assert pairs == [("a", 0), ("b", 1), ("c", 2), ("d", 3), ("e", 4)]
+
+    def test_empty(self, sc):
+        assert sc.parallelize([]).zip_with_index().collect() == []
+
+
+class TestStats:
+    def test_basic(self, sc):
+        stats = sc.parallelize([1, 2, 3, 4], 2).stats()
+        assert stats["count"] == 4
+        assert stats["mean"] == 2.5
+        assert stats["min"] == 1.0
+        assert stats["max"] == 4.0
+        assert stats["stdev"] == pytest.approx(1.1180, abs=1e-3)
+
+    def test_empty(self, sc):
+        assert sc.parallelize([]).stats()["count"] == 0
+
+    def test_matches_numpy(self, sc):
+        import numpy as np
+        data = list(np.random.default_rng(0).normal(size=500))
+        stats = sc.parallelize(data, 5).stats()
+        assert stats["mean"] == pytest.approx(np.mean(data))
+        assert stats["stdev"] == pytest.approx(np.std(data), abs=1e-9)
+
+
+class TestHistogram:
+    def test_bucket_counts(self, sc):
+        edges, counts = sc.parallelize([0, 1, 2, 3, 4, 5]).histogram(5)
+        assert len(edges) == 6
+        assert sum(counts) == 6
+
+    def test_constant_values(self, sc):
+        edges, counts = sc.parallelize([7, 7, 7]).histogram(4)
+        assert counts == [3]
+
+    def test_empty(self, sc):
+        assert sc.parallelize([]).histogram(3) == ([], [])
+
+    def test_invalid_buckets(self, sc):
+        with pytest.raises(EngineError):
+            sc.parallelize([1]).histogram(0)
+
+
+class TestDataFrameExtras:
+    @pytest.fixture()
+    def df(self, sc):
+        return DataFrame.from_records(sc, [
+            {"g": "a", "v": 1}, {"g": "b", "v": 5}, {"g": "a", "v": 3}])
+
+    def test_describe(self, df):
+        stats = df.describe("v")
+        assert stats["count"] == 3
+        assert stats["mean"] == 3.0
+
+    def test_distinct_values(self, df):
+        assert df.distinct_values("g") == ["a", "b"]
+
+    def test_distinct_handles_none(self, sc):
+        df = DataFrame.from_records(sc, [{"x": None}, {"x": 2}, {"x": None}])
+        assert df.distinct_values("x") == [2, None]

@@ -1,0 +1,58 @@
+"""Tests for engine job instrumentation."""
+
+import pytest
+
+from repro.engine.context import SparkLiteContext
+
+
+@pytest.fixture()
+def sc():
+    context = SparkLiteContext(parallelism=2)
+    yield context
+    context.stop()
+
+
+class TestJobMetrics:
+    def test_narrow_job_counts(self, sc):
+        sc.parallelize(range(10), 4).map(lambda x: x + 1).collect()
+        metrics = sc.last_job_metrics
+        assert metrics.rdds_materialized == 2  # source + map
+        assert metrics.partitions_computed == 8
+        assert metrics.shuffles == 0
+
+    def test_shuffle_records_counted(self, sc):
+        (sc.parallelize(range(100), 4)
+         .map(lambda x: (x % 5, 1))
+         .reduce_by_key(lambda a, b: a + b)
+         .collect())
+        metrics = sc.last_job_metrics
+        assert metrics.shuffles == 1
+        assert metrics.shuffle_records == 100
+
+    def test_cached_hits(self, sc):
+        rdd = sc.parallelize(range(10), 2).map(lambda x: x).cache()
+        rdd.collect()
+        rdd.count()
+        assert sc.last_job_metrics.cached_hits == 1
+        assert sc.last_job_metrics.rdds_materialized == 0
+
+    def test_join_shuffles_both_sides(self, sc):
+        left = sc.parallelize([(1, "a"), (2, "b")], 2)
+        right = sc.parallelize([(1, "x")], 1)
+        left.join(right).collect()
+        assert sc.last_job_metrics.shuffles == 2
+        assert sc.last_job_metrics.shuffle_records == 3
+
+    def test_as_dict_keys(self, sc):
+        sc.parallelize([1]).collect()
+        d = sc.last_job_metrics.as_dict()
+        assert set(d) == {"rdds_materialized", "partitions_computed",
+                          "shuffles", "shuffle_records", "cached_hits"}
+
+    def test_metrics_reset_per_job(self, sc):
+        sc.parallelize(range(50), 2).map(lambda x: (x, 1)) \
+          .reduce_by_key(lambda a, b: a + b).collect()
+        first = sc.last_job_metrics.shuffle_records
+        sc.parallelize([1, 2]).collect()
+        assert sc.last_job_metrics.shuffle_records == 0
+        assert first == 50

@@ -1,0 +1,185 @@
+"""Tests for RDD transformations and actions."""
+
+import pytest
+
+from repro.engine.context import SparkLiteContext
+from repro.util.errors import EngineError
+
+
+@pytest.fixture(scope="module")
+def sc():
+    context = SparkLiteContext(parallelism=3)
+    yield context
+    context.stop()
+
+
+class TestNarrowTransforms:
+    def test_map(self, sc):
+        assert sc.parallelize([1, 2, 3]).map(lambda x: x * 2).collect() \
+            == [2, 4, 6]
+
+    def test_filter(self, sc):
+        assert sc.parallelize(range(10)).filter(
+            lambda x: x % 2 == 0).collect() == [0, 2, 4, 6, 8]
+
+    def test_flat_map(self, sc):
+        assert sc.parallelize(["ab", "c"]).flat_map(list).collect() \
+            == ["a", "b", "c"]
+
+    def test_map_partitions(self, sc):
+        result = sc.parallelize(range(10), 2).map_partitions(
+            lambda part: [sum(part)]).collect()
+        assert sum(result) == 45
+        assert len(result) == 2
+
+    def test_key_by_and_map_values(self, sc):
+        result = (sc.parallelize(["a", "bb"])
+                  .key_by(len).map_values(str.upper).collect())
+        assert result == [(1, "A"), (2, "BB")]
+
+    def test_chained_laziness(self, sc):
+        calls = []
+        rdd = sc.parallelize([1, 2]).map(lambda x: calls.append(x) or x)
+        assert calls == []          # nothing ran yet
+        rdd.collect()
+        assert sorted(calls) == [1, 2]
+
+    def test_union(self, sc):
+        combined = sc.parallelize([1, 2]).union(sc.parallelize([3]))
+        assert sorted(combined.collect()) == [1, 2, 3]
+
+    def test_sample_fraction_bounds(self, sc):
+        with pytest.raises(EngineError):
+            sc.parallelize([1]).sample(1.5)
+
+    def test_sample_subset(self, sc):
+        data = list(range(200))
+        sampled = sc.parallelize(data).sample(0.3, seed=1).collect()
+        assert set(sampled) <= set(data)
+        assert 20 < len(sampled) < 100
+
+
+class TestWideTransforms:
+    def test_reduce_by_key(self, sc):
+        result = (sc.parallelize([("a", 1), ("b", 2), ("a", 3)])
+                  .reduce_by_key(lambda x, y: x + y).collect_as_map())
+        assert result == {"a": 4, "b": 2}
+
+    def test_group_by_key(self, sc):
+        result = dict(sc.parallelize([("a", 1), ("a", 2), ("b", 3)])
+                      .group_by_key().collect())
+        assert sorted(result["a"]) == [1, 2]
+        assert result["b"] == [3]
+
+    def test_aggregate_by_key(self, sc):
+        result = (sc.parallelize([("a", 1), ("a", 5), ("b", 2)])
+                  .aggregate_by_key(0, lambda acc, v: max(acc, v),
+                                    lambda x, y: max(x, y))
+                  .collect_as_map())
+        assert result == {"a": 5, "b": 2}
+
+    def test_distinct(self, sc):
+        assert sorted(sc.parallelize([3, 1, 3, 2, 1]).distinct().collect()) \
+            == [1, 2, 3]
+
+    def test_join(self, sc):
+        left = sc.parallelize([(1, "a"), (2, "b")])
+        right = sc.parallelize([(1, "x"), (1, "y"), (3, "z")])
+        joined = sorted(left.join(right).collect())
+        assert joined == [(1, ("a", "x")), (1, ("a", "y"))]
+
+    def test_left_outer_join(self, sc):
+        left = sc.parallelize([(1, "a"), (2, "b")])
+        right = sc.parallelize([(1, "x")])
+        joined = dict(left.left_outer_join(right).collect())
+        assert joined[1] == ("a", "x")
+        assert joined[2] == ("b", None)
+
+    def test_cogroup(self, sc):
+        left = sc.parallelize([(1, "a")])
+        right = sc.parallelize([(1, "x"), (1, "y")])
+        result = dict(left.cogroup(right).collect())
+        lefts, rights = result[1]
+        assert lefts == ["a"]
+        assert sorted(rights) == ["x", "y"]
+
+    def test_sort_by(self, sc):
+        assert sc.parallelize([3, 1, 2]).sort_by(lambda x: x).collect() \
+            == [1, 2, 3]
+        assert sc.parallelize([3, 1, 2]).sort_by(
+            lambda x: x, ascending=False).collect() == [3, 2, 1]
+
+    def test_repartition_preserves_data(self, sc):
+        rdd = sc.parallelize(range(20), 2).repartition(5)
+        assert rdd.num_partitions == 5
+        assert sorted(rdd.collect()) == list(range(20))
+
+
+class TestActions:
+    def test_count(self, sc):
+        assert sc.parallelize(range(7)).count() == 7
+
+    def test_take_and_first(self, sc):
+        assert sc.parallelize([5, 6, 7]).take(2) == [5, 6]
+        assert sc.parallelize([5]).first() == 5
+
+    def test_first_empty_raises(self, sc):
+        with pytest.raises(EngineError):
+            sc.parallelize([]).first()
+
+    def test_reduce(self, sc):
+        assert sc.parallelize([1, 2, 3, 4]).reduce(lambda a, b: a + b) == 10
+
+    def test_reduce_empty_raises(self, sc):
+        with pytest.raises(EngineError):
+            sc.parallelize([]).reduce(lambda a, b: a + b)
+
+    def test_sum_mean(self, sc):
+        assert sc.parallelize([1, 2, 3]).sum() == 6
+        assert sc.parallelize([1, 2, 3]).mean() == 2.0
+
+    def test_top(self, sc):
+        assert sc.parallelize([5, 9, 1, 7]).top(2) == [9, 7]
+
+    def test_count_by_value(self, sc):
+        assert sc.parallelize(["a", "b", "a"]).count_by_value() \
+            == {"a": 2, "b": 1}
+
+    def test_count_by_key(self, sc):
+        assert sc.parallelize([("a", 1), ("a", 2), ("b", 1)]).count_by_key() \
+            == {"a": 2, "b": 1}
+
+
+class TestCaching:
+    def test_cache_avoids_recompute_across_jobs(self, sc):
+        calls = []
+        rdd = sc.parallelize([1, 2, 3], 1).map(
+            lambda x: calls.append(x) or x).cache()
+        rdd.collect()
+        rdd.collect()
+        assert len(calls) == 3  # second job reused the cache
+
+    def test_unpersist_recomputes(self, sc):
+        calls = []
+        rdd = sc.parallelize([1], 1).map(
+            lambda x: calls.append(x) or x).cache()
+        rdd.collect()
+        rdd.unpersist()
+        rdd.collect()
+        assert len(calls) == 2
+
+
+class TestDatasetInput:
+    def test_one_partition_per_part_file(self, sc):
+        from repro.dfs import MiniDfs, write_json_dataset
+        dfs = MiniDfs(num_datanodes=2)
+        write_json_dataset(dfs, "/d", [{"x": i} for i in range(12)],
+                           partitions=4)
+        rdd = sc.json_dataset(dfs, "/d")
+        assert rdd.num_partitions == 4
+        assert sorted(r["x"] for r in rdd.collect()) == list(range(12))
+
+    def test_missing_dataset_raises(self, sc):
+        from repro.dfs import MiniDfs
+        with pytest.raises(EngineError):
+            sc.json_dataset(MiniDfs(), "/nope")

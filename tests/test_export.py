@@ -1,0 +1,93 @@
+"""Tests for the CSV/GraphML exporters."""
+
+import csv
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.export import (dataframe_to_csv, edges_to_csv,
+                          engagement_table_to_csv, graph_to_graphml,
+                          write_csv)
+from repro.graph.bipartite import BipartiteGraph
+
+
+@pytest.fixture()
+def toy_graph():
+    return BipartiteGraph([(1, 10), (1, 11), (2, 10)])
+
+
+class TestWriteCsv:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "t.csv"
+        count = write_csv(str(path), [{"a": 1, "b": "x"},
+                                      {"a": 2, "b": "y"}])
+        assert count == 2
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert rows[0] == {"a": "1", "b": "x"}
+
+    def test_explicit_columns_order(self, tmp_path):
+        path = tmp_path / "t.csv"
+        write_csv(str(path), [{"z": 1, "a": 2}], columns=["z", "a"])
+        header = open(path).readline().strip()
+        assert header == "z,a"
+
+    def test_empty_without_columns_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv(str(tmp_path / "t.csv"), [])
+
+    def test_extra_keys_ignored(self, tmp_path):
+        path = tmp_path / "t.csv"
+        write_csv(str(path), [{"a": 1, "junk": 2}], columns=["a"])
+        assert open(path).readline().strip() == "a"
+
+
+class TestGraphExports:
+    def test_graphml_structure(self, tmp_path, toy_graph):
+        path = tmp_path / "g.graphml"
+        edges = graph_to_graphml(toy_graph, str(path))
+        assert edges == 3
+        root = ET.parse(path).getroot()
+        ns = "{http://graphml.graphdrawing.org/xmlns}"
+        nodes = root.findall(f".//{ns}node")
+        assert len(nodes) == 4  # 2 investors + 2 companies
+        kinds = {n.find(f"{ns}data").text for n in nodes}
+        assert kinds == {"investor", "company"}
+
+    def test_edges_csv_sorted(self, tmp_path, toy_graph):
+        path = tmp_path / "e.csv"
+        assert edges_to_csv(toy_graph, str(path)) == 3
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        pairs = [(int(r["investor_id"]), int(r["company_id"]))
+                 for r in rows]
+        assert pairs == sorted(pairs)
+
+    def test_real_graph_exports(self, tmp_path, investor_graph):
+        path = tmp_path / "real.graphml"
+        edges = graph_to_graphml(investor_graph, str(path))
+        assert edges == investor_graph.num_edges
+
+
+class TestAnalysisExports:
+    def test_engagement_table_csv(self, tmp_path, crawled_platform):
+        table = crawled_platform.run_plugin("engagement_table")
+        path = tmp_path / "fig6.csv"
+        count = engagement_table_to_csv(table, str(path))
+        assert count == len(table.rows)
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        for row in rows:
+            lo = float(row["success_ci_low_pct"])
+            hi = float(row["success_ci_high_pct"])
+            assert lo <= float(row["success_pct"]) <= hi
+
+    def test_dataframe_csv(self, tmp_path, crawled_platform):
+        from repro.analysis.facts import build_company_facts
+        facts = build_company_facts(crawled_platform.sc,
+                                    crawled_platform.dfs)
+        path = tmp_path / "facts.csv"
+        count = dataframe_to_csv(facts, str(path))
+        assert count == len(crawled_platform.world.companies)
+        header = open(path).readline().strip().split(",")
+        assert header == facts.columns

@@ -1,0 +1,49 @@
+"""Tests for the Spark-style graph construction from crawled data."""
+
+import pytest
+
+from repro.graph.build import build_investor_graph, merge_investment_edges
+
+
+class TestMerge:
+    def test_edges_match_ground_truth(self, crawled_platform):
+        edges = merge_investment_edges(crawled_platform.sc,
+                                       crawled_platform.dfs)
+        truth = {(i.investor_id, i.company_id)
+                 for i in crawled_platform.world.investments}
+        # CrunchBase rounds cap investor lists at 12, so merged edges are
+        # a subset of truth but must cover all AngelList-visible edges.
+        assert set(edges) == truth
+
+    def test_no_duplicate_edges(self, crawled_platform):
+        edges = merge_investment_edges(crawled_platform.sc,
+                                       crawled_platform.dfs)
+        assert len(edges) == len(set(edges))
+
+    def test_crunchbase_contributes_overlapping_evidence(
+            self, crawled_platform):
+        """Rounds re-assert AngelList edges; the union must dedupe them."""
+        sc, dfs = crawled_platform.sc, crawled_platform.dfs
+        cb_edges = (sc.json_dataset(dfs, "/crawl/crunchbase/organizations")
+                    .flat_map(lambda org: [
+                        (int(i), int(org["angellist_id"]))
+                        for r in org.get("funding_rounds", [])
+                        for i in r.get("investor_ids", [])])
+                    .collect())
+        merged = merge_investment_edges(sc, dfs)
+        assert set(cb_edges) <= set(merged)
+
+
+class TestBuild:
+    def test_graph_matches_world_summary(self, crawled_platform,
+                                         investor_graph):
+        summary = crawled_platform.world.summary()
+        assert investor_graph.num_edges == summary["investment_edges"]
+        assert investor_graph.num_investors == summary["active_investors"]
+        assert investor_graph.num_companies == summary["invested_companies"]
+
+    def test_investors_without_investments_omitted(self, crawled_platform,
+                                                   investor_graph):
+        investing = {u.user_id for u in crawled_platform.world.users.values()
+                     if u.investments}
+        assert set(investor_graph.investors) == investing

@@ -1,0 +1,78 @@
+"""End-to-end integration: world → crawl → merge → all analyses.
+
+Uses the session-scoped crawled platform and checks the cross-module
+contracts the paper's pipeline depends on.
+"""
+
+import pytest
+
+from repro.analysis.strength import run_community_study
+
+
+class TestCrawlToAnalysis:
+    def test_crawl_covers_world(self, crawled_platform):
+        summary = crawled_platform.crawl_summary
+        world = crawled_platform.world
+        assert summary.angellist.startups == len(world.companies)
+        assert summary.angellist.users == len(world.users)
+        assert summary.facebook.fetched == len(world.facebook_pages)
+        assert summary.twitter.fetched == len(world.twitter_profiles)
+
+    def test_crawled_graph_equals_ground_truth(self, crawled_platform,
+                                               investor_graph):
+        truth = {(i.investor_id, i.company_id)
+                 for i in crawled_platform.world.investments}
+        assert set(investor_graph.edges()) == truth
+
+    def test_engagement_table_consistent_with_truth(self, crawled_platform):
+        """The table computed from crawled JSON must match the same table
+        computed directly from the ground-truth world."""
+        table = crawled_platform.run_plugin("engagement_table")
+        world = crawled_platform.world
+        fb_truth = sum(1 for c in world.companies.values()
+                       if c.facebook_page_id is not None)
+        assert table.row("Facebook only").companies == fb_truth
+        raised_fb = sum(1 for c in world.companies.values()
+                        if c.facebook_page_id is not None
+                        and c.raised_funding)
+        expected_pct = 100.0 * raised_fb / fb_truth
+        assert table.row("Facebook only").success_pct \
+            == pytest.approx(expected_pct, abs=1e-9)
+
+    def test_community_study_end_to_end(self, crawled_platform,
+                                        investor_graph):
+        study = run_community_study(
+            investor_graph,
+            num_communities=crawled_platform.world.config.num_communities,
+            global_pairs=5_000, seed=1, coda_iters=20)
+        assert study.coda.num_communities >= 2
+        assert study.mean_shared_pct >= study.randomized_mean_shared_pct
+
+    def test_simulated_time_accounts_for_rate_limits(self, crawled_platform):
+        """The crawl's simulated duration must reflect throttling: with
+        8 AngelList tokens at 1000 req/hr, >8000 requests forces >1 h."""
+        crawl = crawled_platform.crawl_summary.angellist
+        if crawl.client_stats.requests > 8000:
+            assert crawl.sim_duration > 3600.0
+
+    def test_dfs_holds_all_datasets(self, crawled_platform):
+        dfs = crawled_platform.dfs
+        for directory in ("/crawl/angellist/startups",
+                          "/crawl/angellist/users",
+                          "/crawl/angellist/follow_edges",
+                          "/crawl/angellist/investments",
+                          "/crawl/crunchbase/organizations",
+                          "/crawl/facebook/pages",
+                          "/crawl/twitter/profiles"):
+            assert dfs.glob_parts(directory), f"{directory} missing"
+
+    def test_dfs_survives_datanode_failure_mid_analysis(self,
+                                                        crawled_platform):
+        dfs = crawled_platform.dfs
+        dfs.kill_datanode("dn0")
+        try:
+            table = crawled_platform.run_plugin("engagement_table")
+            assert table.total_companies \
+                == len(crawled_platform.world.companies)
+        finally:
+            dfs.restart_datanode("dn0")

@@ -1,0 +1,41 @@
+"""Tests for DKW / Glivenko–Cantelli bounds."""
+
+import pytest
+
+from repro.metrics.bounds import dkw_epsilon, dkw_sample_size
+
+
+class TestDkwEpsilon:
+    def test_known_value(self):
+        # n=800000, 99%: sqrt(ln(200)/(1.6e6)) ≈ 0.00182
+        assert dkw_epsilon(800_000, 0.99) == pytest.approx(0.00182, abs=2e-4)
+
+    def test_paper_claim_is_conservative(self):
+        """The paper's ε=0.0196 at n=800k/99% is looser than DKW needs."""
+        assert dkw_epsilon(800_000, 0.99) < 0.0196
+
+    def test_shrinks_with_n(self):
+        assert dkw_epsilon(10_000) < dkw_epsilon(100)
+
+    def test_grows_with_confidence(self):
+        assert dkw_epsilon(1000, 0.999) > dkw_epsilon(1000, 0.9)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            dkw_epsilon(0)
+        with pytest.raises(ValueError):
+            dkw_epsilon(10, 1.0)
+
+
+class TestDkwSampleSize:
+    def test_roundtrip(self):
+        n = dkw_sample_size(0.01, 0.99)
+        assert dkw_epsilon(n, 0.99) <= 0.01
+        assert dkw_epsilon(n - 1, 0.99) > 0.01
+
+    def test_paper_epsilon_needs_far_fewer_pairs(self):
+        assert dkw_sample_size(0.0196, 0.99) < 10_000
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            dkw_sample_size(0.0)

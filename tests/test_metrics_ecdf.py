@@ -1,0 +1,84 @@
+"""Tests for the ECDF and PDF estimators."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.ecdf import EmpiricalCDF, estimate_pdf
+
+
+class TestEmpiricalCDF:
+    def test_basic_evaluation(self):
+        cdf = EmpiricalCDF([1, 2, 3, 4])
+        assert cdf(0) == 0.0
+        assert cdf(2) == 0.5
+        assert cdf(4) == 1.0
+        assert cdf(10) == 1.0
+
+    def test_right_continuity_at_points(self):
+        cdf = EmpiricalCDF([1, 1, 2])
+        assert cdf(1) == pytest.approx(2 / 3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF([])
+
+    def test_summary_stats(self):
+        cdf = EmpiricalCDF([1, 5, 9])
+        assert cdf.mean == 5.0
+        assert cdf.median == 5.0
+        assert cdf.max == 9.0
+        assert cdf.n == 3
+
+    def test_quantile(self):
+        cdf = EmpiricalCDF(list(range(101)))
+        assert cdf.quantile(0.25) == pytest.approx(25.0)
+        with pytest.raises(ValueError):
+            cdf.quantile(2.0)
+
+    def test_series_is_monotone_step(self):
+        cdf = EmpiricalCDF([3, 1, 1, 7])
+        xs, ys = cdf.series()
+        assert list(xs) == [1, 3, 7]
+        assert list(ys) == pytest.approx([0.5, 0.75, 1.0])
+
+    def test_vectorized_evaluate(self):
+        cdf = EmpiricalCDF([1, 2, 3])
+        out = cdf.evaluate([0, 1.5, 5])
+        assert list(out) == pytest.approx([0.0, 1 / 3, 1.0])
+
+    def test_sup_distance_self_is_zero(self):
+        cdf = EmpiricalCDF([1, 2, 3])
+        assert cdf.sup_distance(cdf) == 0.0
+
+    def test_sup_distance_detects_shift(self):
+        a = EmpiricalCDF([0] * 100)
+        b = EmpiricalCDF([1] * 100)
+        assert a.sup_distance(b) == 1.0
+
+    def test_sup_distance_converges_for_same_distribution(self):
+        rng = np.random.default_rng(0)
+        a = EmpiricalCDF(rng.normal(size=4000))
+        b = EmpiricalCDF(rng.normal(size=4000))
+        assert a.sup_distance(b) < 0.06
+
+
+class TestEstimatePdf:
+    def test_density_integrates_to_one(self):
+        rng = np.random.default_rng(1)
+        grid, density = estimate_pdf(rng.normal(size=1000), num_points=200)
+        integral = np.trapezoid(density, grid)
+        assert integral == pytest.approx(1.0, abs=0.05)
+
+    def test_degenerate_sample(self):
+        grid, density = estimate_pdf([5.0, 5.0, 5.0])
+        assert density.max() > 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_pdf([])
+
+    def test_peak_near_mode(self):
+        rng = np.random.default_rng(2)
+        sample = rng.normal(loc=10.0, scale=1.0, size=2000)
+        grid, density = estimate_pdf(sample, num_points=300)
+        assert abs(grid[np.argmax(density)] - 10.0) < 0.5

@@ -1,0 +1,113 @@
+"""Tests for the §5.3 metrics — including the paper's Figure 8 toys.
+
+Figure 8a: investors {1,2,3}, companies {a,b,c};
+  1 → a,b ; 2 → a,b,c ; 3 → b,c
+  pairwise shared sizes: |{ab}∩{abc}|=2, |{ab}∩{bc}|=1, |{abc}∩{bc}|=2
+  → average (2+2+1)/3 = 1.67; all 3 companies have ≥2 investors → 100%.
+
+Figure 8b: investors {1,2,3}, companies {a,b,c,d};
+  1 → a,b ; 2 → b,c ; 3 → d
+  → average (1+0+0)/3 = 0.33; 1 of 4 companies shared → 25%.
+"""
+
+import pytest
+
+from repro.metrics.shared import (average_shared_investment_size,
+                                  community_strength,
+                                  pairwise_shared_sizes,
+                                  sampled_shared_sizes,
+                                  shared_investment_size,
+                                  shared_investor_percentage)
+from repro.util.rng import RngStream
+
+FIG_8A = {1: {"a", "b"}, 2: {"a", "b", "c"}, 3: {"b", "c"}}
+FIG_8B = {1: {"a", "b"}, 2: {"b", "c"}, 3: {"d"}}
+
+
+class TestPaperToyExamples:
+    def test_figure_8a_average(self):
+        assert average_shared_investment_size([1, 2, 3], FIG_8A) \
+            == pytest.approx(5 / 3)
+
+    def test_figure_8a_percentage(self):
+        assert shared_investor_percentage([1, 2, 3], FIG_8A, k=2) == 100.0
+
+    def test_figure_8b_average(self):
+        assert average_shared_investment_size([1, 2, 3], FIG_8B) \
+            == pytest.approx(1 / 3)
+
+    def test_figure_8b_percentage(self):
+        assert shared_investor_percentage([1, 2, 3], FIG_8B, k=2) == 25.0
+
+
+class TestSharedSize:
+    def test_pair(self):
+        assert shared_investment_size({1, 2, 3}, {2, 3, 4}) == 2
+
+    def test_disjoint(self):
+        assert shared_investment_size({1}, {2}) == 0
+
+    def test_pairwise_count(self):
+        sizes = pairwise_shared_sizes([1, 2, 3], FIG_8A)
+        assert len(sizes) == 3
+
+    def test_single_member_community(self):
+        assert average_shared_investment_size([1], FIG_8A) == 0.0
+        assert pairwise_shared_sizes([1], FIG_8A) == []
+
+    def test_unknown_member_treated_empty(self):
+        assert average_shared_investment_size([1, 99], FIG_8A) == 0.0
+
+
+class TestSharedInvestorPercentage:
+    def test_k_one_counts_everything(self):
+        assert shared_investor_percentage([1, 2, 3], FIG_8B, k=1) == 100.0
+
+    def test_k_three(self):
+        # only company b has 2 investors in 8b; none has 3
+        assert shared_investor_percentage([1, 2, 3], FIG_8B, k=3) == 0.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            shared_investor_percentage([1], FIG_8A, k=0)
+
+    def test_empty_community(self):
+        assert shared_investor_percentage([], FIG_8A) == 0.0
+
+
+class TestSampling:
+    def test_sampled_sizes_count(self):
+        rng = RngStream(1)
+        sizes = sampled_shared_sizes([1, 2, 3], FIG_8A, 500, rng)
+        assert len(sizes) == 500
+        assert set(sizes) <= {0, 1, 2}
+
+    def test_never_pairs_investor_with_itself(self):
+        portfolios = {1: {"a"}, 2: set()}
+        sizes = sampled_shared_sizes([1, 2], portfolios, 200, RngStream(2))
+        # the only possible pair is (1,2) with overlap 0
+        assert set(sizes) == {0}
+
+    def test_too_few_investors(self):
+        assert sampled_shared_sizes([1], FIG_8A, 10, RngStream(1)) == []
+
+    def test_deterministic(self):
+        a = sampled_shared_sizes([1, 2, 3], FIG_8A, 100, RngStream(7))
+        b = sampled_shared_sizes([1, 2, 3], FIG_8A, 100, RngStream(7))
+        assert a == b
+
+
+class TestCommunityStrength:
+    def test_dataclass_fields(self):
+        strength = community_strength(5, [1, 2, 3], FIG_8A)
+        assert strength.community_id == 5
+        assert strength.size == 3
+        assert strength.avg_shared_size == pytest.approx(5 / 3)
+        assert strength.max_shared_size == 2
+        assert strength.shared_investor_pct == 100.0
+
+    def test_strong_beats_weak(self):
+        strong = community_strength(0, [1, 2, 3], FIG_8A)
+        weak = community_strength(1, [1, 2, 3], FIG_8B)
+        assert strong.avg_shared_size > weak.avg_shared_size
+        assert strong.shared_investor_pct > weak.shared_investor_pct

@@ -1,0 +1,99 @@
+"""Tests for the significance helpers."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.significance import (bootstrap_mean_ci, chi_square_2x2,
+                                        odds_ratio, wilson_interval)
+
+
+class TestChiSquare:
+    def test_strong_association_small_p(self):
+        # 80/100 vs 10/100 successes
+        result = chi_square_2x2(80, 20, 10, 90)
+        assert result.p_value < 1e-10
+
+    def test_no_association_large_p(self):
+        result = chi_square_2x2(50, 50, 50, 50)
+        assert result.p_value > 0.9
+
+    def test_yates_conservative(self):
+        with_yates = chi_square_2x2(8, 2, 2, 8, yates=True)
+        without = chi_square_2x2(8, 2, 2, 8, yates=False)
+        assert with_yates.statistic < without.statistic
+
+    def test_degenerate_margin(self):
+        result = chi_square_2x2(0, 0, 5, 5)
+        assert result.p_value == 1.0
+
+    def test_negative_cell_rejected(self):
+        with pytest.raises(ValueError):
+            chi_square_2x2(-1, 1, 1, 1)
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(ValueError):
+            chi_square_2x2(0, 0, 0, 0)
+
+    def test_matches_scipy(self):
+        from scipy.stats import chi2_contingency
+        ours = chi_square_2x2(30, 70, 12, 88)
+        theirs = chi2_contingency([[30, 70], [12, 88]], correction=True)
+        assert ours.statistic == pytest.approx(theirs.statistic, rel=1e-9)
+        assert ours.p_value == pytest.approx(theirs.pvalue, rel=1e-9)
+
+
+class TestOddsRatio:
+    def test_positive_association(self):
+        assert odds_ratio(80, 20, 10, 90) > 10
+
+    def test_no_association_near_one(self):
+        assert odds_ratio(50, 50, 50, 50) == pytest.approx(1.0, abs=0.05)
+
+    def test_haldane_handles_zero_cells(self):
+        value = odds_ratio(10, 0, 0, 10)
+        assert np.isfinite(value)
+        assert value > 100
+
+
+class TestWilson:
+    def test_contains_proportion(self):
+        lo, hi = wilson_interval(30, 100)
+        assert lo < 0.30 < hi
+
+    def test_zero_successes(self):
+        lo, hi = wilson_interval(0, 50)
+        assert lo == 0.0
+        assert hi > 0.0
+
+    def test_all_successes(self):
+        lo, hi = wilson_interval(50, 50)
+        assert hi == 1.0
+        assert lo < 1.0
+
+    def test_narrows_with_n(self):
+        lo1, hi1 = wilson_interval(10, 100)
+        lo2, hi2 = wilson_interval(100, 1000)
+        assert (hi2 - lo2) < (hi1 - lo1)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 4)
+
+
+class TestBootstrap:
+    def test_contains_true_mean(self):
+        rng = np.random.default_rng(0)
+        sample = rng.normal(loc=5.0, size=400)
+        lo, hi = bootstrap_mean_ci(sample, seed=1)
+        assert lo < 5.0 < hi
+
+    def test_deterministic(self):
+        sample = [1.0, 2.0, 3.0, 4.0]
+        assert bootstrap_mean_ci(sample, seed=2) \
+            == bootstrap_mean_ci(sample, seed=2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([])

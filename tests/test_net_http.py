@@ -1,0 +1,120 @@
+"""Tests for the simulated HTTP substrate."""
+
+import pytest
+
+from repro.net.http import Request, Response, Route, SimServer, paginate
+from repro.net.faults import FaultPlan
+from repro.net.latency import LatencyModel
+from repro.util.clock import SimClock
+
+
+class TestRoute:
+    def test_exact_match(self):
+        route = Route("GET", "/a/b", lambda r: Response.json({}))
+        assert route.match("GET", "/a/b") == {}
+
+    def test_path_params_extracted(self):
+        route = Route("GET", "/1/startups/:id", lambda r: Response.json({}))
+        assert route.match("GET", "/1/startups/42") == {"id": "42"}
+
+    def test_method_mismatch(self):
+        route = Route("GET", "/a", lambda r: Response.json({}))
+        assert route.match("POST", "/a") is None
+
+    def test_length_mismatch(self):
+        route = Route("GET", "/a/:x", lambda r: Response.json({}))
+        assert route.match("GET", "/a/b/c") is None
+
+
+class TestRequest:
+    def test_bearer_token(self):
+        req = Request("GET", "/", headers={"Authorization": "Bearer tok1"})
+        assert req.token == "tok1"
+
+    def test_query_token(self):
+        req = Request("GET", "/", params={"access_token": "tok2"})
+        assert req.token == "tok2"
+
+    def test_no_token(self):
+        assert Request("GET", "/").token is None
+
+
+class TestSimServer:
+    def _make(self, **kwargs) -> SimServer:
+        server = SimServer(**kwargs)
+        server.route("GET", "/hello/:name",
+                     lambda r: Response.json({"hi": r.path_params["name"]}))
+        return server
+
+    def test_dispatch(self):
+        server = self._make()
+        response = server.get("/hello/world")
+        assert response.ok
+        assert response.body == {"hi": "world"}
+
+    def test_unknown_route_404(self):
+        assert self._make().get("/nope").status == 404
+
+    def test_request_count_increments(self):
+        server = self._make()
+        server.get("/hello/a")
+        server.get("/hello/b")
+        assert server.request_count == 2
+
+    def test_latency_advances_clock(self):
+        clock = SimClock()
+        server = self._make(clock=clock,
+                            latency=LatencyModel(base=0.25, jitter=0.0))
+        server.get("/hello/x")
+        assert clock.now() == pytest.approx(0.25)
+
+    def test_fault_injection_produces_5xx(self):
+        server = self._make(faults=FaultPlan.flaky(p_error=0.999))
+        response = server.get("/hello/x")
+        assert response.status in (500, 503)
+
+    def test_fault_free_plan_never_fails(self):
+        server = self._make(faults=FaultPlan.none())
+        assert all(server.get("/hello/x").ok for _ in range(20))
+
+
+class TestPaginate:
+    def test_slices(self):
+        items, last = paginate(list(range(10)), page=2, per_page=4)
+        assert items == [4, 5, 6, 7]
+        assert last == 3
+
+    def test_empty_list_one_page(self):
+        items, last = paginate([], page=1, per_page=10)
+        assert items == []
+        assert last == 1
+
+    def test_page_past_end_empty(self):
+        items, last = paginate([1, 2], page=5, per_page=2)
+        assert items == []
+
+    def test_invalid_page(self):
+        with pytest.raises(ValueError):
+            paginate([1], page=0, per_page=1)
+
+
+class TestLatencyModel:
+    def test_deterministic_jitter(self):
+        model = LatencyModel(base=0.1, jitter=0.2, seed=4)
+        assert model.sample(10) == model.sample(10)
+
+    def test_jitter_within_bounds(self):
+        model = LatencyModel(base=0.1, jitter=0.2, seed=4)
+        for index in range(100):
+            assert 0.1 <= model.sample(index) <= 0.3
+
+
+class TestFaultPlan:
+    def test_rate_roughly_matches(self):
+        plan = FaultPlan.flaky(p_error=0.2, seed=1)
+        failures = sum(plan.inject(i) is not None for i in range(2000))
+        assert 300 < failures < 500
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            FaultPlan.flaky(p_error=1.0)

@@ -1,0 +1,72 @@
+"""Platform-level fault-injection integration tests.
+
+The unit tests exercise retry logic against scripted servers; these run
+the *whole* §3 pipeline against flaky, slow sources and require the
+final datasets to be byte-identical to a fault-free crawl.
+"""
+
+import pytest
+
+from repro.core.platform import ExploratoryPlatform, PlatformConfig
+from repro.dfs.jsonlines import read_json_dataset
+from repro.net.faults import FaultPlan
+from repro.net.latency import LatencyModel
+from repro.world.config import WorldConfig
+from repro.world.generator import generate_world
+
+
+@pytest.fixture(scope="module")
+def flaky_run():
+    """One world crawled twice: clean vs 3% faults + latency."""
+    world = generate_world(WorldConfig(scale=0.002, seed=77))
+    clean = ExploratoryPlatform(world)
+    clean.run_full_crawl()
+
+    flaky = ExploratoryPlatform(world, config=PlatformConfig(
+        faults=FaultPlan.flaky(p_error=0.03, seed=5),
+        latency=LatencyModel.typical(seed=5)))
+    flaky.run_full_crawl()
+    yield clean, flaky
+    clean.close()
+    flaky.close()
+
+
+class TestFaultyPipeline:
+    def test_crawl_completes_despite_faults(self, flaky_run):
+        clean, flaky = flaky_run
+        assert flaky.crawl_summary.angellist.startups \
+            == clean.crawl_summary.angellist.startups
+        assert flaky.crawl_summary.angellist.users \
+            == clean.crawl_summary.angellist.users
+
+    def test_retries_actually_happened(self, flaky_run):
+        _clean, flaky = flaky_run
+        stats = flaky.crawl_summary.angellist.client_stats
+        assert stats.retries > 0
+        assert stats.failures == 0
+
+    def test_datasets_identical_to_clean_run(self, flaky_run):
+        clean, flaky = flaky_run
+        for directory in ("/crawl/angellist/startups",
+                          "/crawl/angellist/investments",
+                          "/crawl/crunchbase/organizations",
+                          "/crawl/twitter/profiles"):
+            clean_records = sorted(
+                read_json_dataset(clean.dfs, directory),
+                key=lambda r: sorted(r.items()).__repr__())
+            flaky_records = sorted(
+                read_json_dataset(flaky.dfs, directory),
+                key=lambda r: sorted(r.items()).__repr__())
+            assert clean_records == flaky_records, directory
+
+    def test_latency_accrues_simulated_time(self, flaky_run):
+        clean, flaky = flaky_run
+        assert flaky.crawl_summary.angellist.sim_duration \
+            > clean.crawl_summary.angellist.sim_duration
+
+    def test_analyses_agree(self, flaky_run):
+        clean, flaky = flaky_run
+        clean_table = clean.run_plugin("engagement_table")
+        flaky_table = flaky.run_plugin("engagement_table")
+        for clean_row, flaky_row in zip(clean_table.rows, flaky_table.rows):
+            assert clean_row == flaky_row

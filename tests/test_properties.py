@@ -1,0 +1,207 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dfs.filesystem import MiniDfs
+from repro.engine.context import SparkLiteContext
+from repro.graph.bipartite import BipartiteGraph
+from repro.metrics.bounds import dkw_epsilon
+from repro.metrics.ecdf import EmpiricalCDF
+from repro.metrics.shared import (average_shared_investment_size,
+                                  shared_investment_size,
+                                  shared_investor_percentage)
+from repro.net.http import paginate
+from repro.sources.base import FixedWindowLimiter
+from repro.util.clock import SimClock
+from repro.util.rng import RngStream, derive_seed
+
+# ---------------------------------------------------------------- strategies
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 30), st.integers(100, 140)),
+    max_size=200)
+
+small_sets = st.sets(st.integers(0, 50), max_size=20)
+
+float_samples = st.lists(
+    st.floats(allow_nan=False, allow_infinity=False,
+              min_value=-1e6, max_value=1e6),
+    min_size=1, max_size=200)
+
+
+# -------------------------------------------------------------------- ECDF
+
+@given(float_samples)
+def test_ecdf_bounds_and_monotonicity(values):
+    cdf = EmpiricalCDF(values)
+    xs = sorted(values)
+    evaluated = [cdf(x) for x in xs]
+    assert all(0.0 <= v <= 1.0 for v in evaluated)
+    assert evaluated == sorted(evaluated)
+    assert cdf(max(values)) == 1.0
+
+
+@given(float_samples)
+def test_ecdf_series_sums_to_one(values):
+    cdf = EmpiricalCDF(values)
+    _xs, ys = cdf.series()
+    assert abs(ys[-1] - 1.0) < 1e-9
+
+
+@given(st.integers(1, 10**7), st.floats(0.5, 0.999))
+def test_dkw_epsilon_positive_and_decreasing(n, confidence):
+    eps = dkw_epsilon(n, confidence)
+    assert eps > 0
+    assert dkw_epsilon(n * 4, confidence) < eps
+
+
+# ----------------------------------------------------------- shared metrics
+
+@given(small_sets, small_sets)
+def test_shared_size_bounded_by_smaller_portfolio(a, b):
+    size = shared_investment_size(a, b)
+    assert 0 <= size <= min(len(a), len(b))
+    assert size == shared_investment_size(b, a)  # symmetric
+
+
+@given(st.dictionaries(st.integers(0, 8), small_sets, max_size=9))
+def test_average_shared_size_nonnegative(portfolios):
+    members = sorted(portfolios)
+    avg = average_shared_investment_size(members, portfolios)
+    assert avg >= 0.0
+    if members:
+        caps = [len(portfolios[m]) for m in members]
+        assert avg <= max(caps, default=0)
+
+
+@given(st.dictionaries(st.integers(0, 8), small_sets, min_size=1,
+                       max_size=9),
+       st.integers(1, 4))
+def test_shared_percentage_in_range_and_antitone_in_k(portfolios, k):
+    members = sorted(portfolios)
+    pct_k = shared_investor_percentage(members, portfolios, k=k)
+    pct_k1 = shared_investor_percentage(members, portfolios, k=k + 1)
+    assert 0.0 <= pct_k <= 100.0
+    assert pct_k1 <= pct_k  # requiring more investors can't find more
+
+
+# ------------------------------------------------------------------- graph
+
+@given(edge_lists)
+def test_bipartite_graph_degree_sums_equal_edges(edges):
+    graph = BipartiteGraph(edges)
+    assert graph.out_degrees().sum() == graph.num_edges
+    assert graph.in_degrees().sum() == graph.num_edges
+
+
+@given(edge_lists, st.integers(1, 5))
+def test_filter_investors_keeps_only_heavy(edges, threshold):
+    graph = BipartiteGraph(edges)
+    filtered = graph.filter_investors(threshold)
+    assert all(filtered.out_degree(u) >= threshold
+               for u in filtered.investors)
+    assert filtered.num_edges <= graph.num_edges
+
+
+@given(edge_lists)
+def test_projection_weights_bounded_by_min_degree(edges):
+    graph = BipartiteGraph(edges)
+    for (a, b), weight in graph.investor_projection().items():
+        assert weight <= min(graph.out_degree(a), graph.out_degree(b))
+
+
+# ------------------------------------------------------------------ engine
+
+@given(st.lists(st.integers(-1000, 1000), max_size=300),
+       st.integers(1, 6))
+def test_engine_wordcount_matches_python(data, partitions):
+    with SparkLiteContext(parallelism=2) as sc:
+        result = (sc.parallelize(data, partitions)
+                  .map(lambda x: (x % 5, 1))
+                  .reduce_by_key(lambda a, b: a + b)
+                  .collect_as_map())
+    expected = {}
+    for x in data:
+        expected[x % 5] = expected.get(x % 5, 0) + 1
+    assert result == expected
+
+
+@given(st.lists(st.integers(), max_size=200), st.integers(1, 5))
+def test_engine_distinct_matches_set(data, partitions):
+    with SparkLiteContext(parallelism=2) as sc:
+        result = sc.parallelize(data, partitions).distinct().collect()
+    assert sorted(result) == sorted(set(data))
+
+
+# --------------------------------------------------------------------- DFS
+
+@given(st.binary(max_size=5000), st.integers(1, 64))
+def test_dfs_roundtrip_any_payload(payload, block_size):
+    dfs = MiniDfs(num_datanodes=3, block_size=block_size, seed=2)
+    dfs.create("/f", payload)
+    assert dfs.read("/f") == payload
+
+
+@given(st.lists(st.dictionaries(st.text(max_size=5),
+                                st.integers(), max_size=4),
+                max_size=40),
+       st.integers(1, 6))
+def test_jsonlines_roundtrip(records, partitions):
+    from repro.dfs.jsonlines import read_json_dataset, write_json_dataset
+    dfs = MiniDfs(num_datanodes=2)
+    write_json_dataset(dfs, "/d", records, partitions=partitions)
+    assert read_json_dataset(dfs, "/d") == records
+
+
+# ------------------------------------------------------------- rate limiter
+
+@given(st.integers(1, 50), st.floats(1.0, 1000.0),
+       st.integers(1, 120))
+def test_fixed_window_never_exceeds_budget(limit, window, requests):
+    clock = SimClock()
+    limiter = FixedWindowLimiter(limit, window, clock)
+    allowed = sum(limiter.check("k") is None for _ in range(requests))
+    assert allowed == min(limit, requests)
+
+
+@given(st.integers(1, 20), st.floats(1.0, 100.0))
+def test_fixed_window_resets_after_window(limit, window):
+    clock = SimClock()
+    limiter = FixedWindowLimiter(limit, window, clock)
+    for _ in range(limit):
+        assert limiter.check("k") is None
+    assert limiter.check("k") is not None
+    clock.sleep(window)
+    assert limiter.check("k") is None
+
+
+# ------------------------------------------------------------------- misc
+
+@given(st.integers(0, 2**63), st.text(max_size=30))
+def test_derive_seed_stable_and_bounded(seed, label):
+    a = derive_seed(seed, label)
+    assert a == derive_seed(seed, label)
+    assert 0 <= a < 2**64
+
+
+@given(st.lists(st.integers(), max_size=100),
+       st.integers(1, 10), st.integers(1, 10))
+def test_paginate_partitions_exactly(items, per_page, _unused):
+    page = 1
+    collected = []
+    while True:
+        chunk, last = paginate(items, page, per_page)
+        collected.extend(chunk)
+        if page >= last:
+            break
+        page += 1
+    assert collected == items
+
+
+@given(st.floats(2.0, 3.0), st.integers(2, 500))
+def test_zipf_bounded_within_range(alpha, max_value):
+    draws = RngStream(3).zipf_bounded(alpha, max_value, size=50)
+    assert draws.min() >= 1
+    assert draws.max() <= max_value

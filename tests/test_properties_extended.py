@@ -1,0 +1,132 @@
+"""Second round of property-based tests: joins, lifecycle matching,
+recommendation and significance invariants."""
+
+from collections import defaultdict
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.dynamic_communities import _jaccard, _overlap
+from repro.analysis.prediction import auc_score
+from repro.analysis.recommend import InvestorRecommender
+from repro.engine.context import SparkLiteContext
+from repro.graph.bipartite import BipartiteGraph
+from repro.metrics.significance import chi_square_2x2, wilson_interval
+
+import numpy as np
+
+kv_lists = st.lists(st.tuples(st.integers(0, 6), st.integers(-50, 50)),
+                    max_size=60)
+node_sets = st.sets(st.integers(0, 40), max_size=15)
+edge_lists = st.lists(st.tuples(st.integers(0, 15), st.integers(100, 130)),
+                      min_size=1, max_size=80)
+
+
+# ------------------------------------------------------------------ engine
+
+@given(kv_lists, kv_lists)
+def test_engine_join_matches_nested_loop(left, right):
+    expected = sorted(
+        (k, (lv, rv)) for k, lv in left for k2, rv in right if k == k2)
+    with SparkLiteContext(parallelism=2) as sc:
+        joined = sorted(sc.parallelize(left, 3)
+                        .join(sc.parallelize(right, 2)).collect())
+    assert joined == expected
+
+
+@given(kv_lists)
+def test_engine_left_join_preserves_left_cardinality_lower_bound(pairs):
+    with SparkLiteContext(parallelism=2) as sc:
+        left = sc.parallelize(pairs, 2)
+        out = left.left_outer_join(sc.parallelize([], 1)).collect()
+    assert sorted(k for k, _v in out) == sorted(k for k, _v in pairs)
+    assert all(v[1] is None for _k, v in out)
+
+
+@given(st.lists(st.integers(-100, 100), max_size=100), st.integers(1, 5))
+def test_engine_stats_matches_python(data, partitions):
+    with SparkLiteContext(parallelism=2) as sc:
+        stats = sc.parallelize(data, partitions).stats()
+    assert stats["count"] == len(data)
+    if data:
+        assert stats["mean"] == pytest.approx(sum(data) / len(data))
+        assert stats["min"] == min(data)
+        assert stats["max"] == max(data)
+
+
+# -------------------------------------------------------- set similarities
+
+@given(node_sets, node_sets)
+def test_jaccard_and_overlap_bounds(a, b):
+    j = _jaccard(a, b)
+    o = _overlap(a, b)
+    assert 0.0 <= j <= 1.0
+    assert 0.0 <= o <= 1.0
+    assert o >= j  # overlap coefficient dominates Jaccard
+    if a and a == b:
+        assert j == o == 1.0
+
+
+@given(node_sets, node_sets)
+def test_overlap_one_iff_containment(a, b):
+    if a and b:
+        contained = a <= b or b <= a
+        assert (_overlap(a, b) == 1.0) == contained
+
+
+# ------------------------------------------------------------ significance
+
+@given(st.integers(0, 200), st.integers(0, 200),
+       st.integers(0, 200), st.integers(0, 200))
+def test_chi_square_p_value_in_range(a, b, c, d):
+    if a + b + c + d == 0:
+        return
+    result = chi_square_2x2(a, b, c, d)
+    assert 0.0 <= result.p_value <= 1.0
+    assert result.statistic >= 0.0
+
+
+@given(st.integers(1, 500), st.data())
+def test_wilson_interval_ordering(total, data):
+    successes = data.draw(st.integers(0, total))
+    lo, hi = wilson_interval(successes, total)
+    assert 0.0 <= lo <= successes / total <= hi <= 1.0
+
+
+# -------------------------------------------------------------------- AUC
+
+@given(st.lists(st.tuples(st.booleans(),
+                          st.floats(0, 1, allow_nan=False)),
+                min_size=4, max_size=100))
+def test_auc_complement_symmetry(pairs):
+    labels = np.array([1.0 if flag else 0.0 for flag, _s in pairs])
+    scores = np.array([s for _f, s in pairs])
+    if labels.min() == labels.max():
+        return
+    auc = auc_score(labels, scores)
+    flipped = auc_score(labels, -scores)
+    assert auc == pytest.approx(1.0 - flipped, abs=1e-9)
+    assert 0.0 <= auc <= 1.0
+
+
+# ---------------------------------------------------------- recommendation
+
+@given(edge_lists)
+def test_recommender_never_recommends_portfolio(edges):
+    graph = BipartiteGraph(edges)
+    recommender = InvestorRecommender(graph)
+    for investor in graph.investors[:5]:
+        top = recommender.recommend(investor, k=10)
+        portfolio = graph.portfolio(investor)
+        assert all(c not in portfolio for c, _s in top)
+        scores = [s for _c, s in top]
+        assert scores == sorted(scores, reverse=True)
+
+
+@given(edge_lists)
+def test_recommender_scores_nonnegative(edges):
+    graph = BipartiteGraph(edges)
+    recommender = InvestorRecommender(graph)
+    investor = graph.investors[0]
+    for company in graph.companies[:10]:
+        assert recommender.score(investor, company) >= 0.0

@@ -1,0 +1,159 @@
+"""Tests for the simulated AngelList API."""
+
+import pytest
+
+from repro.sources.angellist import AngelListServer, PER_PAGE
+
+
+@pytest.fixture(scope="module")
+def server(tiny_world):
+    return AngelListServer(tiny_world)
+
+
+@pytest.fixture(scope="module")
+def token(server):
+    return server.issue_token("test")
+
+
+def _auth(token):
+    return {"Authorization": f"Bearer {token}"}
+
+
+class TestAuth:
+    def test_requires_token(self, server):
+        assert server.get("/1/startups", {"filter": "raising"}).status == 401
+
+    def test_bad_token_rejected(self, server):
+        response = server.get("/1/startups", {"filter": "raising"},
+                              {"Authorization": "Bearer nope"})
+        assert response.status == 401
+
+
+class TestListing:
+    def test_only_raising_filter_supported(self, server, token):
+        assert server.get("/1/startups", {"filter": "all"},
+                          _auth(token)).status == 400
+
+    def test_lists_only_raising_startups(self, server, token, tiny_world):
+        body = server.get("/1/startups", {"filter": "raising", "page": 1},
+                          _auth(token)).body
+        raising = [c for c in tiny_world.companies.values()
+                   if c.currently_raising]
+        assert body["total"] == len(raising)
+
+    def test_pagination_collects_all(self, server, token, tiny_world):
+        collected = []
+        page = 1
+        while True:
+            body = server.get("/1/startups",
+                              {"filter": "raising", "page": page},
+                              _auth(token)).body
+            collected.extend(s["id"] for s in body["startups"])
+            if page >= body["last_page"]:
+                break
+            page += 1
+        raising = {c.company_id for c in tiny_world.companies.values()
+                   if c.currently_raising}
+        assert set(collected) == raising
+
+
+class TestStartupProfile:
+    def test_profile_fields(self, server, token, tiny_world):
+        cid = next(iter(tiny_world.companies))
+        body = server.get(f"/1/startups/{cid}", {}, _auth(token)).body
+        assert body["id"] == cid
+        assert "facebook_url" in body
+        assert "crunchbase_url" in body
+        assert "video_url" in body
+
+    def test_unknown_startup_404(self, server, token):
+        assert server.get("/1/startups/999999999", {},
+                          _auth(token)).status == 404
+
+    def test_non_numeric_id_404(self, server, token):
+        assert server.get("/1/startups/abc", {}, _auth(token)).status == 404
+
+    def test_urls_resolve_against_other_sources(self, server, token,
+                                                tiny_world):
+        with_fb = next(c for c in tiny_world.companies.values()
+                       if c.facebook_page_id is not None)
+        body = server.get(f"/1/startups/{with_fb.company_id}", {},
+                          _auth(token)).body
+        assert body["facebook_url"].startswith("https://facebook.example/")
+
+    def test_video_url_iff_has_video(self, server, token, tiny_world):
+        for company in list(tiny_world.companies.values())[:50]:
+            body = server.get(f"/1/startups/{company.company_id}", {},
+                              _auth(token)).body
+            assert bool(body["video_url"]) == company.has_video
+
+
+class TestFollowersAndFollowing:
+    def test_followers_match_world(self, server, token, tiny_world):
+        followers = tiny_world.company_followers()
+        cid = max(followers, key=lambda c: len(followers[c]))
+        collected = []
+        page = 1
+        while True:
+            body = server.get(f"/1/startups/{cid}/followers",
+                              {"page": page}, _auth(token)).body
+            collected.extend(u["id"] for u in body["users"])
+            if page >= body["last_page"]:
+                break
+            page += 1
+        assert sorted(collected) == sorted(followers[cid])
+
+    def test_following_startup_pages(self, server, token, tiny_world):
+        uid = max(tiny_world.users,
+                  key=lambda u: len(tiny_world.users[u].follows_companies))
+        expected = tiny_world.users[uid].follows_companies
+        body = server.get(f"/1/users/{uid}/following",
+                          {"type": "startup", "page": 1},
+                          _auth(token)).body
+        assert [i["id"] for i in body["items"]] == expected[:PER_PAGE]
+
+    def test_unknown_follow_type(self, server, token, tiny_world):
+        uid = next(iter(tiny_world.users))
+        assert server.get(f"/1/users/{uid}/following", {"type": "cats"},
+                          _auth(token)).status == 400
+
+    def test_investments_endpoint(self, server, token, tiny_world):
+        investor = next(u for u in tiny_world.users.values()
+                        if u.investments)
+        body = server.get(f"/1/users/{investor.user_id}/investments",
+                          {"page": 1}, _auth(token)).body
+        ids = [i["startup_id"] for i in body["investments"]]
+        assert ids == investor.investments[:PER_PAGE]
+
+
+class TestRateLimit:
+    def test_429_after_limit(self, tiny_world):
+        server = AngelListServer(tiny_world)
+        token = server.issue_token("hammer")
+        cid = next(iter(tiny_world.companies))
+        statuses = [server.get(f"/1/startups/{cid}", {},
+                               _auth(token)).status
+                    for _ in range(1001)]
+        assert statuses[-1] == 429
+        assert statuses[0] == 200
+
+    def test_retry_after_header(self, tiny_world):
+        server = AngelListServer(tiny_world)
+        token = server.issue_token("hammer")
+        cid = next(iter(tiny_world.companies))
+        last = None
+        for _ in range(1001):
+            last = server.get(f"/1/startups/{cid}", {}, _auth(token))
+        assert float(last.headers["Retry-After"]) > 0
+
+    def test_window_resets(self, tiny_world):
+        server = AngelListServer(tiny_world)
+        token = server.issue_token("hammer")
+        cid = next(iter(tiny_world.companies))
+        for _ in range(1000):
+            server.get(f"/1/startups/{cid}", {}, _auth(token))
+        assert server.get(f"/1/startups/{cid}", {},
+                          _auth(token)).status == 429
+        server.clock.sleep(3601)
+        assert server.get(f"/1/startups/{cid}", {},
+                          _auth(token)).status == 200

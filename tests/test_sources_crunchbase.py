@@ -1,0 +1,102 @@
+"""Tests for the simulated CrunchBase API."""
+
+import pytest
+
+from repro.sources.crunchbase import CrunchBaseServer, normalize_name
+
+
+@pytest.fixture(scope="module")
+def server(tiny_world):
+    return CrunchBaseServer(tiny_world)
+
+
+@pytest.fixture(scope="module")
+def key(server):
+    return server.issue_key("test")
+
+
+@pytest.fixture(scope="module")
+def cb_company(tiny_world):
+    return next(c for c in tiny_world.companies.values()
+                if c.crunchbase_id is not None and c.raised_funding)
+
+
+class TestNormalizeName:
+    def test_lowercases(self):
+        assert normalize_name("NovaLabs 3") == "novalabs 3"
+
+    def test_collapses_whitespace(self):
+        assert normalize_name("  A   B  ") == "a b"
+
+
+class TestAuth:
+    def test_requires_user_key(self, server):
+        assert server.get("/v3/organizations", {"name": "x"}).status == 401
+
+    def test_invalid_key(self, server):
+        assert server.get("/v3/organizations",
+                          {"name": "x", "user_key": "bad"}).status == 401
+
+
+class TestLookup:
+    def test_get_by_permalink(self, server, key, cb_company):
+        body = server.get(f"/v3/organizations/{cb_company.slug}",
+                          {"user_key": key}).body
+        assert body["data"]["angellist_id"] == cb_company.company_id
+        assert body["data"]["num_funding_rounds"] == len(cb_company.rounds)
+
+    def test_funding_totals_sum_rounds(self, server, key, cb_company):
+        body = server.get(f"/v3/organizations/{cb_company.slug}",
+                          {"user_key": key}).body
+        assert body["data"]["total_funding_usd"] == sum(
+            r.amount_usd for r in cb_company.rounds)
+
+    def test_unknown_permalink_404(self, server, key):
+        assert server.get("/v3/organizations/not-a-company",
+                          {"user_key": key}).status == 404
+
+    def test_only_crunchbase_companies_exist(self, server, key, tiny_world):
+        missing = next(c for c in tiny_world.companies.values()
+                       if c.crunchbase_id is None)
+        assert server.get(f"/v3/organizations/{missing.slug}",
+                          {"user_key": key}).status == 404
+
+
+class TestSearch:
+    def test_unique_match(self, server, key, cb_company):
+        body = server.get("/v3/organizations",
+                          {"name": cb_company.name, "user_key": key}).body
+        assert body["total"] == 1
+        assert body["items"][0]["permalink"] == cb_company.slug
+
+    def test_case_insensitive(self, server, key, cb_company):
+        body = server.get("/v3/organizations",
+                          {"name": cb_company.name.upper(),
+                           "user_key": key}).body
+        assert body["total"] == 1
+
+    def test_no_match(self, server, key):
+        body = server.get("/v3/organizations",
+                          {"name": "zzz does not exist",
+                           "user_key": key}).body
+        assert body["total"] == 0
+
+    def test_missing_name_400(self, server, key):
+        assert server.get("/v3/organizations",
+                          {"user_key": key}).status == 400
+
+
+class TestPopulation:
+    def test_org_count_tracks_world(self, server, tiny_world):
+        expected = sum(1 for c in tiny_world.companies.values()
+                       if c.crunchbase_id is not None)
+        assert server.organization_count == expected
+
+    def test_every_successful_company_present(self, server, key, tiny_world):
+        raised = [c for c in tiny_world.companies.values()
+                  if c.raised_funding]
+        for company in raised[:25]:
+            response = server.get(f"/v3/organizations/{company.slug}",
+                                  {"user_key": key})
+            assert response.ok
+            assert response.body["data"]["num_funding_rounds"] >= 1

@@ -1,0 +1,77 @@
+"""Tests for the simulated Facebook Graph API (OAuth dance included)."""
+
+import pytest
+
+from repro.sources.facebook import FacebookServer, SHORT_TTL
+
+
+@pytest.fixture()
+def server(tiny_world):
+    return FacebookServer(tiny_world)
+
+
+def _login(server):
+    return server.post("/oauth/access_token",
+                       {"app_id": "a", "app_secret": "s"}).body["access_token"]
+
+
+def _slug(tiny_world):
+    page = next(iter(tiny_world.facebook_pages.values()))
+    return tiny_world.companies[page.company_id].slug, page
+
+
+class TestOAuth:
+    def test_login_requires_credentials(self, server):
+        assert server.post("/oauth/access_token", {}).status == 400
+
+    def test_short_token_works_initially(self, server, tiny_world):
+        token = _login(server)
+        slug, page = _slug(tiny_world)
+        body = server.get(f"/pg/{slug}", {"access_token": token}).body
+        assert body["fan_count"] == page.likes
+
+    def test_short_token_expires(self, server, tiny_world):
+        token = _login(server)
+        slug, _page = _slug(tiny_world)
+        server.clock.sleep(SHORT_TTL + 1)
+        assert server.get(f"/pg/{slug}",
+                          {"access_token": token}).status == 401
+
+    def test_exchange_yields_long_lived(self, server, tiny_world):
+        short = _login(server)
+        long_lived = server.get("/oauth/exchange",
+                                {"fb_exchange_token": short}
+                                ).body["access_token"]
+        slug, _page = _slug(tiny_world)
+        server.clock.sleep(SHORT_TTL + 1)
+        assert server.get(f"/pg/{slug}",
+                          {"access_token": long_lived}).ok
+
+    def test_exchange_revokes_short_token(self, server, tiny_world):
+        short = _login(server)
+        server.get("/oauth/exchange", {"fb_exchange_token": short})
+        slug, _page = _slug(tiny_world)
+        assert server.get(f"/pg/{slug}",
+                          {"access_token": short}).status == 401
+
+    def test_exchange_of_garbage_401(self, server):
+        assert server.get("/oauth/exchange",
+                          {"fb_exchange_token": "junk"}).status == 401
+
+
+class TestPages:
+    def test_unknown_page_404(self, server):
+        token = _login(server)
+        assert server.get("/pg/ghost-co",
+                          {"access_token": token}).status == 404
+
+    def test_page_document_shape(self, server, tiny_world):
+        token = _login(server)
+        slug, page = _slug(tiny_world)
+        body = server.get(f"/pg/{slug}", {"access_token": token}).body
+        assert body["id"] == str(page.page_id)
+        assert body["posts_count"] == page.post_count
+        assert isinstance(body["recent_posts"], list)
+
+    def test_page_count(self, server, tiny_world):
+        assert server.page_count == len(tiny_world.facebook_pages)

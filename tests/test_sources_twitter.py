@@ -1,0 +1,97 @@
+"""Tests for the simulated Twitter REST API and its two constraints."""
+
+import pytest
+
+from repro.sources.twitter import (MAX_APPS_PER_ACCOUNT, RATE_LIMIT,
+                                   RATE_WINDOW, TwitterServer)
+
+
+@pytest.fixture()
+def server(tiny_world):
+    return TwitterServer(tiny_world)
+
+
+@pytest.fixture()
+def profile(tiny_world):
+    return next(iter(tiny_world.twitter_profiles.values()))
+
+
+class TestAppRegistration:
+    def test_five_apps_per_account(self, server):
+        for _ in range(MAX_APPS_PER_ACCOUNT):
+            server.register_app("alice")
+        with pytest.raises(PermissionError):
+            server.register_app("alice")
+
+    def test_other_account_unaffected(self, server):
+        for _ in range(MAX_APPS_PER_ACCOUNT):
+            server.register_app("alice")
+        assert server.register_app("bob")
+
+    def test_tokens_distinct(self, server):
+        tokens = {server.register_app("alice") for _ in range(5)}
+        assert len(tokens) == 5
+
+
+class TestShowUser:
+    def test_requires_token(self, server, profile):
+        response = server.get("/1.1/users/show.json",
+                              {"screen_name": profile.screen_name})
+        assert response.status == 401
+
+    def test_profile_fields(self, server, profile):
+        token = server.register_app("a")
+        body = server.get("/1.1/users/show.json",
+                          {"screen_name": profile.screen_name,
+                           "access_token": token}).body
+        assert body["followers_count"] == profile.followers_count
+        assert body["statuses_count"] == profile.statuses_count
+        assert body["status"]["text"] == profile.latest_status
+
+    def test_missing_screen_name_400(self, server):
+        token = server.register_app("a")
+        assert server.get("/1.1/users/show.json",
+                          {"access_token": token}).status == 400
+
+    def test_unknown_user_404(self, server):
+        token = server.register_app("a")
+        assert server.get("/1.1/users/show.json",
+                          {"screen_name": "ghost",
+                           "access_token": token}).status == 404
+
+
+class TestRateLimit:
+    def test_exactly_180_per_window(self, server, profile):
+        token = server.register_app("a")
+        params = {"screen_name": profile.screen_name, "access_token": token}
+        statuses = [server.get("/1.1/users/show.json", params).status
+                    for _ in range(RATE_LIMIT + 1)]
+        assert statuses[:RATE_LIMIT] == [200] * RATE_LIMIT
+        assert statuses[-1] == 429
+
+    def test_window_reset_restores_budget(self, server, profile):
+        token = server.register_app("a")
+        params = {"screen_name": profile.screen_name, "access_token": token}
+        for _ in range(RATE_LIMIT):
+            server.get("/1.1/users/show.json", params)
+        server.clock.sleep(RATE_WINDOW + 1)
+        assert server.get("/1.1/users/show.json", params).ok
+
+    def test_limits_are_per_token(self, server, profile):
+        token_a = server.register_app("a")
+        token_b = server.register_app("b")
+        for _ in range(RATE_LIMIT):
+            server.get("/1.1/users/show.json",
+                       {"screen_name": profile.screen_name,
+                        "access_token": token_a})
+        assert server.get("/1.1/users/show.json",
+                          {"screen_name": profile.screen_name,
+                           "access_token": token_b}).ok
+
+    def test_remaining_reporting(self, server, profile):
+        token = server.register_app("a")
+        assert server.remaining(token) == RATE_LIMIT
+        server.get("/1.1/users/show.json",
+                   {"screen_name": profile.screen_name,
+                    "access_token": token})
+        assert server.remaining(token) == RATE_LIMIT - 1

@@ -1,0 +1,61 @@
+"""Tests for the simulated clock."""
+
+import pytest
+
+from repro.util.clock import SimClock, WallClock
+
+
+class TestSimClock:
+    def test_starts_at_given_time(self):
+        assert SimClock(start=5.0).now() == 5.0
+
+    def test_sleep_advances(self):
+        clock = SimClock()
+        clock.sleep(10.0)
+        assert clock.now() == 10.0
+
+    def test_negative_sleep_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().sleep(-1.0)
+
+    def test_zero_sleep_is_noop(self):
+        clock = SimClock(start=3.0)
+        clock.sleep(0.0)
+        assert clock.now() == 3.0
+
+    def test_timers_fire_in_order(self):
+        clock = SimClock()
+        fired = []
+        clock.call_at(5.0, lambda: fired.append("b"))
+        clock.call_at(2.0, lambda: fired.append("a"))
+        clock.call_at(9.0, lambda: fired.append("c"))
+        clock.advance(6.0)
+        assert fired == ["a", "b"]
+        assert clock.pending_timers == 1
+
+    def test_timer_sees_its_due_time(self):
+        clock = SimClock()
+        seen = []
+        clock.call_later(4.0, lambda: seen.append(clock.now()))
+        clock.advance(10.0)
+        assert seen == [4.0]
+        assert clock.now() == 10.0
+
+    def test_same_due_time_fifo(self):
+        clock = SimClock()
+        fired = []
+        clock.call_at(1.0, lambda: fired.append(1))
+        clock.call_at(1.0, lambda: fired.append(2))
+        clock.advance(2.0)
+        assert fired == [1, 2]
+
+
+class TestWallClock:
+    def test_now_monotone(self):
+        clock = WallClock()
+        a = clock.now()
+        b = clock.now()
+        assert b >= a
+
+    def test_sleep_zero_returns(self):
+        WallClock().sleep(0.0)  # must not raise or block

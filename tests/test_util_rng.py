@@ -1,0 +1,70 @@
+"""Tests for deterministic RNG streams."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import RngStream, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "x") == derive_seed(42, "x")
+
+    def test_label_sensitivity(self):
+        assert derive_seed(42, "x") != derive_seed(42, "y")
+
+    def test_seed_sensitivity(self):
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+    def test_64_bit_range(self):
+        value = derive_seed(123456789, "label")
+        assert 0 <= value < 2 ** 64
+
+
+class TestRngStream:
+    def test_same_seed_same_sequence(self):
+        a = RngStream(7)
+        b = RngStream(7)
+        assert [a.py.random() for _ in range(5)] == \
+               [b.py.random() for _ in range(5)]
+        assert np.allclose(a.np.random(5), b.np.random(5))
+
+    def test_children_independent_of_sibling_creation(self):
+        root = RngStream(7)
+        child_a_first = root.child("a").py.random()
+        root2 = RngStream(7)
+        root2.child("b")  # creating an extra child must not disturb "a"
+        assert root2.child("a").py.random() == child_a_first
+
+    def test_children_iterator(self):
+        root = RngStream(3)
+        kids = list(root.children("w", 4))
+        assert len(kids) == 4
+        assert len({k.seed for k in kids}) == 4
+
+    def test_bernoulli_bounds(self):
+        rng = RngStream(1)
+        with pytest.raises(ValueError):
+            rng.bernoulli(1.5)
+        assert rng.bernoulli(0.0) is False
+        assert rng.bernoulli(1.0) is True
+
+    def test_zipf_bounded_range(self):
+        rng = RngStream(5)
+        draws = rng.zipf_bounded(2.0, 50, size=2000)
+        assert draws.min() >= 1
+        assert draws.max() <= 50
+
+    def test_zipf_bounded_scalar(self):
+        value = RngStream(5).zipf_bounded(2.0, 10)
+        assert isinstance(value, int)
+        assert 1 <= value <= 10
+
+    def test_zipf_bounded_heavy_head(self):
+        draws = RngStream(5).zipf_bounded(2.0, 1000, size=5000)
+        # P(1) = 1/zeta(2) ≈ 0.61 for alpha=2
+        assert 0.5 < (draws == 1).mean() < 0.72
+
+    def test_zipf_invalid_max(self):
+        with pytest.raises(ValueError):
+            RngStream(1).zipf_bounded(2.0, 0)

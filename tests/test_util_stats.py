@@ -1,0 +1,73 @@
+"""Tests for small numeric helpers."""
+
+import pytest
+
+from repro.util.stats import (describe, mean, median, quantile,
+                              weighted_choice_index)
+from repro.util.timer import Timer
+
+
+class TestBasics:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2.0
+
+    def test_mean_empty_is_zero(self):
+        assert mean([]) == 0.0
+
+    def test_median_odd(self):
+        assert median([5, 1, 3]) == 3.0
+
+    def test_median_empty_raises(self):
+        with pytest.raises(ValueError):
+            median([])
+
+    def test_quantile(self):
+        assert quantile(list(range(101)), 0.5) == 50.0
+
+    def test_quantile_bounds(self):
+        with pytest.raises(ValueError):
+            quantile([1, 2], 1.5)
+
+    def test_describe_keys(self):
+        d = describe([1.0, 2.0, 10.0])
+        assert d["count"] == 3
+        assert d["max"] == 10.0
+        assert d["min"] == 1.0
+        assert d["p90"] <= d["p99"] <= d["max"]
+
+    def test_describe_empty(self):
+        assert describe([])["count"] == 0
+
+
+class TestWeightedChoice:
+    def test_deterministic_mapping(self):
+        weights = [1.0, 1.0, 2.0]
+        assert weighted_choice_index(weights, 0.0) == 0
+        assert weighted_choice_index(weights, 0.30) == 1
+        assert weighted_choice_index(weights, 0.99) == 2
+
+    def test_invalid_draw(self):
+        with pytest.raises(ValueError):
+            weighted_choice_index([1.0], 1.0)
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_choice_index([0.0, 0.0], 0.5)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_choice_index([1.0, -1.0, 5.0], 0.9)
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            sum(range(10000))
+        assert t.elapsed >= 0.0
+
+    def test_restart(self):
+        t = Timer()
+        with t:
+            pass
+        t.restart()
+        assert t.elapsed == 0.0

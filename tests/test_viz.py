@@ -1,0 +1,126 @@
+"""Tests for layouts, SVG rendering and ASCII charts."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.viz.ascii import ascii_cdf, ascii_histogram, ascii_series, ascii_table
+from repro.viz.layout import bipartite_layout, fruchterman_reingold
+from repro.viz.svg import SvgCanvas, render_community_svg
+
+
+class TestFruchtermanReingold:
+    def test_positions_for_all_nodes(self):
+        nodes = list(range(8))
+        edges = [(0, 1), (1, 2), (5, 6)]
+        pos = fruchterman_reingold(nodes, edges, iterations=30, seed=1)
+        assert set(pos) == set(nodes)
+
+    def test_positions_in_unit_box(self):
+        pos = fruchterman_reingold(list(range(10)), [(0, 1)], seed=1)
+        for x, y in pos.values():
+            assert -1e-9 <= x <= 1.0 + 1e-9
+            assert -1e-9 <= y <= 1.0 + 1e-9
+
+    def test_empty_graph(self):
+        assert fruchterman_reingold([], []) == {}
+
+    def test_single_node(self):
+        pos = fruchterman_reingold(["a"], [])
+        assert "a" in pos
+
+    def test_connected_nodes_closer_than_disconnected(self):
+        # two tight pairs far apart
+        nodes = [0, 1, 2, 3]
+        edges = [(0, 1), (2, 3)]
+        pos = fruchterman_reingold(nodes, edges, iterations=200, seed=3)
+
+        def dist(a, b):
+            return math.dist(pos[a], pos[b])
+        assert dist(0, 1) < dist(0, 2)
+        assert dist(2, 3) < dist(1, 3)
+
+    def test_deterministic(self):
+        nodes, edges = list(range(5)), [(0, 1), (1, 2)]
+        a = fruchterman_reingold(nodes, edges, seed=7)
+        b = fruchterman_reingold(nodes, edges, seed=7)
+        assert a == b
+
+
+class TestBipartiteLayout:
+    def test_columns(self):
+        pos = bipartite_layout(["i1", "i2"], ["c1"])
+        assert pos["i1"][0] == 0.0
+        assert pos["c1"][0] == 1.0
+
+    def test_vertical_spread(self):
+        pos = bipartite_layout(["a", "b", "c"], [])
+        ys = sorted(p[1] for p in pos.values())
+        assert ys == [0.0, 0.5, 1.0]
+
+
+class TestSvg:
+    def test_canvas_document_structure(self):
+        canvas = SvgCanvas(100, 50)
+        canvas.circle(10, 10, 3, "#ff0000", title="node")
+        canvas.line(0, 0, 100, 50)
+        canvas.text(5, 5, "hello")
+        svg = canvas.to_svg()
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert "<circle" in svg and "<line" in svg and "hello" in svg
+
+    def test_canvas_save(self, tmp_path):
+        canvas = SvgCanvas()
+        path = tmp_path / "out.svg"
+        canvas.save(str(path))
+        assert path.read_text().startswith("<svg")
+
+    def test_render_community(self):
+        svg = render_community_svg([1, 2], [(1, 10), (2, 10), (2, 11)],
+                                   title="strong")
+        assert svg.count("<circle") == 4  # 2 investors + 2 companies
+        assert svg.count("<line") == 3
+        assert "strong" in svg
+
+    def test_colors_by_role(self):
+        svg = render_community_svg([1], [(1, 10)])
+        assert "#2b6cb0" in svg  # investor blue
+        assert "#c53030" in svg  # company red
+
+    def test_empty_community(self):
+        svg = render_community_svg([], [])
+        assert svg.startswith("<svg")
+
+
+class TestAscii:
+    def test_series_renders(self):
+        out = ascii_series([0, 1, 2], [0, 1, 4])
+        assert "*" in out
+        assert "└" in out
+
+    def test_empty_series(self):
+        assert "empty" in ascii_series([], [])
+
+    def test_cdf_monotone_output(self):
+        out = ascii_cdf([1, 2, 2, 3, 10])
+        assert "F(x)" in out
+
+    def test_histogram_counts(self):
+        out = ascii_histogram([1] * 10 + [5] * 2, bins=4)
+        assert "10" in out
+        assert "n=12" in out
+
+    def test_histogram_empty(self):
+        assert "empty" in ascii_histogram([])
+
+    def test_table_alignment(self):
+        out = ascii_table(["a", "long_header"], [[1, 2], [333, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert lines[1].startswith("-")
+
+    def test_table_handles_mixed_types(self):
+        out = ascii_table(["x"], [[None], [1.5], ["txt"]])
+        assert "None" in out and "1.5" in out and "txt" in out

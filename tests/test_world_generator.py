@@ -1,0 +1,167 @@
+"""Tests that the generated world matches its calibration targets.
+
+Statistical assertions use wide tolerances — the point is that the
+*shape* is right at tiny scale, while EXPERIMENTS.md validates the
+precise numbers at benchmark scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.world.config import WorldConfig
+from repro.world.generator import generate_world
+from repro.util.errors import ConfigError
+
+
+class TestConfig:
+    def test_scale_bounds(self):
+        with pytest.raises(ConfigError):
+            WorldConfig(scale=0.0)
+        with pytest.raises(ConfigError):
+            WorldConfig(scale=1.5)
+
+    def test_paper_scale_counts(self):
+        config = WorldConfig.paper()
+        assert config.num_companies == 744_036
+        assert config.num_users == 1_109_441
+
+    def test_scaled_counts_proportional(self):
+        config = WorldConfig(scale=0.1)
+        assert config.num_companies == pytest.approx(74_404, abs=2)
+
+    def test_presets_ordering(self):
+        assert WorldConfig.tiny().num_companies \
+            < WorldConfig.small().num_companies \
+            < WorldConfig.default().num_companies
+
+
+class TestDeterminism:
+    def test_same_seed_same_world(self):
+        a = generate_world(WorldConfig.tiny(seed=3))
+        b = generate_world(WorldConfig.tiny(seed=3))
+        assert a.summary() == b.summary()
+        assert [i.company_id for i in a.investments] \
+            == [i.company_id for i in b.investments]
+
+    def test_different_seed_different_world(self):
+        a = generate_world(WorldConfig.tiny(seed=3))
+        b = generate_world(WorldConfig.tiny(seed=4))
+        assert [i.company_id for i in a.investments] \
+            != [i.company_id for i in b.investments]
+
+
+class TestPopulations(object):
+    def test_counts(self, tiny_world):
+        config = tiny_world.config
+        assert len(tiny_world.companies) == config.num_companies
+        assert len(tiny_world.users) == config.num_users
+
+    def test_role_fractions(self, tiny_world):
+        users = list(tiny_world.users.values())
+        investors = sum(1 for u in users if "investor" in u.roles)
+        founders = sum(1 for u in users if "founder" in u.roles)
+        assert investors / len(users) == pytest.approx(0.043, abs=0.015)
+        assert founders / len(users) == pytest.approx(0.183, abs=0.04)
+
+    def test_social_presence_rates(self, tiny_world):
+        n = len(tiny_world.companies)
+        fb = sum(1 for c in tiny_world.companies.values()
+                 if c.facebook_page_id is not None)
+        tw = sum(1 for c in tiny_world.companies.values()
+                 if c.twitter_profile_id is not None)
+        assert fb / n == pytest.approx(0.0507, abs=0.02)
+        assert tw / n == pytest.approx(0.0948, abs=0.025)
+
+    def test_fb_tw_strongly_correlated(self, tiny_world):
+        both = sum(1 for c in tiny_world.companies.values()
+                   if c.facebook_page_id is not None
+                   and c.twitter_profile_id is not None)
+        fb = sum(1 for c in tiny_world.companies.values()
+                 if c.facebook_page_id is not None)
+        assert both / max(1, fb) > 0.7  # P(tw|fb) ≈ 0.86
+
+
+class TestInvestments:
+    def test_long_tail_shape(self, tiny_world):
+        counts = [len(u.investments) for u in tiny_world.users.values()
+                  if u.investments]
+        assert np.median(counts) == 1.0
+        assert 2.0 < np.mean(counts) < 5.5
+        assert max(counts) > 10 * np.median(counts)
+
+    def test_investment_edges_consistent(self, tiny_world):
+        edge_set = {(i.investor_id, i.company_id)
+                    for i in tiny_world.investments}
+        from_users = {(u.user_id, c) for u in tiny_world.users.values()
+                      for c in u.investments}
+        assert edge_set == from_users
+
+    def test_only_investors_invest(self, tiny_world):
+        for user in tiny_world.users.values():
+            if user.investments:
+                assert user.is_investor
+
+
+class TestSuccessModel:
+    def test_social_presence_lifts_success(self, tiny_world):
+        companies = list(tiny_world.companies.values())
+        social = [c for c in companies if c.facebook_page_id is not None
+                  or c.twitter_profile_id is not None]
+        nosocial = [c for c in companies if c.facebook_page_id is None
+                    and c.twitter_profile_id is None]
+        rate_social = np.mean([c.raised_funding for c in social])
+        rate_none = np.mean([c.raised_funding for c in nosocial])
+        assert rate_social > 5 * rate_none
+
+    def test_raised_companies_have_rounds_and_crunchbase(self, tiny_world):
+        for company in tiny_world.companies.values():
+            if company.raised_funding:
+                assert company.rounds
+                assert company.crunchbase_id is not None
+
+    def test_unraised_companies_have_no_rounds(self, tiny_world):
+        for company in tiny_world.companies.values():
+            if not company.raised_funding:
+                assert company.rounds == []
+
+
+class TestFollowGraph:
+    def test_every_company_has_a_follower(self, tiny_world):
+        followers = tiny_world.company_followers()
+        assert all(followers[cid] for cid in tiny_world.companies)
+
+    def test_every_user_follows_something(self, tiny_world):
+        assert all(u.follows_companies for u in tiny_world.users.values())
+
+    def test_investors_follow_their_investments(self, tiny_world):
+        for user in tiny_world.users.values():
+            if user.investments:
+                assert set(user.investments) <= set(user.follows_companies)
+
+    def test_follower_counts_cached_correctly(self, tiny_world):
+        followers = tiny_world.company_followers()
+        for cid, company in list(tiny_world.companies.items())[:100]:
+            assert company.follower_count == len(followers[cid])
+
+
+class TestPlantedCommunities:
+    def test_count_matches_config(self, tiny_world):
+        assert len(tiny_world.planted_communities) \
+            == tiny_world.config.num_communities
+
+    def test_members_are_investors(self, tiny_world):
+        for community in tiny_world.planted_communities:
+            for uid in community.member_ids:
+                assert tiny_world.users[uid].is_investor
+
+    def test_herd_strength_varies(self, tiny_world):
+        strengths = [c.herd_strength
+                     for c in tiny_world.planted_communities]
+        assert max(strengths) > 0.5
+        assert min(strengths) < 0.1
+
+    def test_membership_backrefs(self, tiny_world):
+        for community in tiny_world.planted_communities:
+            for uid in community.member_ids:
+                assert community.community_id in \
+                    tiny_world.users[uid].community_ids

@@ -1,0 +1,66 @@
+"""Tests for world save/load round-tripping."""
+
+import pytest
+
+from repro.world.config import WorldConfig
+from repro.world.generator import generate_world
+from repro.world.io import load_world, save_world
+
+
+@pytest.fixture(scope="module")
+def roundtripped(tmp_path_factory, tiny_world):
+    path = tmp_path_factory.mktemp("worlds") / "w.json.gz"
+    save_world(tiny_world, str(path))
+    return load_world(str(path)), path
+
+
+class TestRoundtrip:
+    def test_summary_identical(self, roundtripped, tiny_world):
+        loaded, _path = roundtripped
+        assert loaded.summary() == tiny_world.summary()
+
+    def test_config_preserved(self, roundtripped, tiny_world):
+        loaded, _path = roundtripped
+        assert loaded.config.scale == tiny_world.config.scale
+        assert loaded.config.seed == tiny_world.config.seed
+        assert vars(loaded.config.params) == vars(tiny_world.config.params)
+
+    def test_company_fields(self, roundtripped, tiny_world):
+        loaded, _path = roundtripped
+        for cid in list(tiny_world.companies)[:50]:
+            original = tiny_world.companies[cid]
+            copy = loaded.companies[cid]
+            assert copy == original
+
+    def test_users_and_edges(self, roundtripped, tiny_world):
+        loaded, _path = roundtripped
+        uid = next(u.user_id for u in tiny_world.users.values()
+                   if u.investments)
+        assert loaded.users[uid] == tiny_world.users[uid]
+        assert len(loaded.investments) == len(tiny_world.investments)
+
+    def test_planted_communities(self, roundtripped, tiny_world):
+        loaded, _path = roundtripped
+        assert len(loaded.planted_communities) \
+            == len(tiny_world.planted_communities)
+        assert loaded.planted_communities[0].member_ids \
+            == tiny_world.planted_communities[0].member_ids
+
+    def test_loaded_world_serves_apis(self, roundtripped):
+        from repro.sources.hub import SourceHub
+        loaded, _path = roundtripped
+        hub = SourceHub.from_world(loaded)
+        token = hub.angellist.issue_token()
+        response = hub.angellist.get("/1/startups",
+                                     {"filter": "raising"},
+                                     {"Authorization": f"Bearer {token}"})
+        assert response.ok
+
+    def test_bad_version_rejected(self, tmp_path, tiny_world):
+        import gzip
+        import json
+        path = tmp_path / "bad.json.gz"
+        with gzip.open(path, "wt") as handle:
+            json.dump({"format_version": 99}, handle)
+        with pytest.raises(ValueError):
+            load_world(str(path))
