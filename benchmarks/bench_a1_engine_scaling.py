@@ -1,23 +1,48 @@
-"""A1 ablation — engine partitioning and parallelism.
+"""A1 ablation — engine backends, partitioning and parallelism.
 
 DESIGN.md calls out the engine's stage/partition model as a design
 choice; this ablation measures a representative shuffle-heavy job
-(group-by over 200k rows) across partition counts and checks the result
-is invariant — partitioning is a performance knob, never a semantics
-knob.
+across partition counts *and* execution backends, and checks the result
+is invariant — partitioning and backend choice are performance knobs,
+never semantics knobs.
+
+Run standalone to sweep backends on a CPU-bound workload and dump the
+per-stage JobMetrics the speedup claims rest on::
+
+    PYTHONPATH=src python benchmarks/bench_a1_engine_scaling.py \
+        --backend all --rows 200000 --parallelism 4 --json sweep.json
+
+The workload's functions are module-level on purpose: that is what
+makes the partition tasks picklable, so the process backend actually
+ships them to workers instead of falling back in-driver.
 """
+
+import argparse
+import json
+import operator
+import time
 
 import pytest
 
+from repro.engine.backends import BACKENDS
 from repro.engine.context import SparkLiteContext
 
 ROWS = 200_000
+_SPIN = 60  # iterations of the per-element hash loop (CPU weight)
 
 
-def _job(sc: SparkLiteContext, partitions: int):
-    return (sc.parallelize(range(ROWS), partitions)
-            .map(lambda x: (x % 97, x))
-            .reduce_by_key(lambda a, b: a + b)
+def _busy_key(x: int):
+    """A deliberately CPU-bound keying function (picklable)."""
+    acc = x & 0x7FFFFFFF
+    for _ in range(_SPIN):
+        acc = (acc * 1103515245 + 12345) & 0x7FFFFFFF
+    return (x % 97, acc)
+
+
+def _job(sc: SparkLiteContext, partitions: int, rows: int = ROWS):
+    return (sc.parallelize(range(rows), partitions)
+            .map(_busy_key)
+            .reduce_by_key(operator.add)
             .count())
 
 
@@ -27,6 +52,21 @@ def test_a1_engine_partition_scaling(benchmark, partitions):
         result = benchmark.pedantic(lambda: _job(sc, partitions),
                                     rounds=3, iterations=1)
     assert result == 97
+
+
+@pytest.mark.parametrize("backend", sorted(BACKENDS))
+def test_a1_backend_sweep(benchmark, backend):
+    """Same job, every backend: identical result, measured wall time."""
+    with SparkLiteContext(parallelism=4, backend=backend) as sc:
+        result = benchmark.pedantic(
+            lambda: _job(sc, 8, rows=20_000), rounds=3, iterations=1)
+        metrics = sc.last_job_metrics
+    assert result == 97
+    assert metrics.backend == backend
+    assert metrics.shuffles == 1
+    assert metrics.shuffle_records == 20_000
+    # picklable workload: the process backend must not have fallen back
+    assert metrics.fallbacks == 0
 
 
 def test_a1_results_invariant_across_parallelism(benchmark):
@@ -43,3 +83,82 @@ def test_a1_results_invariant_across_parallelism(benchmark):
 
     outputs = benchmark.pedantic(all_configs, rounds=3, iterations=1)
     assert len(outputs) == 1
+
+
+# --------------------------------------------------------------- standalone
+def _sweep_one(backend: str, rows: int, partitions: int,
+               parallelism: int, rounds: int) -> dict:
+    times = []
+    metrics = None
+    with SparkLiteContext(parallelism=parallelism, backend=backend) as sc:
+        result = _job(sc, partitions, rows)  # warm-up (pools spin up lazily)
+        for _ in range(rounds):
+            start = time.perf_counter()
+            result = _job(sc, partitions, rows)
+            times.append(time.perf_counter() - start)
+        metrics = sc.last_job_metrics
+    return {
+        "backend": backend,
+        "rows": rows,
+        "partitions": partitions,
+        "parallelism": parallelism,
+        "result": result,
+        "wall_s_best": min(times),
+        "wall_s_all": [round(t, 4) for t in times],
+        "job_metrics": metrics.as_dict(include_stages=True),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Sweep SparkLite execution backends on a CPU-bound "
+                    "shuffle workload and report per-stage JobMetrics.")
+    parser.add_argument("--backend", default="all",
+                        choices=sorted(BACKENDS) + ["all"])
+    parser.add_argument("--rows", type=int, default=ROWS)
+    parser.add_argument("--partitions", type=int, default=8)
+    parser.add_argument("--parallelism", type=int, default=4)
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="timed repetitions after warm-up (min 1)")
+    parser.add_argument("--json", metavar="FILE",
+                        help="also write the sweep as JSON")
+    args = parser.parse_args(argv)
+    if args.rounds < 1 or args.rows < 1 or args.partitions < 1 \
+            or args.parallelism < 1:
+        parser.error("--rounds/--rows/--partitions/--parallelism "
+                     "must all be >= 1")
+
+    backends = sorted(BACKENDS) if args.backend == "all" else [args.backend]
+    rows_out = []
+    for backend in backends:
+        entry = _sweep_one(backend, args.rows, args.partitions,
+                           args.parallelism, args.rounds)
+        rows_out.append(entry)
+        jm = entry["job_metrics"]
+        print(f"{backend:>8}: best {entry['wall_s_best']:.3f}s  "
+              f"(stages={len(jm['stages'])} "
+              f"shuffled={jm['shuffle_records']} recs / "
+              f"{jm['shuffle_bytes']} B, fallbacks={jm['fallbacks']})")
+        for stage in jm["stages"]:
+            print(f"          stage {stage['stage_id']} {stage['name']:<12} "
+                  f"{stage['kind']:<8} p={stage['partitions']:<3} "
+                  f"{stage['wall_s']:.3f}s")
+    results = {entry["result"] for entry in rows_out}
+    if len(results) != 1:
+        print(f"RESULT MISMATCH across backends: {results}")
+        return 1
+    if len(rows_out) > 1:
+        base = next(e for e in rows_out if e["backend"] == "serial")
+        for entry in rows_out:
+            speedup = base["wall_s_best"] / entry["wall_s_best"]
+            print(f"{entry['backend']:>8}: {speedup:.2f}x vs serial")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(rows_out, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+    sys.exit(main())

@@ -20,7 +20,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.core.platform import ExploratoryPlatform
+from repro.core.platform import ExploratoryPlatform, PlatformConfig
 from repro.world.config import WorldConfig
 from repro.world.generator import World, generate_world
 
@@ -31,6 +31,12 @@ def _add_world_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=20160626)
     parser.add_argument("--world", metavar="FILE",
                         help="load a world saved with 'crawl --save'")
+    parser.add_argument("--engine-backend", default="thread",
+                        choices=("serial", "thread", "process"),
+                        help="execution backend for the SparkLite engine")
+    parser.add_argument("--engine-metrics", metavar="FILE",
+                        help="dump the per-stage JobMetrics trace of every "
+                             "engine job as JSON")
 
 
 def _resolve_world(args: argparse.Namespace) -> World:
@@ -40,8 +46,25 @@ def _resolve_world(args: argparse.Namespace) -> World:
     return generate_world(WorldConfig(scale=args.scale, seed=args.seed))
 
 
+def _platform_config(args: argparse.Namespace) -> PlatformConfig:
+    return PlatformConfig(
+        engine_backend=getattr(args, "engine_backend", "thread"))
+
+
+def _dump_engine_metrics(platform: ExploratoryPlatform,
+                         args: argparse.Namespace) -> None:
+    path = getattr(args, "engine_metrics", None)
+    if not path:
+        return
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(platform.sc.metrics_trace.to_json() + "\n")
+    print(f"engine metrics ({len(platform.sc.metrics_trace)} jobs) "
+          f"written to {path}")
+
+
 def _crawled_platform(args: argparse.Namespace) -> ExploratoryPlatform:
-    platform = ExploratoryPlatform(_resolve_world(args))
+    platform = ExploratoryPlatform(_resolve_world(args),
+                                   config=_platform_config(args))
     platform.run_full_crawl()
     return platform
 
@@ -52,7 +75,7 @@ def cmd_crawl(args: argparse.Namespace) -> int:
         from repro.world.io import save_world
         save_world(world, args.save)
         print(f"world saved to {args.save}")
-    platform = ExploratoryPlatform(world)
+    platform = ExploratoryPlatform(world, config=_platform_config(args))
     summary = platform.run_full_crawl()
     bfs = summary.angellist
     print(f"crawled {bfs.startups:,} startups and {bfs.users:,} users "
@@ -64,6 +87,7 @@ def cmd_crawl(args: argparse.Namespace) -> int:
           f"{summary.crunchbase.matched_by_search:,} by name search)")
     print(f"enriched {summary.facebook.fetched:,} Facebook pages and "
           f"{summary.twitter.fetched:,} Twitter profiles")
+    _dump_engine_metrics(platform, args)
     platform.close()
     return 0
 
@@ -105,6 +129,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         else:  # pragma: no cover - argparse restricts choices
             raise AssertionError(args.what)
     finally:
+        _dump_engine_metrics(platform, args)
         platform.close()
     return 0
 
@@ -118,6 +143,7 @@ def cmd_theory(args: argparse.Namespace) -> int:
             print(engine.test(hypothesis).render())
             print()
     finally:
+        _dump_engine_metrics(platform, args)
         platform.close()
     return 0
 
@@ -202,6 +228,7 @@ def cmd_figures(args: argparse.Namespace) -> int:
         }
         write("summary.json", json.dumps(summary, indent=2) + "\n")
     finally:
+        _dump_engine_metrics(platform, args)
         platform.close()
     return 0
 
@@ -218,6 +245,7 @@ def cmd_select_communities(args: argparse.Namespace) -> int:
             marker = "  ← best" if num == result.best_num_communities else ""
             print(f"  C={num:<4} AUC={auc:.3f}{marker}")
     finally:
+        _dump_engine_metrics(platform, args)
         platform.close()
     return 0
 

@@ -32,6 +32,8 @@ class PlatformConfig:
     twitter_tokens: int = 10
     twitter_workers: int = 5
     engine_parallelism: int = 4
+    #: "serial" / "thread" / "process" (see repro.engine.backends)
+    engine_backend: str = "thread"
     dfs_datanodes: int = 4
     records_per_part: int = 5000
     latency: LatencyModel = field(default_factory=LatencyModel.zero)
@@ -78,7 +80,8 @@ class ExploratoryPlatform:
                                         faults=self.config.faults)
         self.dfs = MiniDfs(num_datanodes=self.config.dfs_datanodes)
         self.sc = SparkLiteContext(
-            parallelism=self.config.engine_parallelism)
+            parallelism=self.config.engine_parallelism,
+            backend=self.config.engine_backend)
         self.plugins = PluginRegistry()
         self.crawl_summary: Optional[CrawlSummary] = None
         self._graph: Optional[BipartiteGraph] = None

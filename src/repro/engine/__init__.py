@@ -5,20 +5,31 @@ JSON. :class:`SparkLiteContext` reproduces that programming model in one
 process: transformations build a lazy lineage DAG, actions trigger a job,
 narrow transformations fuse within a partition, and wide transformations
 (reduceByKey / join / groupByKey / sortBy / distinct) run a hash-partition
-shuffle. Partitions of a job run on a thread pool; results of ``cache()``d
-RDDs are reused across jobs.
+shuffle. Partition tasks run on a pluggable
+:class:`~repro.engine.backends.ExecutionBackend` — serial (reference
+semantics), thread (default) or process (true parallelism for picklable
+stages) — and results of ``cache()``d RDDs are reused across jobs. Every
+action leaves a per-stage :class:`~repro.engine.metrics.JobMetrics` on
+``context.last_job_metrics``.
 
 Example::
 
-    sc = SparkLiteContext(parallelism=4)
+    sc = SparkLiteContext(parallelism=4, backend="process")
     counts = (sc.parallelize(words)
                 .map(lambda w: (w, 1))
                 .reduce_by_key(lambda a, b: a + b)
                 .collect())
 """
 
+from repro.engine.backends import (BACKENDS, ExecutionBackend,
+                                   ProcessBackend, SerialBackend,
+                                   ThreadBackend, resolve_backend)
 from repro.engine.context import SparkLiteContext
-from repro.engine.rdd import RDD
 from repro.engine.dataframe import DataFrame, Row
+from repro.engine.metrics import JobMetrics, MetricsTrace, StageMetrics
+from repro.engine.rdd import RDD
 
-__all__ = ["SparkLiteContext", "RDD", "DataFrame", "Row"]
+__all__ = ["SparkLiteContext", "RDD", "DataFrame", "Row",
+           "ExecutionBackend", "SerialBackend", "ThreadBackend",
+           "ProcessBackend", "BACKENDS", "resolve_backend",
+           "JobMetrics", "StageMetrics", "MetricsTrace"]

@@ -1,0 +1,198 @@
+"""Pluggable execution backends for the SparkLite engine.
+
+The engine's job runner hands each stage to an :class:`ExecutionBackend`
+as a batch of independent tasks — ``fn`` applied to each element of
+``inputs``. Three implementations ship:
+
+* :class:`SerialBackend` — one task at a time on the driver thread.
+  The reference semantics every other backend is tested against.
+* :class:`ThreadBackend` — a ``ThreadPoolExecutor``. The historical
+  behaviour: cheap, shares memory, but GIL-bound for CPU work.
+* :class:`ProcessBackend` — a ``ProcessPoolExecutor``. Partition tasks
+  are pickled to worker processes, so CPU-bound stages scale past the
+  GIL *when the stage's functions pickle* (module-level functions,
+  ``operator`` callables, the engine's own operator objects). Tasks
+  that will not pickle — lambdas, local closures — transparently fall
+  back to in-driver execution, and the fallback is counted in the
+  job's metrics rather than hidden.
+
+Backends are selected by name (``"serial"`` / ``"thread"`` /
+``"process"``) or by passing an instance to
+``SparkLiteContext(backend=...)``.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.util.errors import EngineError
+
+
+class ExecutionBackend:
+    """How a stage's partition tasks are executed.
+
+    ``run`` applies a picklable-or-not callable to each input element
+    and returns ``(results, fell_back)``; ``run_local`` is for driver
+    closures that must stay in-process (they read the job runner's
+    state) and therefore never cross a process boundary.
+    """
+
+    name = "abstract"
+
+    def __init__(self, parallelism: Optional[int] = None):
+        self._parallelism = parallelism
+
+    # ------------------------------------------------------------ lifecycle
+    def configure(self, parallelism: int) -> None:
+        """Adopt the context's parallelism unless one was given."""
+        if self._parallelism is None:
+            self._parallelism = parallelism
+
+    @property
+    def parallelism(self) -> int:
+        return self._parallelism or 1
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+    # ------------------------------------------------------------ execution
+    def run(self, fn: Callable[[Any], Any],
+            inputs: List[Any]) -> Tuple[List[Any], bool]:
+        raise NotImplementedError
+
+    def run_local(self, fn: Callable[[int], Any], count: int) -> List[Any]:
+        raise NotImplementedError
+
+
+class SerialBackend(ExecutionBackend):
+    """Everything on the driver thread — the semantics oracle."""
+
+    name = "serial"
+
+    def run(self, fn, inputs):
+        return [fn(x) for x in inputs], False
+
+    def run_local(self, fn, count):
+        return [fn(i) for i in range(count)]
+
+
+class ThreadBackend(ExecutionBackend):
+    """A thread pool: concurrency without pickling constraints."""
+
+    name = "thread"
+
+    def __init__(self, parallelism: Optional[int] = None):
+        super().__init__(parallelism)
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    def _ensure_pool(self) -> Optional[ThreadPoolExecutor]:
+        if self.parallelism <= 1:
+            return None
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self.parallelism)
+        return self._pool
+
+    def run(self, fn, inputs):
+        pool = self._ensure_pool()
+        if pool is None or len(inputs) <= 1:
+            return [fn(x) for x in inputs], False
+        return list(pool.map(fn, inputs)), False
+
+    def run_local(self, fn, count):
+        pool = self._ensure_pool()
+        if pool is None or count <= 1:
+            return [fn(i) for i in range(count)]
+        return list(pool.map(fn, range(count)))
+
+    def close(self):
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class ProcessBackend(ExecutionBackend):
+    """A process pool: true parallelism for picklable partition tasks.
+
+    Unpicklable tasks (closures over local state) run in-driver and are
+    reported via the ``fell_back`` flag so :class:`JobMetrics` can count
+    them — the engine never fails a job over a pickling constraint.
+    """
+
+    name = "process"
+
+    def __init__(self, parallelism: Optional[int] = None,
+                 chunked: bool = True):
+        super().__init__(parallelism)
+        self.chunked = chunked
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.parallelism)
+        return self._pool
+
+    @staticmethod
+    def _picklable(obj: Any) -> bool:
+        try:
+            pickle.dumps(obj)
+            return True
+        except Exception:
+            return False
+
+    def run(self, fn, inputs):
+        if self.parallelism <= 1 or len(inputs) <= 1:
+            return [fn(x) for x in inputs], False
+        if not self._picklable(fn):
+            return [fn(x) for x in inputs], True
+        chunksize = 1
+        if self.chunked:
+            chunksize = max(1, len(inputs) // (self.parallelism * 2))
+        try:
+            pool = self._ensure_pool()
+            return list(pool.map(fn, inputs, chunksize=chunksize)), False
+        except (pickle.PicklingError, TypeError, AttributeError):
+            # unpicklable *data* (or results); redo safely in-driver
+            return [fn(x) for x in inputs], True
+        except BrokenProcessPool:
+            self._pool = None  # rebuild lazily on the next stage
+            return [fn(x) for x in inputs], True
+
+    def run_local(self, fn, count):
+        # Driver closures read runner state; never cross the pickle wall.
+        return [fn(i) for i in range(count)]
+
+    def close(self):
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+#: registry used by ``resolve_backend`` and the CLI/benchmark flags
+BACKENDS = {
+    SerialBackend.name: SerialBackend,
+    ThreadBackend.name: ThreadBackend,
+    ProcessBackend.name: ProcessBackend,
+}
+
+
+def resolve_backend(spec: Any, parallelism: int) -> ExecutionBackend:
+    """Turn a backend name or instance into a configured backend."""
+    if isinstance(spec, ExecutionBackend):
+        spec.configure(parallelism)
+        return spec
+    if spec is None:
+        spec = ThreadBackend.name
+    if isinstance(spec, str):
+        try:
+            backend = BACKENDS[spec]()
+        except KeyError:
+            raise EngineError(
+                f"unknown backend {spec!r}; expected one of "
+                f"{sorted(BACKENDS)}")
+        backend.configure(parallelism)
+        return backend
+    raise EngineError(f"backend must be a name or ExecutionBackend, "
+                      f"got {type(spec).__name__}")

@@ -3,37 +3,45 @@
 from __future__ import annotations
 
 import json
-from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, List, Optional, Sequence
 
+from repro.engine.backends import ExecutionBackend, resolve_backend
+from repro.engine.metrics import MetricsTrace
 from repro.engine.rdd import RDD, JobRunner
 from repro.util.errors import EngineError
 
 
 class SparkLiteContext:
-    """Creates RDDs and executes jobs over a thread pool.
+    """Creates RDDs and executes jobs over a pluggable backend.
 
     Args:
-        parallelism: number of worker threads; also the default partition
-            count for :meth:`parallelize`.
+        parallelism: worker count for the backend; also the default
+            partition count for :meth:`parallelize`.
+        backend: ``"serial"`` / ``"thread"`` / ``"process"`` or an
+            :class:`~repro.engine.backends.ExecutionBackend` instance.
+            Defaults to the thread backend — cheap and closure-friendly.
+            Pick ``"process"`` for CPU-bound stages built from picklable
+            (module-level) functions; pick ``"serial"`` as the reference
+            semantics every other backend is differential-tested against.
 
     Note:
-        Threads, not processes — the point is to preserve Spark's
-        execution *model* (partitions, stages, shuffles), not to beat the
-        GIL. The A1 ablation benchmark measures what partitioning buys.
+        Whatever the backend, the execution *model* is Spark's —
+        partitions, stages, shuffles. The A1 ablation benchmark sweeps
+        backends and partition counts to measure what each buys.
     """
 
-    def __init__(self, parallelism: int = 4):
+    def __init__(self, parallelism: int = 4,
+                 backend: Any = None):
         if parallelism < 1:
             raise EngineError("parallelism must be >= 1")
         self.parallelism = parallelism
-        self._pool: Optional[ThreadPoolExecutor] = (
-            ThreadPoolExecutor(max_workers=parallelism)
-            if parallelism > 1 else None)
+        self.backend: ExecutionBackend = resolve_backend(backend, parallelism)
         self._stopped = False
         self.jobs_run = 0
         #: JobMetrics of the most recent action (None before any job).
         self.last_job_metrics = None
+        #: bounded per-job metrics history (``--engine-metrics`` dumps it)
+        self.metrics_trace = MetricsTrace()
 
     # ---------------------------------------------------------------- creation
     def parallelize(self, data: Sequence[Any],
@@ -70,10 +78,9 @@ class SparkLiteContext:
 
     def _map_indices(self, count: int,
                      fn: Callable[[int], List[Any]]) -> List[List[Any]]:
+        """Legacy shim: run an indexed driver closure on the backend."""
         self._check_alive()
-        if self._pool is None or count == 1:
-            return [fn(i) for i in range(count)]
-        return list(self._pool.map(fn, range(count)))
+        return self.backend.run_local(fn, count)
 
     def _run_job_partitions(self, rdd: RDD) -> List[List[Any]]:
         self._check_alive()
@@ -81,15 +88,14 @@ class SparkLiteContext:
         runner = JobRunner(self)
         result = runner.all_partitions(rdd)
         self.last_job_metrics = runner.metrics
+        self.metrics_trace.append(runner.metrics)
         return result
 
     def _run_job(self, rdd: RDD) -> List[Any]:
         return [x for part in self._run_job_partitions(rdd) for x in part]
 
     def stop(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        self.backend.close()
         self._stopped = True
 
     def __enter__(self) -> "SparkLiteContext":

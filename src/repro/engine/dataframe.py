@@ -4,6 +4,10 @@ Provides the relational verbs the paper's analyses use — select, where,
 with_column, group_by().agg(), join, order_by — with named aggregate
 functions ("count", "sum", "avg", "min", "max", "count_distinct").
 Rows are plain dicts; ``Row`` is an alias kept for readability.
+
+The layer's own operators are picklable callable objects, so a
+DataFrame pipeline runs on the process backend whenever the *user's*
+functions (predicates, column expressions) pickle too.
 """
 
 from __future__ import annotations
@@ -16,6 +20,127 @@ from repro.util.errors import EngineError
 Row = Dict[str, Any]
 
 _AGGREGATES = ("count", "sum", "avg", "min", "max", "count_distinct")
+
+
+# ------------------------------------------------------------- row operators
+class _Project:
+    __slots__ = ("columns",)
+
+    def __init__(self, columns):
+        self.columns = columns
+
+    def __call__(self, row: Row) -> Row:
+        return {c: row.get(c) for c in self.columns}
+
+
+class _Extend:
+    __slots__ = ("name", "fn")
+
+    def __init__(self, name, fn):
+        self.name = name
+        self.fn = fn
+
+    def __call__(self, row: Row) -> Row:
+        out = dict(row)
+        out[self.name] = self.fn(row)
+        return out
+
+
+class _Strip:
+    __slots__ = ("dropped",)
+
+    def __init__(self, dropped):
+        self.dropped = dropped
+
+    def __call__(self, row: Row) -> Row:
+        return {k: v for k, v in row.items() if k not in self.dropped}
+
+
+class _ColumnOf:
+    __slots__ = ("column",)
+
+    def __init__(self, column):
+        self.column = column
+
+    def __call__(self, row: Row) -> Any:
+        return row.get(self.column)
+
+
+class _ColumnOrZero:
+    __slots__ = ("column",)
+
+    def __init__(self, column):
+        self.column = column
+
+    def __call__(self, row: Row) -> Any:
+        return row.get(self.column) or 0
+
+
+class _KeyTuple:
+    __slots__ = ("keys",)
+
+    def __init__(self, keys):
+        self.keys = keys
+
+    def __call__(self, row: Row) -> Tuple:
+        return tuple(row.get(k) for k in self.keys)
+
+
+class _MergeJoin:
+    __slots__ = ("on",)
+
+    def __init__(self, on):
+        self.on = on
+
+    def __call__(self, kv: Tuple[Any, Tuple[Row, Optional[Row]]]) -> Row:
+        _key, (lrow, rrow) = kv
+        out = dict(lrow)
+        for k, v in (rrow or {}).items():
+            if k != self.on:
+                out[k] = v
+        return out
+
+
+class _AggSeq:
+    __slots__ = ("specs",)
+
+    def __init__(self, specs):
+        self.specs = specs
+
+    def __call__(self, acc: Dict, row: Row) -> Dict:
+        for out_col, (in_col, fn) in self.specs.items():
+            value = row.get(in_col)
+            slot = acc.setdefault(out_col, _zero(fn))
+            acc[out_col] = _step(fn, slot, value)
+        return acc
+
+
+class _AggComb:
+    __slots__ = ("specs",)
+
+    def __init__(self, specs):
+        self.specs = specs
+
+    def __call__(self, a: Dict, b: Dict) -> Dict:
+        for out_col, (_in, fn) in self.specs.items():
+            a[out_col] = _merge(fn, a.get(out_col, _zero(fn)),
+                                b.get(out_col, _zero(fn)))
+        return a
+
+
+class _AggFinish:
+    __slots__ = ("keys", "specs")
+
+    def __init__(self, keys, specs):
+        self.keys = keys
+        self.specs = specs
+
+    def __call__(self, kv) -> Row:
+        key_values, acc = kv
+        out = dict(zip(self.keys, key_values))
+        for out_col, (_in, fn) in self.specs.items():
+            out[out_col] = _final(fn, acc.get(out_col, _zero(fn)))
+        return out
 
 
 class DataFrame:
@@ -40,33 +165,23 @@ class DataFrame:
     # ------------------------------------------------------------- transforms
     def select(self, *columns: str) -> "DataFrame":
         wanted = list(columns)
-
-        def project(row: Row) -> Row:
-            return {c: row.get(c) for c in wanted}
-        return DataFrame(self._rdd.map(project), wanted)
+        return DataFrame(self._rdd.map(_Project(wanted)), wanted)
 
     def where(self, predicate: Callable[[Row], bool]) -> "DataFrame":
         return DataFrame(self._rdd.filter(predicate), self.columns)
 
     def with_column(self, name: str,
                     fn: Callable[[Row], Any]) -> "DataFrame":
-        def extend(row: Row) -> Row:
-            out = dict(row)
-            out[name] = fn(row)
-            return out
         columns = None
         if self.columns is not None:
             columns = self.columns + ([name] if name not in self.columns else [])
-        return DataFrame(self._rdd.map(extend), columns)
+        return DataFrame(self._rdd.map(_Extend(name, fn)), columns)
 
     def drop(self, *names: str) -> "DataFrame":
-        dropped = set(names)
-
-        def strip(row: Row) -> Row:
-            return {k: v for k, v in row.items() if k not in dropped}
+        dropped = frozenset(names)
         columns = ([c for c in self.columns if c not in dropped]
                    if self.columns is not None else None)
-        return DataFrame(self._rdd.map(strip), columns)
+        return DataFrame(self._rdd.map(_Strip(dropped)), columns)
 
     def group_by(self, *keys: str) -> "GroupedFrame":
         if not keys:
@@ -78,24 +193,15 @@ class DataFrame:
         """Equi-join on a shared column; 'inner' or 'left'."""
         if how not in ("inner", "left"):
             raise EngineError(f"unsupported join type: {how}")
-        left = self._rdd.key_by(lambda row: row.get(on))
-        right = other._rdd.key_by(lambda row: row.get(on))
+        left = self._rdd.key_by(_ColumnOf(on))
+        right = other._rdd.key_by(_ColumnOf(on))
         joined = (left.left_outer_join(right) if how == "left"
                   else left.join(right))
-
-        def merge(kv: Tuple[Any, Tuple[Row, Optional[Row]]]) -> Row:
-            _key, (lrow, rrow) = kv
-            out = dict(lrow)
-            for k, v in (rrow or {}).items():
-                if k != on:
-                    out[k] = v
-            return out
-        return DataFrame(joined.map(merge))
+        return DataFrame(joined.map(_MergeJoin(on)))
 
     def order_by(self, column: str, ascending: bool = True) -> "DataFrame":
         return DataFrame(
-            self._rdd.sort_by(lambda row: row.get(column),
-                              ascending=ascending),
+            self._rdd.sort_by(_ColumnOf(column), ascending=ascending),
             self.columns)
 
     def limit(self, n: int) -> "DataFrame":
@@ -113,15 +219,15 @@ class DataFrame:
         return self.collect()
 
     def column_values(self, column: str) -> List[Any]:
-        return self._rdd.map(lambda row: row.get(column)).collect()
+        return self._rdd.map(_ColumnOf(column)).collect()
 
     def describe(self, column: str) -> Dict[str, float]:
         """Numeric summary (count/mean/stdev/min/max) of one column."""
-        return self._rdd.map(lambda row: row.get(column) or 0).stats()
+        return self._rdd.map(_ColumnOrZero(column)).stats()
 
     def distinct_values(self, column: str) -> List[Any]:
         """Sorted distinct values of one column."""
-        return sorted(self._rdd.map(lambda row: row.get(column))
+        return sorted(self._rdd.map(_ColumnOf(column))
                       .distinct().collect(),
                       key=lambda v: (v is None, v))
 
@@ -148,32 +254,10 @@ class GroupedFrame:
                     f"expected one of {_AGGREGATES}")
         keys = self._keys
         specs = dict(aggregates)
-
-        def seq(acc: Dict, row: Row) -> Dict:
-            for out_col, (in_col, fn) in specs.items():
-                value = row.get(in_col)
-                slot = acc.setdefault(out_col, _zero(fn))
-                acc[out_col] = _step(fn, slot, value)
-            return acc
-
-        def comb(a: Dict, b: Dict) -> Dict:
-            for out_col, (_in, fn) in specs.items():
-                a[out_col] = _merge(fn, a.get(out_col, _zero(fn)),
-                                    b.get(out_col, _zero(fn)))
-            return a
-
-        keyed = self._frame.rdd.key_by(
-            lambda row: tuple(row.get(k) for k in keys))
-        reduced = keyed.aggregate_by_key({}, seq, comb)
-
-        def finish(kv) -> Row:
-            key_values, acc = kv
-            out = dict(zip(keys, key_values))
-            for out_col, (_in, fn) in specs.items():
-                out[out_col] = _final(fn, acc.get(out_col, _zero(fn)))
-            return out
+        keyed = self._frame.rdd.key_by(_KeyTuple(keys))
+        reduced = keyed.aggregate_by_key({}, _AggSeq(specs), _AggComb(specs))
         columns = keys + list(specs)
-        return DataFrame(reduced.map(finish), columns)
+        return DataFrame(reduced.map(_AggFinish(keys, specs)), columns)
 
 
 def _zero(fn: str):

@@ -1,0 +1,157 @@
+"""Structured job instrumentation: per-stage and per-job counters.
+
+Every action run by :class:`~repro.engine.rdd.JobRunner` produces one
+:class:`JobMetrics` holding a :class:`StageMetrics` row per materialized
+RDD — what kind of stage it was (narrow / shuffle / task / cached), how
+many partitions ran, how many records came out, how much shuffle data
+moved, how long it took, and whether the process backend had to fall
+back to in-driver execution because a closure would not pickle.
+
+The context keeps the most recent job on ``last_job_metrics`` and a
+bounded trace of past jobs that ``python -m repro ... --engine-metrics``
+dumps as JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List
+
+#: stage kinds recorded by the runner
+STAGE_NARROW = "narrow"      # partition-wise op, parent partition -> child
+STAGE_SHUFFLE = "shuffle"    # map-side exchange + reduce-side post op
+STAGE_TASK = "task"          # generic driver-side compute closure
+STAGE_CACHED = "cached"      # partitions served from a cache() result
+
+
+@dataclass
+class StageMetrics:
+    """What one materialized RDD actually did during a job."""
+
+    stage_id: int
+    rdd_id: int
+    name: str
+    kind: str
+    partitions: int = 0
+    records_out: int = 0
+    shuffle_records: int = 0
+    shuffle_bytes: int = 0
+    wall_s: float = 0.0
+    cache_hit: bool = False
+    fallback: bool = False
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "stage_id": self.stage_id,
+            "rdd_id": self.rdd_id,
+            "name": self.name,
+            "kind": self.kind,
+            "partitions": self.partitions,
+            "records_out": self.records_out,
+            "shuffle_records": self.shuffle_records,
+            "shuffle_bytes": self.shuffle_bytes,
+            "wall_s": round(self.wall_s, 6),
+            "cache_hit": self.cache_hit,
+            "fallback": self.fallback,
+        }
+
+
+class JobMetrics:
+    """Counters for one job: what actually executed.
+
+    Exposed on :class:`SparkLiteContext` as ``last_job_metrics`` so
+    benchmarks (A1) and curious users can see how much work a lineage
+    did — RDDs materialized, partition tasks run, records shuffled —
+    without instrumenting their own closures. ``stages`` holds one
+    :class:`StageMetrics` per materialized RDD, in execution order.
+    """
+
+    def __init__(self, backend: str = ""):
+        self.backend = backend
+        self.stages: List[StageMetrics] = []
+        self.rdds_materialized = 0
+        self.partitions_computed = 0
+        self.shuffles = 0
+        self.shuffle_records = 0
+        self.shuffle_bytes = 0
+        self.cached_hits = 0
+        self.fallbacks = 0
+        self.wall_s = 0.0
+
+    # ------------------------------------------------------------- recording
+    def record_stage(self, stage: StageMetrics) -> StageMetrics:
+        """Append one stage row and roll its counters into the job totals.
+
+        Shuffle volume is *not* aggregated here — the runner reports it
+        through :meth:`record_shuffle` at exchange time (a generic stage
+        like cogroup can contain several shuffles), and the stage row
+        merely carries its share for per-stage display.
+        """
+        self.stages.append(stage)
+        if stage.cache_hit:
+            self.cached_hits += 1
+        else:
+            self.rdds_materialized += 1
+            self.partitions_computed += stage.partitions
+        if stage.fallback:
+            self.fallbacks += 1
+        self.wall_s += stage.wall_s
+        return stage
+
+    def record_shuffle(self, records: int, nbytes: int) -> None:
+        self.shuffles += 1
+        self.shuffle_records += records
+        self.shuffle_bytes += nbytes
+
+    def next_stage_id(self) -> int:
+        return len(self.stages)
+
+    # ------------------------------------------------------------ reporting
+    def as_dict(self, include_stages: bool = False) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "rdds_materialized": self.rdds_materialized,
+            "partitions_computed": self.partitions_computed,
+            "shuffles": self.shuffles,
+            "shuffle_records": self.shuffle_records,
+            "shuffle_bytes": self.shuffle_bytes,
+            "cached_hits": self.cached_hits,
+            "fallbacks": self.fallbacks,
+            "backend": self.backend,
+            "wall_s": round(self.wall_s, 6),
+        }
+        if include_stages:
+            out["stages"] = [s.as_dict() for s in self.stages]
+        return out
+
+    def to_json(self, include_stages: bool = True, indent: int = 2) -> str:
+        return json.dumps(self.as_dict(include_stages=include_stages),
+                          indent=indent, sort_keys=True)
+
+
+@dataclass
+class MetricsTrace:
+    """A bounded record of the jobs a context has run."""
+
+    maxlen: int = 1024
+    _jobs: Deque[JobMetrics] = field(default_factory=deque, repr=False)
+
+    def append(self, job: JobMetrics) -> None:
+        self._jobs.append(job)
+        while len(self._jobs) > self.maxlen:
+            self._jobs.popleft()
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def jobs(self) -> List[JobMetrics]:
+        return list(self._jobs)
+
+    def as_dict(self, include_stages: bool = True) -> Dict[str, Any]:
+        return {"jobs": [j.as_dict(include_stages=include_stages)
+                         for j in self._jobs]}
+
+    def to_json(self, include_stages: bool = True, indent: int = 2) -> str:
+        return json.dumps(self.as_dict(include_stages=include_stages),
+                          indent=indent, sort_keys=True)

@@ -3,18 +3,38 @@
 Every transformation returns a new :class:`RDD` node holding a reference
 to its parent(s) and a description of the work; nothing executes until an
 action. The :class:`JobRunner` walks the lineage, computes each distinct
-RDD's partitions once per job (memoized), runs narrow partitions on the
-context's thread pool, and performs hash shuffles for wide dependencies —
-the same split Spark draws between narrow and wide transformations.
+RDD's partitions once per job (memoized), hands partition tasks to the
+context's :class:`~repro.engine.backends.ExecutionBackend`, and performs
+hash shuffles for wide dependencies — the same split Spark draws between
+narrow and wide transformations.
+
+Two node shapes are structured so their tasks can cross a process
+boundary (see ``backends.ProcessBackend``):
+
+* narrow nodes carry a picklable *partition operator* (``part_fn``)
+  applied to the parent's partition of the same index;
+* wide nodes carry a :class:`ShuffleSpec` — a picklable bucket function
+  for the map-side exchange and a picklable *post* operator for the
+  reduce side.
+
+Everything else (``parallelize`` slices, ``union``, ``cogroup``,
+``sortBy``, ``zipWithIndex``) keeps a generic driver-side compute
+closure; those stages run in-process on any backend.
 """
 
 from __future__ import annotations
 
 import itertools
+import pickle
+import threading
+import time
+import zlib
 from collections import defaultdict
 from typing import (Any, Callable, Dict, Generic, Iterable, List, Optional,
                     Tuple, TypeVar)
 
+from repro.engine.metrics import (STAGE_CACHED, STAGE_NARROW, STAGE_SHUFFLE,
+                                  STAGE_TASK, JobMetrics, StageMetrics)
 from repro.util.errors import EngineError
 
 T = TypeVar("T")
@@ -25,8 +45,256 @@ V = TypeVar("V")
 _rdd_ids = itertools.count()
 
 
+# --------------------------------------------------------------------- hashing
+def _canonical_bytes(key: Any) -> bytes:
+    """Deterministic, type-tagged encoding: equal keys → equal bytes.
+
+    Builtin ``hash`` is salted per interpreter for strings
+    (``PYTHONHASHSEED``), which would make shuffle placement differ
+    between runs — and between the driver and a process-pool worker.
+    Numeric cross-type equality (``1 == 1.0 == True``) is normalized so
+    equal keys always land in the same bucket.
+    """
+    if key is None:
+        return b"N"
+    if isinstance(key, bool):
+        key = int(key)
+    if isinstance(key, float) and key.is_integer() and abs(key) < 2 ** 63:
+        key = int(key)
+    if isinstance(key, int):
+        return b"i" + str(key).encode("ascii")
+    if isinstance(key, float):
+        return b"f" + repr(key).encode("ascii")
+    if isinstance(key, str):
+        return b"s" + key.encode("utf-8", "surrogatepass")
+    if isinstance(key, bytes):
+        return b"b" + key
+    if isinstance(key, tuple):
+        parts = [_canonical_bytes(item) for item in key]
+        return b"t" + b"".join(
+            str(len(p)).encode("ascii") + b":" + p for p in parts)
+    if isinstance(key, frozenset):
+        total = sum(zlib.crc32(_canonical_bytes(item))
+                    for item in key) & 0xFFFFFFFF
+        return b"z" + str(total).encode("ascii")
+    # last resort: types with a deterministic repr (dataclasses, enums)
+    return b"r" + repr(key).encode("utf-8", "surrogatepass")
+
+
+def _stable_hash(key: Any) -> int:
+    return zlib.crc32(_canonical_bytes(key))
+
+
 def _hash_partition(key: Any, num_partitions: int) -> int:
-    return hash(key) % num_partitions
+    return _stable_hash(key) % num_partitions
+
+
+# ----------------------------------------------------------- partition operators
+# Callable objects instead of closures so narrow/shuffle tasks pickle to a
+# process pool whenever the *user's* function does.
+
+class _MapOp:
+    __slots__ = ("fn",)
+
+    def __init__(self, fn):
+        self.fn = fn
+
+    def __call__(self, part):
+        fn = self.fn
+        return [fn(x) for x in part]
+
+
+class _FilterOp:
+    __slots__ = ("fn",)
+
+    def __init__(self, fn):
+        self.fn = fn
+
+    def __call__(self, part):
+        fn = self.fn
+        return [x for x in part if fn(x)]
+
+
+class _FlatMapOp:
+    __slots__ = ("fn",)
+
+    def __init__(self, fn):
+        self.fn = fn
+
+    def __call__(self, part):
+        fn = self.fn
+        return [y for x in part for y in fn(x)]
+
+
+class _MapPartitionsOp:
+    __slots__ = ("fn",)
+
+    def __init__(self, fn):
+        self.fn = fn
+
+    def __call__(self, part):
+        return list(self.fn(part))
+
+
+class _KeyByOp:
+    __slots__ = ("fn",)
+
+    def __init__(self, fn):
+        self.fn = fn
+
+    def __call__(self, part):
+        fn = self.fn
+        return [(fn(x), x) for x in part]
+
+
+class _MapValuesOp:
+    __slots__ = ("fn",)
+
+    def __init__(self, fn):
+        self.fn = fn
+
+    def __call__(self, part):
+        fn = self.fn
+        return [(k, fn(v)) for k, v in part]
+
+
+class _FlatMapValuesOp:
+    __slots__ = ("fn",)
+
+    def __init__(self, fn):
+        self.fn = fn
+
+    def __call__(self, part):
+        fn = self.fn
+        return [(k, u) for k, v in part for u in fn(v)]
+
+
+class _SampleOp:
+    __slots__ = ("fraction", "seed")
+
+    def __init__(self, fraction, seed):
+        self.fraction = fraction
+        self.seed = seed
+
+    def __call__(self, part):
+        import random
+        rng = random.Random(self.seed * 1_000_003 + len(part))
+        fraction = self.fraction
+        return [x for x in part if rng.random() < fraction]
+
+
+# ------------------------------------------------------------ shuffle operators
+def _pair_key(item):
+    return item[0]
+
+
+def _identity(item):
+    return item
+
+
+class _BucketOp:
+    """Map side of a shuffle: split one partition into bucket lists.
+
+    Receives ``(global_offset, items)`` so a ``bucket_fn`` of ``None``
+    can round-robin by global element position (repartition) without
+    shared mutable state — keeping the exchange deterministic and
+    parallelizable chunk by chunk.
+    """
+
+    __slots__ = ("bucket_fn", "num_buckets")
+
+    def __init__(self, bucket_fn, num_buckets):
+        self.bucket_fn = bucket_fn
+        self.num_buckets = num_buckets
+
+    def __call__(self, chunk):
+        offset, items = chunk
+        n = self.num_buckets
+        buckets: List[List[Any]] = [[] for _ in range(n)]
+        fn = self.bucket_fn
+        if fn is None:
+            for i, item in enumerate(items):
+                buckets[(offset + i) % n].append(item)
+        else:
+            for item in items:
+                buckets[_hash_partition(fn(item), n)].append(item)
+        return buckets
+
+
+class _GatherOp:
+    __slots__ = ()
+
+    def __call__(self, bucket):
+        return bucket
+
+
+class _DistinctOp:
+    __slots__ = ()
+
+    def __call__(self, bucket):
+        seen = set()
+        out = []
+        for x in bucket:
+            if x not in seen:
+                seen.add(x)
+                out.append(x)
+        return out
+
+
+class _GroupByKeyOp:
+    __slots__ = ()
+
+    def __call__(self, bucket):
+        grouped: Dict[Any, List[Any]] = defaultdict(list)
+        for k, v in bucket:
+            grouped[k].append(v)
+        return list(grouped.items())
+
+
+class _ReduceByKeyOp:
+    __slots__ = ("fn",)
+
+    def __init__(self, fn):
+        self.fn = fn
+
+    def __call__(self, bucket):
+        fn = self.fn
+        acc: Dict[Any, Any] = {}
+        for k, v in bucket:
+            acc[k] = fn(acc[k], v) if k in acc else v
+        return list(acc.items())
+
+
+class _AggregateByKeyOp:
+    __slots__ = ("zero", "seq", "comb")
+
+    def __init__(self, zero, seq, comb):
+        self.zero = zero
+        self.seq = seq
+        self.comb = comb
+
+    def __call__(self, bucket):
+        import copy
+        seq = self.seq
+        acc: Dict[Any, Any] = {}
+        for k, v in bucket:
+            if k not in acc:
+                acc[k] = copy.deepcopy(self.zero)
+            acc[k] = seq(acc[k], v)
+        return list(acc.items())
+
+
+class ShuffleSpec:
+    """One wide dependency: map-side bucketing + reduce-side post op.
+
+    ``bucket_fn`` of ``None`` means round-robin by global position.
+    """
+
+    __slots__ = ("bucket_fn", "post")
+
+    def __init__(self, bucket_fn, post):
+        self.bucket_fn = bucket_fn
+        self.post = post
 
 
 class RDD(Generic[T]):
@@ -36,7 +304,9 @@ class RDD(Generic[T]):
                  parents: Tuple["RDD", ...] = (),
                  compute: Optional[Callable] = None,
                  wide: bool = False,
-                 name: str = "rdd"):
+                 name: str = "rdd",
+                 part_fn: Optional[Callable] = None,
+                 shuffle: Optional[ShuffleSpec] = None):
         if num_partitions < 1:
             raise EngineError("an RDD needs at least one partition")
         self.context = context
@@ -44,7 +314,9 @@ class RDD(Generic[T]):
         self.num_partitions = num_partitions
         self.parents = parents
         self._compute = compute
-        self.wide = wide
+        self.part_fn = part_fn
+        self.shuffle = shuffle
+        self.wide = wide or shuffle is not None
         self.name = name
         self._cached: Optional[List[List[T]]] = None
         self._cache_requested = False
@@ -64,37 +336,30 @@ class RDD(Generic[T]):
         return self
 
     # -------------------------------------------------------- narrow transforms
-    def _narrow(self, fn: Callable[[List[T]], List[U]], name: str) -> "RDD[U]":
-        def compute(runner: "JobRunner", index: int) -> List[U]:
-            return fn(runner.partition(self, index))
-        return RDD(self.context, self.num_partitions, (self,), compute,
-                   name=name)
+    def _narrow(self, op: Callable[[List[T]], List[U]], name: str) -> "RDD[U]":
+        return RDD(self.context, self.num_partitions, (self,),
+                   part_fn=op, name=name)
 
     def map(self, fn: Callable[[T], U]) -> "RDD[U]":
-        return self._narrow(lambda part: [fn(x) for x in part], "map")
+        return self._narrow(_MapOp(fn), "map")
 
     def filter(self, predicate: Callable[[T], bool]) -> "RDD[T]":
-        return self._narrow(
-            lambda part: [x for x in part if predicate(x)], "filter")
+        return self._narrow(_FilterOp(predicate), "filter")
 
     def flat_map(self, fn: Callable[[T], Iterable[U]]) -> "RDD[U]":
-        return self._narrow(
-            lambda part: [y for x in part for y in fn(x)], "flatMap")
+        return self._narrow(_FlatMapOp(fn), "flatMap")
 
     def map_partitions(self, fn: Callable[[List[T]], Iterable[U]]) -> "RDD[U]":
-        return self._narrow(lambda part: list(fn(part)), "mapPartitions")
+        return self._narrow(_MapPartitionsOp(fn), "mapPartitions")
 
     def key_by(self, fn: Callable[[T], K]) -> "RDD[Tuple[K, T]]":
-        return self._narrow(lambda part: [(fn(x), x) for x in part], "keyBy")
+        return self._narrow(_KeyByOp(fn), "keyBy")
 
     def map_values(self, fn: Callable[[V], U]) -> "RDD[Tuple[K, U]]":
-        return self._narrow(
-            lambda part: [(k, fn(v)) for k, v in part], "mapValues")
+        return self._narrow(_MapValuesOp(fn), "mapValues")
 
     def flat_map_values(self, fn: Callable[[V], Iterable[U]]) -> "RDD":
-        return self._narrow(
-            lambda part: [(k, u) for k, v in part for u in fn(v)],
-            "flatMapValues")
+        return self._narrow(_FlatMapValuesOp(fn), "flatMapValues")
 
     def union(self, other: "RDD[T]") -> "RDD[T]":
         if other.context is not self.context:
@@ -109,77 +374,40 @@ class RDD(Generic[T]):
                    (self, other), compute, name="union")
 
     def sample(self, fraction: float, seed: int = 0) -> "RDD[T]":
-        import random
         if not 0.0 <= fraction <= 1.0:
             raise EngineError(f"fraction must be in [0, 1], got {fraction}")
-
-        def fn(part: List[T]) -> List[T]:
-            rng = random.Random(seed * 1_000_003 + len(part))
-            return [x for x in part if rng.random() < fraction]
-        return self._narrow(fn, "sample")
+        return self._narrow(_SampleOp(fraction, seed), "sample")
 
     # ---------------------------------------------------------- wide transforms
     def _shuffle(self, num_partitions: Optional[int],
-                 bucket_fn: Callable[[T], Any],
+                 bucket_fn: Optional[Callable[[T], Any]],
                  post: Callable[[List[T]], List[U]],
                  name: str) -> "RDD[U]":
         parts = num_partitions or self.num_partitions
-
-        def compute(runner: "JobRunner", index: int) -> List[U]:
-            buckets = runner.shuffle(self, parts, bucket_fn)
-            return post(buckets[index])
-        return RDD(self.context, parts, (self,), compute, wide=True,
-                   name=name)
+        return RDD(self.context, parts, (self,),
+                   shuffle=ShuffleSpec(bucket_fn, post), name=name)
 
     def repartition(self, num_partitions: int) -> "RDD[T]":
-        counter = itertools.count()
-        return self._shuffle(
-            num_partitions, lambda _x: next(counter),
-            lambda bucket: bucket, "repartition")
+        return self._shuffle(num_partitions, None, _GatherOp(), "repartition")
 
     def distinct(self, num_partitions: Optional[int] = None) -> "RDD[T]":
-        def post(bucket: List[T]) -> List[T]:
-            seen = set()
-            out = []
-            for x in bucket:
-                if x not in seen:
-                    seen.add(x)
-                    out.append(x)
-            return out
-        return self._shuffle(num_partitions, lambda x: x, post, "distinct")
+        return self._shuffle(num_partitions, _identity, _DistinctOp(),
+                             "distinct")
 
     def group_by_key(self, num_partitions: Optional[int] = None) -> "RDD":
-        def post(bucket: List[Tuple[K, V]]) -> List[Tuple[K, List[V]]]:
-            grouped: Dict[K, List[V]] = defaultdict(list)
-            for k, v in bucket:
-                grouped[k].append(v)
-            return list(grouped.items())
-        return self._shuffle(num_partitions, lambda kv: kv[0], post,
+        return self._shuffle(num_partitions, _pair_key, _GroupByKeyOp(),
                              "groupByKey")
 
     def reduce_by_key(self, fn: Callable[[V, V], V],
                       num_partitions: Optional[int] = None) -> "RDD":
-        def post(bucket: List[Tuple[K, V]]) -> List[Tuple[K, V]]:
-            acc: Dict[K, V] = {}
-            for k, v in bucket:
-                acc[k] = fn(acc[k], v) if k in acc else v
-            return list(acc.items())
-        return self._shuffle(num_partitions, lambda kv: kv[0], post,
+        return self._shuffle(num_partitions, _pair_key, _ReduceByKeyOp(fn),
                              "reduceByKey")
 
     def aggregate_by_key(self, zero: U, seq: Callable[[U, V], U],
                          comb: Callable[[U, U], U],
                          num_partitions: Optional[int] = None) -> "RDD":
-        import copy
-
-        def post(bucket: List[Tuple[K, V]]) -> List[Tuple[K, U]]:
-            acc: Dict[K, U] = {}
-            for k, v in bucket:
-                if k not in acc:
-                    acc[k] = copy.deepcopy(zero)
-                acc[k] = seq(acc[k], v)
-            return list(acc.items())
-        return self._shuffle(num_partitions, lambda kv: kv[0], post,
+        return self._shuffle(num_partitions, _pair_key,
+                             _AggregateByKeyOp(zero, seq, comb),
                              "aggregateByKey")
 
     def cogroup(self, other: "RDD", num_partitions: Optional[int] = None) -> "RDD":
@@ -187,8 +415,8 @@ class RDD(Generic[T]):
                                       other.num_partitions)
 
         def compute(runner: "JobRunner", index: int):
-            left = runner.shuffle(self, parts, lambda kv: kv[0])[index]
-            right = runner.shuffle(other, parts, lambda kv: kv[0])[index]
+            left = runner.shuffle(self, parts, _pair_key, spec="pair")[index]
+            right = runner.shuffle(other, parts, _pair_key, spec="pair")[index]
             grouped: Dict[Any, Tuple[List, List]] = defaultdict(
                 lambda: ([], []))
             for k, v in left:
@@ -346,49 +574,23 @@ class RDD(Generic[T]):
         return sum(len(p) for p in partitions)
 
 
-class JobMetrics:
-    """Counters for one job: what actually executed.
-
-    Exposed on :class:`SparkLiteContext` as ``last_job_metrics`` so
-    benchmarks (A1) and curious users can see how much work a lineage
-    did — RDDs materialized, partition tasks run, records shuffled —
-    without instrumenting their own closures.
-    """
-
-    def __init__(self):
-        self.rdds_materialized = 0
-        self.partitions_computed = 0
-        self.shuffles = 0
-        self.shuffle_records = 0
-        self.cached_hits = 0
-
-    def as_dict(self) -> Dict[str, int]:
-        return {
-            "rdds_materialized": self.rdds_materialized,
-            "partitions_computed": self.partitions_computed,
-            "shuffles": self.shuffles,
-            "shuffle_records": self.shuffle_records,
-            "cached_hits": self.cached_hits,
-        }
-
-
 class JobRunner:
     """Evaluates one action: memoizes partitions and shuffles per job.
 
     Lineage is materialized bottom-up (topological order) from the driver
-    thread, so partition tasks running on the pool only ever *read* their
-    parents' already-computed results — nested pool submission (a classic
-    thread-pool deadlock) can't happen.
+    thread, so partition tasks running on a backend only ever *read*
+    their parents' already-computed results — nested pool submission (a
+    classic pool deadlock) can't happen, and process-pool tasks receive
+    their input data explicitly rather than through shared state.
     """
 
     def __init__(self, context):
-        import threading
         self.context = context
         self._partitions: Dict[int, List[List[Any]]] = {}
-        self._shuffles: Dict[Tuple[int, int], List[List[Any]]] = {}
+        self._shuffles: Dict[Tuple[int, int, str], List[List[Any]]] = {}
         self._shuffle_lock = threading.Lock()
         #: instrumentation for the job that just ran (see JobMetrics)
-        self.metrics = JobMetrics()
+        self.metrics = JobMetrics(backend=context.backend.name)
 
     def _lineage(self, rdd: RDD) -> List[RDD]:
         """Ancestors-first topological order of the lineage DAG."""
@@ -405,11 +607,17 @@ class JobRunner:
         visit(rdd)
         return order
 
+    def _record_cached(self, rdd: RDD) -> None:
+        self.metrics.record_stage(StageMetrics(
+            stage_id=self.metrics.next_stage_id(), rdd_id=rdd.rdd_id,
+            name=rdd.name, kind=STAGE_CACHED,
+            partitions=rdd.num_partitions, cache_hit=True))
+
     def all_partitions(self, rdd: RDD) -> List[List[Any]]:
         if rdd._cached is not None:
             if rdd.rdd_id not in self._partitions:
                 self._partitions[rdd.rdd_id] = rdd._cached
-                self.metrics.cached_hits += 1
+                self._record_cached(rdd)
             return rdd._cached
         if rdd.rdd_id not in self._partitions:
             for node in self._lineage(rdd):
@@ -418,28 +626,90 @@ class JobRunner:
 
     def _materialize(self, rdd: RDD) -> None:
         if rdd._cached is not None:
-            self._partitions[rdd.rdd_id] = rdd._cached
-            self.metrics.cached_hits += 1
+            if rdd.rdd_id not in self._partitions:
+                self._partitions[rdd.rdd_id] = rdd._cached
+                self._record_cached(rdd)
             return
         if rdd.rdd_id in self._partitions:
             return
-        compute = rdd._compute
-        if compute is None:
-            raise EngineError(f"RDD {rdd!r} has no compute function")
-        results = self.context._map_indices(
-            rdd.num_partitions, lambda i: compute(self, i))
+        backend = self.context.backend
+        start = time.perf_counter()
+        fallback = False
+        shuffle_records = 0
+        shuffle_bytes = 0
+        if rdd.part_fn is not None:
+            inputs = self.all_partitions(rdd.parents[0])
+            results, fallback = backend.run(rdd.part_fn, inputs)
+            kind = STAGE_NARROW
+        elif rdd.shuffle is not None:
+            buckets, shuffle_records, shuffle_bytes, fallback = \
+                self._exchange(rdd)
+            results, post_fell_back = backend.run(rdd.shuffle.post, buckets)
+            fallback = fallback or post_fell_back
+            kind = STAGE_SHUFFLE
+            self.metrics.record_shuffle(shuffle_records, shuffle_bytes)
+        else:
+            compute = rdd._compute
+            if compute is None:
+                raise EngineError(f"RDD {rdd!r} has no compute function")
+            # closures read runner state: always in-process
+            before_rec = self.metrics.shuffle_records
+            before_bytes = self.metrics.shuffle_bytes
+            results = backend.run_local(
+                lambda i: compute(self, i), rdd.num_partitions)
+            kind = STAGE_TASK
+            # attribute driver-side shuffles (cogroup) to this stage
+            shuffle_records = self.metrics.shuffle_records - before_rec
+            shuffle_bytes = self.metrics.shuffle_bytes - before_bytes
         self._partitions[rdd.rdd_id] = results
-        self.metrics.rdds_materialized += 1
-        self.metrics.partitions_computed += rdd.num_partitions
         if rdd._cache_requested:
             rdd._cached = results
+        self.metrics.record_stage(StageMetrics(
+            stage_id=self.metrics.next_stage_id(), rdd_id=rdd.rdd_id,
+            name=rdd.name, kind=kind, partitions=rdd.num_partitions,
+            records_out=sum(len(p) for p in results),
+            shuffle_records=shuffle_records, shuffle_bytes=shuffle_bytes,
+            wall_s=time.perf_counter() - start, fallback=fallback))
 
     def partition(self, rdd: RDD, index: int) -> List[Any]:
         return self.all_partitions(rdd)[index]
 
+    # ---------------------------------------------------------------- shuffles
+    def _exchange(self, rdd: RDD) -> Tuple[List[List[Any]], int, int, bool]:
+        """Chunked map-side exchange for a structured wide node.
+
+        Each parent partition is bucketed independently (a picklable
+        task, so it can run on the process pool) and the driver merges
+        the chunks in partition order — deterministic on every backend.
+        """
+        parent = rdd.parents[0]
+        parts = self.all_partitions(parent)
+        num_buckets = rdd.num_partitions
+        offsets = []
+        offset = 0
+        for part in parts:
+            offsets.append(offset)
+            offset += len(part)
+        op = _BucketOp(rdd.shuffle.bucket_fn, num_buckets)
+        chunked, fell_back = self.context.backend.run(
+            op, list(zip(offsets, parts)))
+        buckets: List[List[Any]] = [[] for _ in range(num_buckets)]
+        moved = 0
+        for chunk_buckets in chunked:
+            for b, items in enumerate(chunk_buckets):
+                buckets[b].extend(items)
+                moved += len(items)
+        return buckets, moved, _payload_bytes(buckets), fell_back
+
     def shuffle(self, rdd: RDD, num_buckets: int,
-                bucket_fn: Callable[[Any], Any]) -> List[List[Any]]:
-        key = (rdd.rdd_id, num_buckets)
+                bucket_fn: Callable[[Any], Any],
+                spec: str = "key") -> List[List[Any]]:
+        """Driver-side shuffle memo for generic wide computes (cogroup).
+
+        ``spec`` names the bucketing scheme so two different wide
+        children of the same parent never collide in the memo.
+        """
+        key = (rdd.rdd_id, num_buckets, spec)
         with self._shuffle_lock:
             if key not in self._shuffles:
                 buckets: List[List[Any]] = [[] for _ in range(num_buckets)]
@@ -450,6 +720,14 @@ class JobRunner:
                                                 num_buckets)].append(item)
                         moved += 1
                 self._shuffles[key] = buckets
-                self.metrics.shuffles += 1
-                self.metrics.shuffle_records += moved
+                self.metrics.record_shuffle(moved, _payload_bytes(buckets))
         return self._shuffles[key]
+
+
+def _payload_bytes(buckets: List[List[Any]]) -> int:
+    """Pickled size of a shuffle payload — what 'bytes moved' means for
+    a process pool; 0 when the payload isn't picklable."""
+    try:
+        return len(pickle.dumps(buckets, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        return 0

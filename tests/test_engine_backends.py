@@ -1,0 +1,258 @@
+"""Differential tests: every backend against the SerialBackend oracle.
+
+A battery of lineage shapes — narrow chains, shuffles, joins, cached
+re-use, empty partitions — runs through the serial, thread and process
+backends; outputs must be *identical* (same elements, same order), not
+just equivalent. The serial backend is the reference semantics; thread
+and process are only allowed to be faster, never different.
+
+Functions used by the battery are module-level on purpose so the
+process backend genuinely ships them to pool workers; a couple of
+scenarios use lambdas deliberately to pin the in-driver fallback path.
+"""
+
+import operator
+
+import pytest
+
+from repro.engine.backends import (BACKENDS, ProcessBackend, SerialBackend,
+                                   ThreadBackend, resolve_backend)
+from repro.engine.context import SparkLiteContext
+from repro.engine.dataframe import DataFrame
+from repro.util.errors import EngineError
+
+ALL_BACKENDS = sorted(BACKENDS)
+NON_SERIAL = [b for b in ALL_BACKENDS if b != "serial"]
+
+
+# --------------------------------------------------------- battery functions
+def _double(x):
+    return x * 2
+
+
+def _is_even(x):
+    return x % 2 == 0
+
+
+def _expand(x):
+    return [x, -x]
+
+
+def _mod5_pair(x):
+    return (x % 5, x)
+
+
+def _mod3(x):
+    return x % 3
+
+
+def _negate(v):
+    return -v
+
+
+def _nothing(_x):
+    return False
+
+
+# ----------------------------------------------------------------- scenarios
+def scenario_narrow_chain(sc):
+    return (sc.parallelize(range(50), 4)
+            .map(_double).filter(_is_even).flat_map(_expand).collect())
+
+
+def scenario_map_partitions(sc):
+    return (sc.parallelize(range(30), 5)
+            .map_partitions(sorted).collect())
+
+
+def scenario_key_by_values(sc):
+    return (sc.parallelize(range(20), 3)
+            .key_by(_mod3).map_values(_negate).collect())
+
+
+def scenario_reduce_by_key(sc):
+    return (sc.parallelize(range(200), 6)
+            .map(_mod5_pair).reduce_by_key(operator.add).collect())
+
+
+def scenario_group_by_key(sc):
+    return (sc.parallelize(range(40), 4)
+            .map(_mod5_pair).group_by_key().collect())
+
+
+def scenario_aggregate_by_key(sc):
+    return (sc.parallelize(range(60), 5)
+            .map(_mod5_pair)
+            .aggregate_by_key(0, operator.add, operator.add)
+            .collect())
+
+
+def scenario_distinct(sc):
+    return sc.parallelize([1, 2, 2, 3, 1, 4, 4, 4], 3).distinct().collect()
+
+
+def scenario_repartition(sc):
+    return sc.parallelize(range(23), 4).repartition(7).collect()
+
+
+def scenario_union(sc):
+    left = sc.parallelize(range(10), 2).map(_double)
+    right = sc.parallelize(range(5), 3)
+    return left.union(right).collect()
+
+
+def scenario_join(sc):
+    left = sc.parallelize([(k % 4, k) for k in range(12)], 3)
+    right = sc.parallelize([(k % 4, -k) for k in range(8)], 2)
+    return left.join(right).collect()
+
+
+def scenario_left_outer_join(sc):
+    left = sc.parallelize([(1, "a"), (2, "b"), (9, "c")], 2)
+    right = sc.parallelize([(1, "x"), (1, "y")], 1)
+    return left.left_outer_join(right).collect()
+
+
+def scenario_sort_by(sc):
+    return (sc.parallelize([5, 3, 9, 1, 7, 2], 3)
+            .sort_by(_negate).collect())
+
+
+def scenario_zip_with_index(sc):
+    return sc.parallelize(list("abcdefg"), 3).zip_with_index().collect()
+
+
+def scenario_cached_reuse(sc):
+    base = sc.parallelize(range(30), 3).map(_double).cache()
+    first = base.map(_mod5_pair).reduce_by_key(operator.add).collect()
+    second = base.collect()  # second job reads the cache
+    return [first, second]
+
+
+def scenario_empty_partitions(sc):
+    return (sc.parallelize(range(8), 4)
+            .filter(_nothing)
+            .map(_mod5_pair)
+            .reduce_by_key(operator.add)
+            .collect())
+
+
+def scenario_empty_rdd(sc):
+    return sc.empty().map(_double).collect()
+
+
+def scenario_lambda_fallback(sc):
+    # unpicklable closures: process backend must fall back, not fail
+    return (sc.parallelize(range(40), 4)
+            .map(lambda x: (x % 7, x * 3))
+            .reduce_by_key(lambda a, b: a + b)
+            .collect())
+
+
+def scenario_dataframe_pipeline(sc):
+    records = [{"market": f"m{i % 4}", "raised": i * 100, "ok": i % 2 == 0}
+               for i in range(40)]
+    df = DataFrame.from_records(sc, records, num_partitions=4)
+    out = (df.where(_row_ok)
+             .with_column("raised_k", _raised_k)
+             .group_by("market")
+             .agg(n=("market", "count"), total=("raised", "sum"),
+                  avg_k=("raised_k", "avg"))
+             .order_by("market"))
+    return out.collect()
+
+
+def _row_ok(row):
+    return row["ok"]
+
+
+def _raised_k(row):
+    return row["raised"] / 1000.0
+
+
+SCENARIOS = {
+    name[len("scenario_"):]: fn
+    for name, fn in sorted(globals().items())
+    if name.startswith("scenario_")
+}
+
+
+# --------------------------------------------------------------------- tests
+@pytest.fixture(scope="module")
+def contexts():
+    ctxs = {name: SparkLiteContext(parallelism=3, backend=name)
+            for name in ALL_BACKENDS}
+    yield ctxs
+    for ctx in ctxs.values():
+        ctx.stop()
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+@pytest.mark.parametrize("backend", NON_SERIAL)
+def test_backend_matches_serial_oracle(contexts, backend, scenario):
+    fn = SCENARIOS[scenario]
+    expected = fn(contexts["serial"])
+    actual = fn(contexts[backend])
+    assert actual == expected, f"{backend} diverged on {scenario}"
+    assert repr(actual) == repr(expected)  # identical, not just equivalent
+
+
+class TestProcessBackendBehaviour:
+    def test_picklable_pipeline_uses_the_pool(self, contexts):
+        sc = contexts["process"]
+        scenario_reduce_by_key(sc)
+        assert sc.last_job_metrics.backend == "process"
+        assert sc.last_job_metrics.fallbacks == 0
+
+    def test_lambda_pipeline_falls_back_but_succeeds(self, contexts):
+        sc = contexts["process"]
+        result = scenario_lambda_fallback(sc)
+        assert sorted(result) == sorted(
+            scenario_lambda_fallback(contexts["serial"]))
+        assert sc.last_job_metrics.fallbacks > 0
+
+    def test_unpicklable_data_falls_back(self):
+        with SparkLiteContext(parallelism=2, backend="process") as sc:
+            # a generator inside the data can't cross the pickle wall
+            data = [(i, (x for x in range(i))) for i in range(6)]
+            out = sc.parallelize(data, 3).map(_first_of_pair).collect()
+            assert out == [0, 1, 2, 3, 4, 5]
+
+
+def _first_of_pair(pair):
+    return pair[0]
+
+
+class TestBackendResolution:
+    def test_resolve_by_name(self):
+        assert isinstance(resolve_backend("serial", 2), SerialBackend)
+        assert isinstance(resolve_backend("thread", 2), ThreadBackend)
+        assert isinstance(resolve_backend("process", 2), ProcessBackend)
+
+    def test_default_is_thread(self):
+        assert isinstance(resolve_backend(None, 2), ThreadBackend)
+        with SparkLiteContext(parallelism=2) as sc:
+            assert sc.backend.name == "thread"
+
+    def test_instance_passthrough_adopts_parallelism(self):
+        backend = SerialBackend()
+        assert resolve_backend(backend, 5) is backend
+        assert backend.parallelism == 5
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(EngineError):
+            resolve_backend("gpu", 2)
+        with pytest.raises(EngineError):
+            resolve_backend(42, 2)
+
+    def test_shuffle_placement_agrees_across_backends(self):
+        """Same key → same output partition on every backend (the
+        property builtin hash() could not provide across processes)."""
+        partitioned = {}
+        for name in ALL_BACKENDS:
+            with SparkLiteContext(parallelism=2, backend=name) as sc:
+                rdd = (sc.parallelize([(f"key-{i}", 1) for i in range(40)], 4)
+                       .reduce_by_key(operator.add))
+                partitioned[name] = sc._run_job_partitions(rdd)
+        assert partitioned["serial"] == partitioned["thread"]
+        assert partitioned["serial"] == partitioned["process"]

@@ -1,5 +1,7 @@
 """Tests for engine job instrumentation."""
 
+import json
+
 import pytest
 
 from repro.engine.context import SparkLiteContext
@@ -28,6 +30,7 @@ class TestJobMetrics:
         metrics = sc.last_job_metrics
         assert metrics.shuffles == 1
         assert metrics.shuffle_records == 100
+        assert metrics.shuffle_bytes > 0
 
     def test_cached_hits(self, sc):
         rdd = sc.parallelize(range(10), 2).map(lambda x: x).cache()
@@ -47,7 +50,8 @@ class TestJobMetrics:
         sc.parallelize([1]).collect()
         d = sc.last_job_metrics.as_dict()
         assert set(d) == {"rdds_materialized", "partitions_computed",
-                          "shuffles", "shuffle_records", "cached_hits"}
+                          "shuffles", "shuffle_records", "shuffle_bytes",
+                          "cached_hits", "fallbacks", "backend", "wall_s"}
 
     def test_metrics_reset_per_job(self, sc):
         sc.parallelize(range(50), 2).map(lambda x: (x, 1)) \
@@ -56,3 +60,57 @@ class TestJobMetrics:
         sc.parallelize([1, 2]).collect()
         assert sc.last_job_metrics.shuffle_records == 0
         assert first == 50
+
+
+class TestStageMetrics:
+    def test_per_stage_rows(self, sc):
+        (sc.parallelize(range(40), 4)
+         .map(lambda x: (x % 3, x))
+         .reduce_by_key(lambda a, b: a + b)
+         .collect())
+        stages = sc.last_job_metrics.stages
+        assert [s.kind for s in stages] == ["task", "narrow", "shuffle"]
+        assert [s.name for s in stages] == \
+            ["parallelize", "map", "reduceByKey"]
+        assert stages[1].records_out == 40
+        assert stages[2].shuffle_records == 40
+        assert all(s.wall_s >= 0 for s in stages)
+        assert [s.stage_id for s in stages] == [0, 1, 2]
+
+    def test_cached_stage_row(self, sc):
+        rdd = sc.parallelize(range(6), 2).map(lambda x: x * 2).cache()
+        rdd.collect()
+        rdd.count()
+        stages = sc.last_job_metrics.stages
+        assert len(stages) == 1
+        assert stages[0].kind == "cached"
+        assert stages[0].cache_hit
+
+    def test_stage_dump_is_json(self, sc):
+        sc.parallelize(range(10), 2).distinct().collect()
+        payload = json.loads(sc.last_job_metrics.to_json())
+        assert payload["shuffles"] == 1
+        assert isinstance(payload["stages"], list)
+        assert {"kind", "name", "partitions", "wall_s"} \
+            <= set(payload["stages"][0])
+
+    def test_backend_recorded(self):
+        with SparkLiteContext(parallelism=2, backend="serial") as sc:
+            sc.parallelize([1, 2]).collect()
+            assert sc.last_job_metrics.backend == "serial"
+
+
+class TestMetricsTrace:
+    def test_trace_accumulates_jobs(self, sc):
+        sc.parallelize([1]).collect()
+        sc.parallelize([2, 3]).count()
+        assert len(sc.metrics_trace) == 2
+        payload = json.loads(sc.metrics_trace.to_json())
+        assert len(payload["jobs"]) == 2
+
+    def test_trace_is_bounded(self):
+        with SparkLiteContext(parallelism=1) as sc:
+            sc.metrics_trace.maxlen = 3
+            for _ in range(5):
+                sc.parallelize([1]).collect()
+            assert len(sc.metrics_trace) == 3

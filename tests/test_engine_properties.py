@@ -1,0 +1,107 @@
+"""Hypothesis property tests for RDD semantics.
+
+For arbitrary small datasets and partition counts the engine must agree
+with plain Python: ``collect()`` round-trips ``parallelize``,
+``reduce_by_key`` agrees with a dict-based fold, ``count()``/``sum()``
+agree with the builtins, and shuffles merge keys that Python considers
+equal (including the nasty cross-type ``1 == 1.0 == True`` cases).
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.engine.context import SparkLiteContext  # noqa: E402
+
+SETTINGS = settings(max_examples=30, deadline=None)
+
+ints = st.lists(st.integers(-1_000, 1_000), max_size=60)
+partitions = st.integers(min_value=1, max_value=8)
+#: keys spanning types with cross-type equality (1 == 1.0 == True)
+keys = st.one_of(
+    st.integers(-5, 5),
+    st.booleans(),
+    st.none(),
+    st.sampled_from([0.0, 1.0, 2.5, -3.0]),
+    st.text(alphabet="abcγ", max_size=3),
+    st.tuples(st.integers(0, 3), st.text(alphabet="xy", max_size=2)),
+)
+pairs = st.lists(st.tuples(keys, st.integers(-50, 50)), max_size=50)
+
+
+def _sc(parallelism=2, backend="serial"):
+    return SparkLiteContext(parallelism=parallelism, backend=backend)
+
+
+@given(data=ints, parts=partitions)
+@SETTINGS
+def test_parallelize_collect_roundtrip(data, parts):
+    with _sc() as sc:
+        assert sc.parallelize(data, parts).collect() == data
+
+
+@given(data=ints, parts=partitions)
+@SETTINGS
+def test_count_and_sum_agree_with_builtins(data, parts):
+    with _sc() as sc:
+        rdd = sc.parallelize(data, parts)
+        assert rdd.count() == len(data)
+        assert rdd.sum() == sum(data)
+
+
+@given(data=pairs, parts=partitions, width=partitions)
+@SETTINGS
+def test_reduce_by_key_agrees_with_dict_fold(data, parts, width):
+    expected = {}
+    for k, v in data:
+        expected[k] = expected[k] + v if k in expected else v
+    with _sc() as sc:
+        result = (sc.parallelize(data, parts)
+                  .reduce_by_key(lambda a, b: a + b, num_partitions=width)
+                  .collect())
+    assert dict(result) == expected
+    assert len(result) == len(expected)  # no key split across buckets
+
+
+@given(data=pairs, parts=partitions)
+@SETTINGS
+def test_group_by_key_partitions_all_values(data, parts):
+    expected = {}
+    for k, v in data:
+        expected.setdefault(k, []).append(v)
+    with _sc() as sc:
+        grouped = sc.parallelize(data, parts).group_by_key().collect()
+    assert {k: v for k, v in grouped} == expected
+    assert len(grouped) == len(expected)
+
+
+@given(data=ints, parts=partitions)
+@SETTINGS
+def test_distinct_agrees_with_set(data, parts):
+    with _sc() as sc:
+        result = sc.parallelize(data, parts).distinct().collect()
+    assert sorted(result) == sorted(set(data))
+
+
+@given(data=ints, parts=partitions, width=partitions)
+@SETTINGS
+def test_repartition_preserves_multiset(data, parts, width):
+    with _sc() as sc:
+        rdd = sc.parallelize(data, parts).repartition(width)
+        assert sorted(rdd.collect()) == sorted(data)
+        assert rdd.num_partitions == width
+
+
+@given(data=pairs, parts=partitions)
+@SETTINGS
+def test_thread_backend_matches_serial(data, parts):
+    def job(sc):
+        return (sc.parallelize(data, parts)
+                .map(lambda kv: (kv[0], kv[1] * 2))
+                .reduce_by_key(lambda a, b: a + b)
+                .collect())
+    with _sc(backend="serial") as serial, \
+            _sc(parallelism=3, backend="thread") as threaded:
+        assert job(threaded) == job(serial)

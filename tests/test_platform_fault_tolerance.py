@@ -5,6 +5,8 @@ the *whole* §3 pipeline against flaky, slow sources and require the
 final datasets to be byte-identical to a fault-free crawl.
 """
 
+import operator
+
 import pytest
 
 from repro.core.platform import ExploratoryPlatform, PlatformConfig
@@ -13,6 +15,10 @@ from repro.net.faults import FaultPlan
 from repro.net.latency import LatencyModel
 from repro.world.config import WorldConfig
 from repro.world.generator import generate_world
+
+
+def _market_pair(record):
+    return (record.get("market") or "unknown", 1)
 
 
 @pytest.fixture(scope="module")
@@ -70,3 +76,57 @@ class TestFaultyPipeline:
         flaky_table = flaky.run_plugin("engagement_table")
         for clean_row, flaky_row in zip(clean_table.rows, flaky_table.rows):
             assert clean_row == flaky_row
+
+
+@pytest.fixture(scope="module")
+def backend_runs():
+    """The same flaky world crawled under two engine backends."""
+    world = generate_world(WorldConfig(scale=0.002, seed=77))
+    platforms = {}
+    for backend in ("serial", "thread"):
+        platform = ExploratoryPlatform(world, config=PlatformConfig(
+            faults=FaultPlan.flaky(p_error=0.03, seed=11),
+            engine_backend=backend))
+        platform.run_full_crawl()
+        platforms[backend] = platform
+    yield platforms
+    for platform in platforms.values():
+        platform.close()
+
+
+class TestBackendsUnderFaults:
+    """A flaky crawl must retry to completion with identical frontier
+    output whichever backend the engine pipeline runs on."""
+
+    def test_retries_to_completion_on_both_backends(self, backend_runs):
+        for backend, platform in backend_runs.items():
+            stats = platform.crawl_summary.angellist.client_stats
+            assert stats.retries > 0, backend
+            assert stats.failures == 0, backend
+
+    def test_frontier_output_identical_across_backends(self, backend_runs):
+        serial, threaded = (backend_runs["serial"], backend_runs["thread"])
+        assert serial.crawl_summary.angellist.rounds \
+            == threaded.crawl_summary.angellist.rounds
+        for directory in ("/crawl/angellist/startups",
+                          "/crawl/angellist/investments"):
+            serial_records = list(read_json_dataset(serial.dfs, directory))
+            thread_records = list(read_json_dataset(threaded.dfs, directory))
+            assert serial_records == thread_records, directory
+
+    def test_engine_pipeline_identical_across_backends(self, backend_runs):
+        """Drive the crawled frontier through an engine job on each
+        backend: byte-identical aggregation and correct attribution."""
+        outputs = {}
+        for backend, platform in backend_runs.items():
+            counts = (platform.sc
+                      .json_dataset(platform.dfs, "/crawl/angellist/startups")
+                      .map(_market_pair)
+                      .reduce_by_key(operator.add)
+                      .collect())
+            assert platform.sc.last_job_metrics.backend == backend
+            assert platform.sc.last_job_metrics.shuffles == 1
+            outputs[backend] = counts
+        assert outputs["serial"] == outputs["thread"]
+        assert sum(n for _m, n in outputs["serial"]) \
+            == backend_runs["serial"].crawl_summary.angellist.startups

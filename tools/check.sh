@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Tier-1 gate: byte-compile everything, then run the full test suite.
+# This is what CI runs; run it locally before pushing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== compileall =="
+python -m compileall -q src benchmarks tools examples
+
+echo "== pytest (tier 1) =="
+python -m pytest -x -q "$@"
