@@ -37,6 +37,15 @@ def _add_world_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--engine-metrics", metavar="FILE",
                         help="dump the per-stage JobMetrics trace of every "
                              "engine job as JSON")
+    parser.add_argument("--fault-profile", default="none",
+                        choices=("none", "flaky", "chaos"),
+                        help="inject seeded faults into every simulated "
+                             "source (see repro.net.faults.FaultSchedule)")
+    parser.add_argument("--chaos-seed", type=int, default=0,
+                        help="seed of the fault schedule; same seed, same "
+                             "faults")
+    parser.add_argument("--task-retries", type=int, default=1,
+                        help="engine per-partition task re-execution budget")
 
 
 def _resolve_world(args: argparse.Namespace) -> World:
@@ -47,8 +56,18 @@ def _resolve_world(args: argparse.Namespace) -> World:
 
 
 def _platform_config(args: argparse.Namespace) -> PlatformConfig:
-    return PlatformConfig(
-        engine_backend=getattr(args, "engine_backend", "thread"))
+    from repro.net.faults import FaultSchedule
+    profile = getattr(args, "fault_profile", "none")
+    config = PlatformConfig(
+        engine_backend=getattr(args, "engine_backend", "thread"),
+        task_retries=getattr(args, "task_retries", 1),
+        faults=FaultSchedule.from_profile(
+            profile, seed=getattr(args, "chaos_seed", 0)))
+    if profile == "chaos":
+        # survive brownout windows: retry harder, decorrelate workers
+        config.client_max_retries = 10
+        config.client_backoff_jitter = 0.25
+    return config
 
 
 def _dump_engine_metrics(platform: ExploratoryPlatform,

@@ -3,10 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Dict, Optional
 
 from repro.crawl.augment import AugmentResult, CrunchBaseAugmenter
+from repro.crawl.breaker import CircuitBreaker, breaker_for
 from repro.crawl.client import (ApiClient, AUTH_QUERY_USER_KEY)
+from repro.crawl.deadletter import DeadLetterQueue
 from repro.crawl.enrich import EnrichResult, FacebookCrawler, TwitterCrawler
 from repro.crawl.frontier import BfsCrawler, CrawlResult
 from repro.crawl.tokens import TokenPool
@@ -34,10 +36,28 @@ class PlatformConfig:
     engine_parallelism: int = 4
     #: "serial" / "thread" / "process" (see repro.engine.backends)
     engine_backend: str = "thread"
+    #: per-partition task re-execution budget (Spark-style)
+    task_retries: int = 1
     dfs_datanodes: int = 4
     records_per_part: int = 5000
     latency: LatencyModel = field(default_factory=LatencyModel.zero)
-    faults: FaultPlan = field(default_factory=FaultPlan.none)
+    #: a FaultPlan or (composable, seeded) FaultSchedule
+    faults: Any = field(default_factory=FaultPlan.none)
+    # ---- resilience knobs (see DESIGN.md "Fault model & resilience") ----
+    #: transient-failure retry budget per logical request
+    client_max_retries: int = 5
+    #: deterministic jitter fraction on client backoff (0 disables)
+    client_backoff_jitter: float = 0.0
+    #: consecutive failures before a source's circuit breaker opens
+    #: (<= 0 disables breakers entirely)
+    breaker_failure_threshold: int = 5
+    #: base cooldown of an opened breaker, in simulated seconds
+    breaker_cooldown_s: float = 30.0
+    #: park budget-exhausted enrichment requests for replay instead of
+    #: failing the crawl
+    dead_letters: bool = True
+    #: replay passes attempted before leaving letters parked
+    replay_passes: int = 5
 
 
 @dataclass
@@ -81,7 +101,21 @@ class ExploratoryPlatform:
         self.dfs = MiniDfs(num_datanodes=self.config.dfs_datanodes)
         self.sc = SparkLiteContext(
             parallelism=self.config.engine_parallelism,
-            backend=self.config.engine_backend)
+            backend=self.config.engine_backend,
+            task_retries=self.config.task_retries)
+        #: one circuit breaker per source, shared by that source's workers
+        self.breakers: Dict[str, Optional[CircuitBreaker]] = {
+            name: breaker_for(self.clock, name,
+                              self.config.breaker_failure_threshold,
+                              self.config.breaker_cooldown_s)
+            for name in ("angellist", "crunchbase", "facebook", "twitter")}
+        #: per-source dead-letter queues (enrichment crawls only)
+        self.dead_letter_queues: Dict[str, DeadLetterQueue] = {}
+        if self.config.dead_letters:
+            self.dead_letter_queues = {
+                name: DeadLetterQueue(self.dfs,
+                                      root=f"/crawl/deadletters/{name}")
+                for name in ("facebook", "twitter")}
         self.plugins = PluginRegistry()
         self.crawl_summary: Optional[CrawlSummary] = None
         self._graph: Optional[BipartiteGraph] = None
@@ -103,28 +137,61 @@ class ExploratoryPlatform:
         if self.crawl_summary is not None:
             raise ConfigError("this platform already crawled; build a new "
                               "one for a fresh crawl")
+        cfg = self.config
         al_tokens = [self.hub.angellist.issue_token(f"bfs-{i}")
-                     for i in range(self.config.angellist_tokens)]
+                     for i in range(cfg.angellist_tokens)]
+        # the BFS frontier needs every response inline (each one expands
+        # the frontier), so its client retries hard but never dead-letters
         al_client = ApiClient(self.hub.angellist, self.clock,
-                              token_pool=TokenPool(al_tokens, self.clock))
+                              token_pool=TokenPool(al_tokens, self.clock),
+                              max_retries=cfg.client_max_retries,
+                              backoff_jitter=cfg.client_backoff_jitter,
+                              jitter_seed=1,
+                              breaker=self.breakers["angellist"])
         bfs = BfsCrawler(al_client, self.dfs,
-                         records_per_part=self.config.records_per_part).run()
+                         records_per_part=cfg.records_per_part).run()
 
         cb_client = ApiClient(self.hub.crunchbase, self.clock,
                               auth_style=AUTH_QUERY_USER_KEY,
-                              token=self.hub.crunchbase.issue_key())
+                              token=self.hub.crunchbase.issue_key(),
+                              max_retries=cfg.client_max_retries,
+                              backoff_jitter=cfg.client_backoff_jitter,
+                              jitter_seed=2,
+                              breaker=self.breakers["crunchbase"])
         augment = CrunchBaseAugmenter(
             cb_client, self.dfs,
-            records_per_part=self.config.records_per_part).run()
+            records_per_part=cfg.records_per_part).run()
 
-        facebook = FacebookCrawler(
+        fb_crawler = FacebookCrawler(
             self.hub.facebook, self.clock, self.dfs,
-            records_per_part=self.config.records_per_part).run()
-        twitter = TwitterCrawler(
+            records_per_part=cfg.records_per_part,
+            max_retries=cfg.client_max_retries,
+            backoff_jitter=cfg.client_backoff_jitter,
+            jitter_seed=3,
+            breaker=self.breakers["facebook"],
+            dead_letters=self.dead_letter_queues.get("facebook"))
+        facebook = fb_crawler.run()
+        tw_crawler = TwitterCrawler(
             self.hub.twitter, self.clock, self.dfs,
-            num_tokens=self.config.twitter_tokens,
-            num_workers=self.config.twitter_workers,
-            records_per_part=self.config.records_per_part).run()
+            num_tokens=cfg.twitter_tokens,
+            num_workers=cfg.twitter_workers,
+            records_per_part=cfg.records_per_part,
+            max_retries=cfg.client_max_retries,
+            backoff_jitter=cfg.client_backoff_jitter,
+            jitter_seed=4,
+            breaker=self.breakers["twitter"],
+            dead_letters=self.dead_letter_queues.get("twitter"))
+        twitter = tw_crawler.run()
+
+        # drain the dead-letter queues: nothing a fault parked is lost
+        for crawler, result in ((fb_crawler, facebook),
+                                (tw_crawler, twitter)):
+            if crawler.dead_letters is None:
+                continue
+            for _ in range(cfg.replay_passes):
+                if len(crawler.dead_letters) == 0:
+                    break
+                crawler.replay(result)
 
         self.crawl_summary = CrawlSummary(
             angellist=bfs, crunchbase=augment,

@@ -1,0 +1,113 @@
+"""Per-source circuit breaker (closed / open / half-open).
+
+A weeks-long crawl must stop hammering a source that is browning out:
+after ``failure_threshold`` *consecutive* transport-level failures the
+breaker opens and every caller sharing it (all logical workers of a
+source) waits out a cooldown instead of burning its retry budget. The
+first request after the cooldown is the half-open probe: success closes
+the breaker, another failure re-opens it with a doubled (capped)
+cooldown — classic exponential escalation.
+
+The breaker is time-based on the shared :class:`~repro.util.clock.Clock`,
+so under the simulated clock whole brownouts pass in microseconds while
+preserving ordering.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.util.clock import Clock
+
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Shared failure-rate governor for one upstream source."""
+
+    def __init__(self, clock: Clock, name: str = "source",
+                 failure_threshold: int = 5,
+                 cooldown_s: float = 30.0,
+                 max_cooldown_s: float = 300.0):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown_s <= 0:
+            raise ValueError("cooldown_s must be > 0")
+        self.clock = clock
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.base_cooldown_s = cooldown_s
+        self.max_cooldown_s = max(cooldown_s, max_cooldown_s)
+        self.state = STATE_CLOSED
+        self._consecutive_failures = 0
+        self._cooldown_s = cooldown_s
+        self._open_until = 0.0
+        #: lifetime counters (surfaced by crawl summaries)
+        self.trips = 0
+        self.probes = 0
+
+    # ----------------------------------------------------------------- flow
+    def acquire(self) -> float:
+        """Seconds the caller must wait before sending (0 = go now).
+
+        When the breaker is open, returns the remaining cooldown and
+        moves to half-open — the caller is expected to sleep that long
+        and then send the probe request.
+        """
+        if self.state == STATE_OPEN:
+            remaining = max(0.0, self._open_until - self.clock.now())
+            self.state = STATE_HALF_OPEN
+            self.probes += 1
+            return remaining
+        return 0.0
+
+    def record_success(self) -> None:
+        if self.state == STATE_HALF_OPEN:
+            self._cooldown_s = self.base_cooldown_s
+        self.state = STATE_CLOSED
+        self._consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        if self.state == STATE_HALF_OPEN:
+            # the probe failed: re-open with an escalated cooldown
+            self._cooldown_s = min(self.max_cooldown_s,
+                                   self._cooldown_s * 2.0)
+            self._trip()
+            return
+        self._consecutive_failures += 1
+        if (self.state == STATE_CLOSED
+                and self._consecutive_failures >= self.failure_threshold):
+            self._trip()
+
+    def _trip(self) -> None:
+        self.state = STATE_OPEN
+        self.trips += 1
+        self._consecutive_failures = 0
+        self._open_until = self.clock.now() + self._cooldown_s
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def consecutive_failures(self) -> int:
+        return self._consecutive_failures
+
+    @property
+    def current_cooldown_s(self) -> float:
+        return self._cooldown_s
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<CircuitBreaker {self.name} {self.state} "
+                f"failures={self._consecutive_failures} trips={self.trips}>")
+
+
+def breaker_for(clock: Clock, name: str,
+                failure_threshold: int = 5,
+                cooldown_s: float = 30.0) -> Optional[CircuitBreaker]:
+    """Convenience used by the platform wiring; returns None when
+    ``failure_threshold`` is 0 (breaker disabled)."""
+    if failure_threshold <= 0:
+        return None
+    return CircuitBreaker(clock, name=name,
+                          failure_threshold=failure_threshold,
+                          cooldown_s=cooldown_s)

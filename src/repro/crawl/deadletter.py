@@ -1,0 +1,125 @@
+"""DFS-persisted dead-letter queue with a replay path.
+
+When a request exhausts its retry budget the crawl must not lose the
+record — the paper's multi-day crawls could not afford to restart over
+one stubborn endpoint. The client parks the failed request here (one
+JSON file per letter, written atomically), the crawl moves on, and
+:meth:`DeadLetterQueue.replay` re-issues every parked request later —
+typically after the brownout has passed — handing each recovered body
+back to the caller so it can finish whatever write the failure
+interrupted. A crawl whose queue drains to empty lost nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import posixpath
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.dfs.filesystem import MiniDfs
+from repro.util.errors import CrawlError
+
+
+@dataclass
+class DeadLetter:
+    """One parked request plus the context needed to finish its write."""
+
+    method: str
+    path: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    tag: Dict[str, Any] = field(default_factory=dict)
+    error: str = ""
+    attempts: int = 0
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "method": self.method, "path": self.path, "params": self.params,
+            "tag": self.tag, "error": self.error, "attempts": self.attempts,
+        }, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "DeadLetter":
+        doc = json.loads(text)
+        return cls(method=doc["method"], path=doc["path"],
+                   params=dict(doc["params"]), tag=dict(doc["tag"]),
+                   error=doc["error"], attempts=int(doc["attempts"]))
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of one :meth:`DeadLetterQueue.replay` pass."""
+
+    replayed: int = 0    # letters whose request finally succeeded
+    requeued: int = 0    # letters that failed again and stay parked
+
+    @property
+    def drained(self) -> bool:
+        return self.requeued == 0
+
+
+class DeadLetterQueue:
+    """Append/replay queue of failed requests on the DFS."""
+
+    def __init__(self, dfs: MiniDfs, root: str = "/crawl/deadletters"):
+        self.dfs = dfs
+        self.root = root.rstrip("/")
+        self._seq = self._next_sequence()
+
+    def _next_sequence(self) -> int:
+        highest = -1
+        for path in self.pending():
+            stem = posixpath.basename(path)
+            try:
+                highest = max(highest, int(stem[len("letter-"):-len(".json")]))
+            except ValueError:  # pragma: no cover - foreign file
+                continue
+        return highest + 1
+
+    # --------------------------------------------------------------- appends
+    def append(self, letter: DeadLetter) -> str:
+        """Persist one letter atomically; returns its DFS path."""
+        path = f"{self.root}/letter-{self._seq:06d}.json"
+        self._seq += 1
+        self.dfs.write_atomic_text(path, letter.to_json() + "\n")
+        return path
+
+    # --------------------------------------------------------------- queries
+    def pending(self) -> List[str]:
+        """Paths of parked letters, in enqueue order."""
+        return [p for p in self.dfs.listdir(self.root)
+                if posixpath.basename(p).startswith("letter-")
+                and p.endswith(".json")]
+
+    def load(self, path: str) -> DeadLetter:
+        return DeadLetter.from_json(self.dfs.read_text(path))
+
+    def __len__(self) -> int:
+        return len(self.pending())
+
+    # ---------------------------------------------------------------- replay
+    def replay(self, client,
+               on_success: Optional[Callable[[DeadLetter, Any], None]] = None,
+               ) -> ReplayReport:
+        """Re-issue every parked request through ``client``.
+
+        Letters that succeed are removed (after ``on_success`` ran, so a
+        crash mid-replay re-delivers rather than drops); letters that
+        fail again stay parked for the next pass. ``client`` must not
+        itself dead-letter into this queue, or a permanently broken
+        request would loop — the client guards against that.
+        """
+        report = ReplayReport()
+        for path in self.pending():
+            letter = self.load(path)
+            try:
+                body = client.request(letter.method, letter.path,
+                                      letter.params, _replaying=True)
+            except CrawlError:
+                report.requeued += 1
+                continue
+            if on_success is not None:
+                on_success(letter, body)
+            self.dfs.delete(path)
+            report.replayed += 1
+        return report

@@ -17,8 +17,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro.crawl.breaker import CircuitBreaker
 from repro.crawl.client import (
     ApiClient, ClientStats, AUTH_QUERY_ACCESS_TOKEN)
+from repro.crawl.deadletter import DeadLetterQueue
 from repro.crawl.tokens import TokenPool, provision_twitter_tokens
 from repro.crawl.workers import WorkerPool
 from repro.dfs.filesystem import MiniDfs
@@ -26,6 +28,7 @@ from repro.dfs.jsonlines import JsonLinesWriter, iter_json_dataset
 from repro.sources.facebook import FacebookServer
 from repro.sources.twitter import TwitterServer
 from repro.util.clock import Clock
+from repro.util.errors import DeadLetterError
 
 
 @dataclass
@@ -36,8 +39,41 @@ class EnrichResult:
     linked: int = 0         # startups that had a URL for this source
     fetched: int = 0        # profiles successfully downloaded
     dead_links: int = 0     # URLs that 404ed
+    dead_lettered: int = 0  # requests parked in the DLQ mid-crawl
+    replayed: int = 0       # parked requests later recovered by replay
     sim_duration: float = 0.0
     client_stats: Optional[ClientStats] = None
+
+
+def _replay_into_dataset(client: ApiClient,
+                         dead_letters: Optional[DeadLetterQueue],
+                         dfs: MiniDfs, out_dir: str,
+                         records_per_part: int) -> int:
+    """Re-issue parked requests, appending recovered records to ``out_dir``.
+
+    Each dead letter's ``tag`` carries the record context the failure
+    interrupted (the ``angellist_id`` join key), so the recovered body
+    is written exactly as the inline path would have written it. New
+    records land in fresh part files after the existing ones. Returns
+    how many records were recovered.
+    """
+    if dead_letters is None or len(dead_letters) == 0:
+        return 0
+    start = len(dfs.glob_parts(out_dir))
+    recovered = 0
+    with JsonLinesWriter(dfs, out_dir, records_per_part,
+                         start_part_index=start) as writer:
+        def on_success(letter, body) -> None:
+            nonlocal recovered
+            if body is None:  # pragma: no cover - dead letters aren't 404s
+                return
+            record = dict(body)
+            record.update(letter.tag)
+            writer.write(record)
+            recovered += 1
+
+        dead_letters.replay(client, on_success)
+    return recovered
 
 
 def facebook_login(server: FacebookServer, app_id: str = "repro-app",
@@ -57,15 +93,24 @@ class FacebookCrawler:
     def __init__(self, server: FacebookServer, clock: Clock, dfs: MiniDfs,
                  angellist_root: str = "/crawl/angellist",
                  out_dir: str = "/crawl/facebook/pages",
-                 records_per_part: int = 5000):
+                 records_per_part: int = 5000,
+                 max_retries: int = 5,
+                 backoff_jitter: float = 0.0,
+                 jitter_seed: int = 0,
+                 breaker: Optional[CircuitBreaker] = None,
+                 dead_letters: Optional[DeadLetterQueue] = None):
         self.server = server
         self.dfs = dfs
         self.angellist_root = angellist_root.rstrip("/")
         self.out_dir = out_dir
         self.records_per_part = records_per_part
+        self.dead_letters = dead_letters
         self.client = ApiClient(
             server, clock, auth_style=AUTH_QUERY_ACCESS_TOKEN,
-            token_refresher=lambda: facebook_login(server))
+            token_refresher=lambda: facebook_login(server),
+            max_retries=max_retries, backoff_jitter=backoff_jitter,
+            jitter_seed=jitter_seed, breaker=breaker,
+            dead_letters=dead_letters)
 
     def run(self) -> EnrichResult:
         result = EnrichResult(source="facebook")
@@ -79,7 +124,14 @@ class FacebookCrawler:
                     continue
                 result.linked += 1
                 slug = url.rstrip("/").rsplit("/", 1)[-1]
-                page = self.client.get(f"/pg/{slug}", allow_not_found=True)
+                try:
+                    page = self.client.get(
+                        f"/pg/{slug}", allow_not_found=True,
+                        tag={"angellist_id": startup["id"]})
+                except DeadLetterError:
+                    # parked for replay; the crawl keeps moving
+                    result.dead_lettered += 1
+                    continue
                 if page is None:
                     result.dead_links += 1
                     continue
@@ -91,6 +143,16 @@ class FacebookCrawler:
         result.client_stats = self.client.stats
         return result
 
+    def replay(self, result: Optional[EnrichResult] = None) -> int:
+        """Drain the dead-letter queue into the output dataset."""
+        recovered = _replay_into_dataset(
+            self.client, self.dead_letters, self.dfs, self.out_dir,
+            self.records_per_part)
+        if result is not None:
+            result.replayed += recovered
+            result.fetched += recovered
+        return recovered
+
 
 class TwitterCrawler:
     """Fetches Twitter profiles with a token pool over logical workers."""
@@ -101,18 +163,29 @@ class TwitterCrawler:
                  num_tokens: int = 10,
                  num_workers: int = 5,
                  records_per_part: int = 5000,
-                 tokens: Optional[List[str]] = None):
+                 tokens: Optional[List[str]] = None,
+                 max_retries: int = 5,
+                 backoff_jitter: float = 0.0,
+                 jitter_seed: int = 0,
+                 breaker: Optional[CircuitBreaker] = None,
+                 dead_letters: Optional[DeadLetterQueue] = None):
         self.server = server
         self.dfs = dfs
         self.angellist_root = angellist_root.rstrip("/")
         self.out_dir = out_dir
         self.num_workers = num_workers
         self.records_per_part = records_per_part
+        self.dead_letters = dead_letters
         tokens = tokens or provision_twitter_tokens(server, num_tokens)
         self.pool = TokenPool(tokens, clock)
         self.client = ApiClient(server, clock,
                                 auth_style=AUTH_QUERY_ACCESS_TOKEN,
-                                token_pool=self.pool)
+                                token_pool=self.pool,
+                                max_retries=max_retries,
+                                backoff_jitter=backoff_jitter,
+                                jitter_seed=jitter_seed,
+                                breaker=breaker,
+                                dead_letters=dead_letters)
 
     @staticmethod
     def screen_name_from_url(url: str) -> str:
@@ -137,9 +210,15 @@ class TwitterCrawler:
 
         def fetch(_worker_id: int, target) -> None:
             angellist_id, screen_name = target
-            profile = self.client.get("/1.1/users/show.json",
-                                      {"screen_name": screen_name},
-                                      allow_not_found=True)
+            try:
+                profile = self.client.get(
+                    "/1.1/users/show.json",
+                    {"screen_name": screen_name},
+                    allow_not_found=True,
+                    tag={"angellist_id": angellist_id})
+            except DeadLetterError:
+                result.dead_lettered += 1
+                return
             if profile is None:
                 result.dead_links += 1
                 return
@@ -153,3 +232,13 @@ class TwitterCrawler:
         result.sim_duration = self.client.clock.now() - started
         result.client_stats = self.client.stats
         return result
+
+    def replay(self, result: Optional[EnrichResult] = None) -> int:
+        """Drain the dead-letter queue into the output dataset."""
+        recovered = _replay_into_dataset(
+            self.client, self.dead_letters, self.dfs, self.out_dir,
+            self.records_per_part)
+        if result is not None:
+            result.replayed += recovered
+            result.fetched += recovered
+        return recovered

@@ -24,6 +24,7 @@ round in progress.
 from __future__ import annotations
 
 import json
+import posixpath
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
@@ -151,6 +152,7 @@ class BfsCrawler:
                 raise CrawlError(f"no checkpoint at {self.checkpoint_path}")
             state = _CrawlState.from_json(
                 json.loads(self.dfs.read_text(self.checkpoint_path)))
+            self._drop_uncheckpointed_parts(state)
             resumed = True
         else:
             state = _CrawlState()
@@ -303,7 +305,22 @@ class BfsCrawler:
                 writer.flush()
         state.part_indices = {name: writer.next_part_index
                               for name, writer in writers.items()}
-        if self.dfs.exists(self.checkpoint_path):
-            self.dfs.delete(self.checkpoint_path)
-        self.dfs.create_text(self.checkpoint_path,
-                             json.dumps(state.to_json()))
+        # temp-write + rename: a crash mid-checkpoint leaves the previous
+        # state.json intact instead of a deleted or torn one.
+        self.dfs.write_atomic_text(self.checkpoint_path,
+                                   json.dumps(state.to_json()))
+
+    def _drop_uncheckpointed_parts(self, state: _CrawlState) -> None:
+        """Delete part files written after the checkpoint we resume from.
+
+        A crash mid-round can leave parts flushed past the last durable
+        ``part_indices``; resuming would re-emit those records under the
+        same indices, so the stale files must go first.
+        """
+        for name in ("startups", "users", "follow_edges", "investments"):
+            keep = state.part_indices.get(name, 0)
+            for path in self.dfs.glob_parts(f"{self.root}/{name}"):
+                base = posixpath.basename(path)
+                index = int(base[len("part-"):-len(".jsonl")])
+                if index >= keep:
+                    self.dfs.delete(path)

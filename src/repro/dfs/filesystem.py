@@ -3,11 +3,17 @@
 Semantics follow HDFS where it matters to the rest of the system:
 
 * files are write-once byte streams split into fixed-size blocks;
+* each block carries a CRC32 checksum; reads verify every replica and
+  transparently *read-repair* a corrupt one from a healthy sibling;
 * each block is replicated onto ``replication`` distinct datanodes;
-* reading prefers any live replica and raises only when *all* replicas
-  of some block are on dead nodes;
+* reading prefers any live, checksum-clean replica and raises only when
+  *all* replicas of some block are corrupt or on dead nodes;
 * :meth:`MiniDfs.rereplicate` restores under-replicated blocks, the way
-  the HDFS namenode does after it declares a datanode dead.
+  the HDFS namenode does after it declares a datanode dead;
+* :meth:`MiniDfs.write_atomic` is the commit protocol for checkpoints
+  and dataset parts: the payload lands under a hidden temp name and a
+  metadata-only rename publishes it, so a crash mid-write leaves the
+  previous version (or nothing) — never a torn file.
 
 Paths are POSIX-style (``/crawl/angellist/startups/part-00000.jsonl``).
 """
@@ -15,6 +21,7 @@ Paths are POSIX-style (``/crawl/angellist/startups/part-00000.jsonl``).
 from __future__ import annotations
 
 import posixpath
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List
 
@@ -32,6 +39,7 @@ class BlockInfo:
     block_id: int
     length: int
     locations: List[str] = field(default_factory=list)
+    checksum: int = 0  # CRC32 of the block payload
 
 
 @dataclass
@@ -103,7 +111,11 @@ class MiniDfs:
             f"dn{i}": DataNode(f"dn{i}") for i in range(num_datanodes)}
         self._files: Dict[str, FileStatus] = {}
         self._next_block_id = 0
+        self._next_tmp_id = 0
         self._rng = RngStream(seed, "dfs")
+        #: lifetime integrity counters
+        self.checksum_failures = 0
+        self.blocks_repaired = 0
 
     # -- write ---------------------------------------------------------------
     def create(self, path: str, data: bytes) -> FileStatus:
@@ -134,7 +146,8 @@ class MiniDfs:
         for node in targets:
             node.put(block_id, chunk)
         return BlockInfo(block_id=block_id, length=len(chunk),
-                         locations=[n.node_id for n in targets])
+                         locations=[n.node_id for n in targets],
+                         checksum=zlib.crc32(chunk))
 
     # -- read ----------------------------------------------------------------
     def read(self, path: str) -> bytes:
@@ -151,10 +164,34 @@ class MiniDfs:
         return self.read(path).decode("utf-8")
 
     def _fetch_block(self, block: BlockInfo) -> bytes:
+        """Return a checksum-verified replica, repairing corrupt ones.
+
+        Replicas are tried in location order; a replica whose CRC32 does
+        not match the namenode's record is skipped (and counted). Once a
+        clean replica is found, every corrupt sibling seen on the way is
+        overwritten with the good bytes — HDFS-style read-repair.
+        """
+        corrupt_nodes: List[DataNode] = []
         for node_id in block.locations:
             node = self.datanodes[node_id]
-            if node.has(block.block_id):
-                return node.get(block.block_id)
+            if not node.has(block.block_id):
+                continue
+            try:
+                data = node.get(block.block_id)
+            except StorageError:
+                continue  # node died between has() and get()
+            if zlib.crc32(data) != block.checksum:
+                self.checksum_failures += 1
+                corrupt_nodes.append(node)
+                continue
+            for bad in corrupt_nodes:
+                bad.put(block.block_id, data)
+                self.blocks_repaired += 1
+            return data
+        if corrupt_nodes:
+            raise StorageError(
+                f"block {block.block_id} unreadable: every live replica "
+                f"failed its checksum")
         raise StorageError(
             f"block {block.block_id} unavailable: all replicas down")
 
@@ -188,16 +225,40 @@ class MiniDfs:
         return [p for p in self.listdir(directory)
                 if posixpath.basename(p).startswith("part-")]
 
-    def rename(self, src: str, dst: str) -> None:
-        """Move a file to a new path (metadata-only, like HDFS mv)."""
+    def rename(self, src: str, dst: str, overwrite: bool = False) -> None:
+        """Move a file to a new path (metadata-only, like HDFS mv).
+
+        With ``overwrite`` the destination is replaced in one namespace
+        step — the commit half of the temp-write+rename protocol.
+        """
         src, dst = _normalize(src), _normalize(dst)
         if src not in self._files:
             raise NotFoundError(f"no such file: {src}")
         if dst in self._files:
-            raise StorageError(f"destination exists: {dst}")
+            if not overwrite:
+                raise StorageError(f"destination exists: {dst}")
+            self.delete(dst)
         status = self._files.pop(src)
         status.path = dst
         self._files[dst] = status
+
+    def write_atomic(self, path: str, data: bytes) -> FileStatus:
+        """Commit ``data`` to ``path`` via hidden temp file + rename.
+
+        The temp name starts with a dot so partially written files are
+        invisible to :meth:`glob_parts`; a crash between the two steps
+        leaves the previous version of ``path`` intact.
+        """
+        path = _normalize(path)
+        parent, base = posixpath.split(path)
+        tmp = posixpath.join(parent, f".{base}.tmp-{self._next_tmp_id}")
+        self._next_tmp_id += 1
+        self.create(tmp, data)
+        self.rename(tmp, path, overwrite=True)
+        return self._files[path]
+
+    def write_atomic_text(self, path: str, text: str) -> FileStatus:
+        return self.write_atomic(path, text.encode("utf-8"))
 
     def copy(self, src: str, dst: str) -> FileStatus:
         """Copy a file (new blocks, fresh placement)."""
@@ -216,6 +277,33 @@ class MiniDfs:
         return sum(s.length for s in self._files.values())
 
     # -- failure handling --------------------------------------------------------
+    def corrupt_block(self, path: str, block_index: int = 0,
+                      node_id: str = None) -> str:
+        """Flip bytes of one replica of one block (chaos injection).
+
+        Returns the node id whose copy was mangled. Reads of the file
+        must survive via checksum failover to a clean replica and
+        read-repair the damage.
+        """
+        status = self.stat(path)
+        if not 0 <= block_index < len(status.blocks):
+            raise StorageError(f"{path} has no block index {block_index}")
+        block = status.blocks[block_index]
+        if node_id is None:
+            holders = [nid for nid in block.locations
+                       if self.datanodes[nid].has(block.block_id)]
+            if not holders:
+                raise StorageError(f"no live replica of block "
+                                   f"{block.block_id} to corrupt")
+            node_id = holders[0]
+        node = self.datanodes[node_id]
+        data = node.get(block.block_id)
+        mangled = bytes(b ^ 0xFF for b in data[:4]) + data[4:]
+        if not data:
+            mangled = b"\x00"
+        node.put(block.block_id, mangled)
+        return node_id
+
     def kill_datanode(self, node_id: str) -> None:
         node = self.datanodes.get(node_id)
         if node is None:
@@ -253,7 +341,15 @@ class MiniDfs:
                            sum(n.alive for n in self.datanodes.values()))
                 if len(live_holders) >= want:
                     continue
-                data = self.datanodes[live_holders[0]].get(block.block_id)
+                # never propagate a corrupt replica: copy from a clean one
+                data = None
+                for nid in live_holders:
+                    candidate = self.datanodes[nid].get(block.block_id)
+                    if zlib.crc32(candidate) == block.checksum:
+                        data = candidate
+                        break
+                if data is None:
+                    continue  # all surviving copies corrupt; reads will raise
                 candidates = [n for n in self.datanodes.values()
                               if n.alive and not n.has(block.block_id)]
                 needed = want - len(live_holders)

@@ -65,7 +65,10 @@ class JsonLinesWriter:
         if not self._buffer:
             return
         path = _part_path(self._directory, self._part_index)
-        self._dfs.create_text(path, "\n".join(self._buffer) + "\n")
+        # temp-write + rename: a crash mid-flush never leaves a torn (or
+        # half-visible) part file, and a resumed crawl that re-flushes
+        # the same index atomically replaces the stale part.
+        self._dfs.write_atomic_text(path, "\n".join(self._buffer) + "\n")
         self._part_index += 1
         self._buffer = []
 

@@ -16,6 +16,15 @@ as a batch of independent tasks — ``fn`` applied to each element of
   back to in-driver execution, and the fallback is counted in the
   job's metrics rather than hidden.
 
+Fault tolerance, Spark-style task re-execution: every backend gives
+each partition task an *attempt budget* (``task_retries`` extra runs).
+A task that raises is deterministically re-executed — partition tasks
+are pure functions of their input — and the extra attempts surface in
+:class:`~repro.engine.metrics.JobMetrics` as ``task_attempts`` /
+``retried_tasks``. The process backend additionally survives crashed
+workers: a ``BrokenProcessPool`` tears the pool down, rebuilds it, and
+re-runs the batch before giving up and finishing in-driver.
+
 Backends are selected by name (``"serial"`` / ``"thread"`` /
 ``"process"``) or by passing an instance to
 ``SparkLiteContext(backend=...)``.
@@ -26,41 +35,94 @@ from __future__ import annotations
 import pickle
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Tuple
 
 from repro.util.errors import EngineError
+
+
+@dataclass
+class RunResult:
+    """What one stage batch actually did."""
+
+    results: List[Any] = field(default_factory=list)
+    fell_back: bool = False
+    attempts: int = 0   # total task executions, including re-runs
+    retried: int = 0    # tasks that needed more than one attempt
+
+
+class _Attempted:
+    """Run one task under an attempt budget; returns ``(attempts, result)``.
+
+    A callable object (not a closure) so it pickles to a process pool
+    whenever the wrapped function does. Re-execution is deterministic
+    because partition tasks are pure: same input, same output.
+    """
+
+    __slots__ = ("fn", "retries")
+
+    def __init__(self, fn: Callable[[Any], Any], retries: int):
+        self.fn = fn
+        self.retries = retries
+
+    def __call__(self, x: Any) -> Tuple[int, Any]:
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return attempt, self.fn(x)
+            except Exception:
+                if attempt > self.retries:
+                    raise
+
+
+def _gather(pairs: List[Tuple[int, Any]],
+            fell_back: bool = False) -> RunResult:
+    return RunResult(
+        results=[result for _attempts, result in pairs],
+        fell_back=fell_back,
+        attempts=sum(attempts for attempts, _result in pairs),
+        retried=sum(1 for attempts, _result in pairs if attempts > 1))
 
 
 class ExecutionBackend:
     """How a stage's partition tasks are executed.
 
     ``run`` applies a picklable-or-not callable to each input element
-    and returns ``(results, fell_back)``; ``run_local`` is for driver
+    and returns a :class:`RunResult`; ``run_local`` is for driver
     closures that must stay in-process (they read the job runner's
     state) and therefore never cross a process boundary.
     """
 
     name = "abstract"
 
-    def __init__(self, parallelism: Optional[int] = None):
+    def __init__(self, parallelism: Optional[int] = None,
+                 task_retries: Optional[int] = None):
         self._parallelism = parallelism
+        self._task_retries = task_retries
 
     # ------------------------------------------------------------ lifecycle
-    def configure(self, parallelism: int) -> None:
-        """Adopt the context's parallelism unless one was given."""
+    def configure(self, parallelism: int, task_retries: int = 0) -> None:
+        """Adopt the context's settings unless explicit ones were given."""
         if self._parallelism is None:
             self._parallelism = parallelism
+        if self._task_retries is None:
+            self._task_retries = task_retries
 
     @property
     def parallelism(self) -> int:
         return self._parallelism or 1
+
+    @property
+    def task_retries(self) -> int:
+        return self._task_retries or 0
 
     def close(self) -> None:  # pragma: no cover - trivial default
         pass
 
     # ------------------------------------------------------------ execution
     def run(self, fn: Callable[[Any], Any],
-            inputs: List[Any]) -> Tuple[List[Any], bool]:
+            inputs: List[Any]) -> RunResult:
         raise NotImplementedError
 
     def run_local(self, fn: Callable[[int], Any], count: int) -> List[Any]:
@@ -73,10 +135,12 @@ class SerialBackend(ExecutionBackend):
     name = "serial"
 
     def run(self, fn, inputs):
-        return [fn(x) for x in inputs], False
+        wrapped = _Attempted(fn, self.task_retries)
+        return _gather([wrapped(x) for x in inputs])
 
     def run_local(self, fn, count):
-        return [fn(i) for i in range(count)]
+        wrapped = _Attempted(fn, self.task_retries)
+        return [wrapped(i)[1] for i in range(count)]
 
 
 class ThreadBackend(ExecutionBackend):
@@ -84,8 +148,9 @@ class ThreadBackend(ExecutionBackend):
 
     name = "thread"
 
-    def __init__(self, parallelism: Optional[int] = None):
-        super().__init__(parallelism)
+    def __init__(self, parallelism: Optional[int] = None,
+                 task_retries: Optional[int] = None):
+        super().__init__(parallelism, task_retries)
         self._pool: Optional[ThreadPoolExecutor] = None
 
     def _ensure_pool(self) -> Optional[ThreadPoolExecutor]:
@@ -96,16 +161,18 @@ class ThreadBackend(ExecutionBackend):
         return self._pool
 
     def run(self, fn, inputs):
+        wrapped = _Attempted(fn, self.task_retries)
         pool = self._ensure_pool()
         if pool is None or len(inputs) <= 1:
-            return [fn(x) for x in inputs], False
-        return list(pool.map(fn, inputs)), False
+            return _gather([wrapped(x) for x in inputs])
+        return _gather(list(pool.map(wrapped, inputs)))
 
     def run_local(self, fn, count):
+        wrapped = _Attempted(fn, self.task_retries)
         pool = self._ensure_pool()
         if pool is None or count <= 1:
-            return [fn(i) for i in range(count)]
-        return list(pool.map(fn, range(count)))
+            return [wrapped(i)[1] for i in range(count)]
+        return [result for _a, result in pool.map(wrapped, range(count))]
 
     def close(self):
         if self._pool is not None:
@@ -117,17 +184,23 @@ class ProcessBackend(ExecutionBackend):
     """A process pool: true parallelism for picklable partition tasks.
 
     Unpicklable tasks (closures over local state) run in-driver and are
-    reported via the ``fell_back`` flag so :class:`JobMetrics` can count
-    them — the engine never fails a job over a pickling constraint.
+    reported via ``fell_back`` so :class:`JobMetrics` can count them —
+    the engine never fails a job over a pickling constraint. A crashed
+    worker (``BrokenProcessPool``) triggers pool recovery: the dead pool
+    is discarded, a fresh one is built, and the batch re-runs; only when
+    rebuilds are exhausted does the batch finish in-driver.
     """
 
     name = "process"
 
     def __init__(self, parallelism: Optional[int] = None,
+                 task_retries: Optional[int] = None,
                  chunked: bool = True):
-        super().__init__(parallelism)
+        super().__init__(parallelism, task_retries)
         self.chunked = chunked
         self._pool: Optional[ProcessPoolExecutor] = None
+        #: how many times a broken pool was torn down and rebuilt
+        self.pool_rebuilds = 0
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
@@ -143,26 +216,48 @@ class ProcessBackend(ExecutionBackend):
             return False
 
     def run(self, fn, inputs):
+        wrapped = _Attempted(fn, self.task_retries)
         if self.parallelism <= 1 or len(inputs) <= 1:
-            return [fn(x) for x in inputs], False
-        if not self._picklable(fn):
-            return [fn(x) for x in inputs], True
+            return _gather([wrapped(x) for x in inputs])
+        if not self._picklable(wrapped):
+            return _gather([wrapped(x) for x in inputs], fell_back=True)
         chunksize = 1
         if self.chunked:
             chunksize = max(1, len(inputs) // (self.parallelism * 2))
-        try:
-            pool = self._ensure_pool()
-            return list(pool.map(fn, inputs, chunksize=chunksize)), False
-        except (pickle.PicklingError, TypeError, AttributeError):
-            # unpicklable *data* (or results); redo safely in-driver
-            return [fn(x) for x in inputs], True
-        except BrokenProcessPool:
-            self._pool = None  # rebuild lazily on the next stage
-            return [fn(x) for x in inputs], True
+        rebuilds_left = max(1, self.task_retries)
+        batch_attempts = 0
+        while True:
+            try:
+                pool = self._ensure_pool()
+                result = _gather(
+                    list(pool.map(wrapped, inputs, chunksize=chunksize)))
+                result.attempts += batch_attempts
+                if batch_attempts:
+                    result.retried = max(result.retried, len(inputs))
+                return result
+            except (pickle.PicklingError, TypeError, AttributeError):
+                # unpicklable *data* (or results); redo safely in-driver
+                result = _gather([wrapped(x) for x in inputs],
+                                 fell_back=True)
+                result.attempts += batch_attempts
+                return result
+            except BrokenProcessPool:
+                # a worker died mid-batch: recover the pool and re-run
+                self._pool = None
+                self.pool_rebuilds += 1
+                batch_attempts += len(inputs)
+                if rebuilds_left <= 0:
+                    result = _gather([wrapped(x) for x in inputs],
+                                     fell_back=True)
+                    result.attempts += batch_attempts
+                    result.retried = max(result.retried, len(inputs))
+                    return result
+                rebuilds_left -= 1
 
     def run_local(self, fn, count):
         # Driver closures read runner state; never cross the pickle wall.
-        return [fn(i) for i in range(count)]
+        wrapped = _Attempted(fn, self.task_retries)
+        return [wrapped(i)[1] for i in range(count)]
 
     def close(self):
         if self._pool is not None:
@@ -178,10 +273,11 @@ BACKENDS = {
 }
 
 
-def resolve_backend(spec: Any, parallelism: int) -> ExecutionBackend:
+def resolve_backend(spec: Any, parallelism: int,
+                    task_retries: int = 0) -> ExecutionBackend:
     """Turn a backend name or instance into a configured backend."""
     if isinstance(spec, ExecutionBackend):
-        spec.configure(parallelism)
+        spec.configure(parallelism, task_retries)
         return spec
     if spec is None:
         spec = ThreadBackend.name
@@ -192,7 +288,7 @@ def resolve_backend(spec: Any, parallelism: int) -> ExecutionBackend:
             raise EngineError(
                 f"unknown backend {spec!r}; expected one of "
                 f"{sorted(BACKENDS)}")
-        backend.configure(parallelism)
+        backend.configure(parallelism, task_retries)
         return backend
     raise EngineError(f"backend must be a name or ExecutionBackend, "
                       f"got {type(spec).__name__}")

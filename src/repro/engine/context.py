@@ -23,6 +23,10 @@ class SparkLiteContext:
             Pick ``"process"`` for CPU-bound stages built from picklable
             (module-level) functions; pick ``"serial"`` as the reference
             semantics every other backend is differential-tested against.
+        task_retries: per-partition task attempt budget beyond the
+            first run (Spark-style deterministic re-execution). Extra
+            attempts surface as ``task_attempts``/``retried_tasks`` in
+            each job's metrics.
 
     Note:
         Whatever the backend, the execution *model* is Spark's —
@@ -31,11 +35,15 @@ class SparkLiteContext:
     """
 
     def __init__(self, parallelism: int = 4,
-                 backend: Any = None):
+                 backend: Any = None,
+                 task_retries: int = 0):
         if parallelism < 1:
             raise EngineError("parallelism must be >= 1")
+        if task_retries < 0:
+            raise EngineError("task_retries must be >= 0")
         self.parallelism = parallelism
-        self.backend: ExecutionBackend = resolve_backend(backend, parallelism)
+        self.backend: ExecutionBackend = resolve_backend(
+            backend, parallelism, task_retries)
         self._stopped = False
         self.jobs_run = 0
         #: JobMetrics of the most recent action (None before any job).

@@ -41,6 +41,8 @@ class StageMetrics:
     wall_s: float = 0.0
     cache_hit: bool = False
     fallback: bool = False
+    attempts: int = 0   # task executions, including retried attempts
+    retried: int = 0    # tasks that needed more than one attempt
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -55,6 +57,8 @@ class StageMetrics:
             "wall_s": round(self.wall_s, 6),
             "cache_hit": self.cache_hit,
             "fallback": self.fallback,
+            "attempts": self.attempts,
+            "retried": self.retried,
         }
 
 
@@ -78,6 +82,8 @@ class JobMetrics:
         self.shuffle_bytes = 0
         self.cached_hits = 0
         self.fallbacks = 0
+        self.task_attempts = 0
+        self.retried_tasks = 0
         self.wall_s = 0.0
 
     # ------------------------------------------------------------- recording
@@ -97,6 +103,8 @@ class JobMetrics:
             self.partitions_computed += stage.partitions
         if stage.fallback:
             self.fallbacks += 1
+        self.task_attempts += stage.attempts
+        self.retried_tasks += stage.retried
         self.wall_s += stage.wall_s
         return stage
 
@@ -118,6 +126,8 @@ class JobMetrics:
             "shuffle_bytes": self.shuffle_bytes,
             "cached_hits": self.cached_hits,
             "fallbacks": self.fallbacks,
+            "task_attempts": self.task_attempts,
+            "retried_tasks": self.retried_tasks,
             "backend": self.backend,
             "wall_s": round(self.wall_s, 6),
         }

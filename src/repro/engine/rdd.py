@@ -569,8 +569,9 @@ class RDD(Generic[T]):
         for index, part in enumerate(partitions):
             lines = [json.dumps(rec, separators=(",", ":"), sort_keys=True)
                      for rec in part]
-            dfs.create_text(f"{directory.rstrip('/')}/part-{index:05d}.jsonl",
-                            "\n".join(lines) + ("\n" if lines else ""))
+            dfs.write_atomic_text(
+                f"{directory.rstrip('/')}/part-{index:05d}.jsonl",
+                "\n".join(lines) + ("\n" if lines else ""))
         return sum(len(p) for p in partitions)
 
 
@@ -637,15 +638,22 @@ class JobRunner:
         fallback = False
         shuffle_records = 0
         shuffle_bytes = 0
+        attempts = 0
+        retried = 0
         if rdd.part_fn is not None:
             inputs = self.all_partitions(rdd.parents[0])
-            results, fallback = backend.run(rdd.part_fn, inputs)
+            run = backend.run(rdd.part_fn, inputs)
+            results, fallback = run.results, run.fell_back
+            attempts, retried = run.attempts, run.retried
             kind = STAGE_NARROW
         elif rdd.shuffle is not None:
-            buckets, shuffle_records, shuffle_bytes, fallback = \
+            buckets, shuffle_records, shuffle_bytes, exchange = \
                 self._exchange(rdd)
-            results, post_fell_back = backend.run(rdd.shuffle.post, buckets)
-            fallback = fallback or post_fell_back
+            post = backend.run(rdd.shuffle.post, buckets)
+            results = post.results
+            fallback = exchange.fell_back or post.fell_back
+            attempts = exchange.attempts + post.attempts
+            retried = exchange.retried + post.retried
             kind = STAGE_SHUFFLE
             self.metrics.record_shuffle(shuffle_records, shuffle_bytes)
         else:
@@ -669,18 +677,21 @@ class JobRunner:
             name=rdd.name, kind=kind, partitions=rdd.num_partitions,
             records_out=sum(len(p) for p in results),
             shuffle_records=shuffle_records, shuffle_bytes=shuffle_bytes,
-            wall_s=time.perf_counter() - start, fallback=fallback))
+            wall_s=time.perf_counter() - start, fallback=fallback,
+            attempts=attempts, retried=retried))
 
     def partition(self, rdd: RDD, index: int) -> List[Any]:
         return self.all_partitions(rdd)[index]
 
     # ---------------------------------------------------------------- shuffles
-    def _exchange(self, rdd: RDD) -> Tuple[List[List[Any]], int, int, bool]:
+    def _exchange(self, rdd: RDD) -> Tuple[List[List[Any]], int, int, "Any"]:
         """Chunked map-side exchange for a structured wide node.
 
         Each parent partition is bucketed independently (a picklable
         task, so it can run on the process pool) and the driver merges
         the chunks in partition order — deterministic on every backend.
+        Returns the backend's :class:`RunResult` so the caller can roll
+        fallbacks and task attempts into the stage metrics.
         """
         parent = rdd.parents[0]
         parts = self.all_partitions(parent)
@@ -691,15 +702,14 @@ class JobRunner:
             offsets.append(offset)
             offset += len(part)
         op = _BucketOp(rdd.shuffle.bucket_fn, num_buckets)
-        chunked, fell_back = self.context.backend.run(
-            op, list(zip(offsets, parts)))
+        run = self.context.backend.run(op, list(zip(offsets, parts)))
         buckets: List[List[Any]] = [[] for _ in range(num_buckets)]
         moved = 0
-        for chunk_buckets in chunked:
+        for chunk_buckets in run.results:
             for b, items in enumerate(chunk_buckets):
                 buckets[b].extend(items)
                 moved += len(items)
-        return buckets, moved, _payload_bytes(buckets), fell_back
+        return buckets, moved, _payload_bytes(buckets), run
 
     def shuffle(self, rdd: RDD, num_buckets: int,
                 bucket_fn: Callable[[Any], Any],

@@ -1,17 +1,43 @@
 """Deterministic fault injection for the simulated servers.
 
-A :class:`FaultPlan` decides, purely from the request index, whether a
-request fails with a transient 500/503. Crawlers must survive these via
-retry with backoff — the same discipline the paper's crawlers needed
-against real APIs.
+Two generations of fault model live here:
+
+* :class:`FaultPlan` — the original model: independent transient
+  500/503s decided purely from the request index. Kept for backward
+  compatibility and for tests that want exactly one failure mode.
+* :class:`FaultSchedule` — a composable taxonomy of the failure modes a
+  weeks-long crawl of real public APIs actually meets (§3): client-side
+  timeouts after a server hang, connection resets, 503 *brownout
+  windows* spanning several consecutive requests, truncated/corrupt
+  JSON payloads, and 429 rate-limit storms — all seed-deterministic so
+  a chaos run can be replayed bit-for-bit.
+
+Every decision is a pure function of ``(seed, request_index)``; nothing
+consults wall time or global RNG state, so two crawls over the same
+world with the same schedule observe the same faults in the same
+places.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence
 
 from repro.util.rng import derive_seed
+
+#: point faults — decided independently per request
+FAULT_ERROR = "error"        # transient 500/503
+FAULT_TIMEOUT = "timeout"    # server hang until the client's timeout fires
+FAULT_RESET = "reset"        # connection reset by peer
+FAULT_CORRUPT = "corrupt"    # 200 whose JSON body arrives truncated
+
+#: window faults — a start index opens a window covering ``span`` requests
+FAULT_BROWNOUT = "brownout"  # consecutive 503s with Retry-After
+FAULT_STORM = "rate_storm"   # consecutive 429s with Retry-After
+
+POINT_FAULTS = (FAULT_ERROR, FAULT_TIMEOUT, FAULT_RESET, FAULT_CORRUPT)
+WINDOW_FAULTS = (FAULT_BROWNOUT, FAULT_STORM)
 
 
 @dataclass(frozen=True)
@@ -40,3 +66,166 @@ class FaultPlan:
             status = 503 if fraction < self.p_error / 2 else 500
             return Response.error(status, "simulated transient failure")
         return None
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault mode within a :class:`FaultSchedule`.
+
+    ``rate`` is the per-request probability for point faults, or the
+    per-request probability that a *window starts* for window faults.
+    ``duration`` is seconds: the hang length for timeouts, the
+    ``Retry-After`` value for brownouts and storms. ``span`` is how many
+    consecutive requests a window covers.
+    """
+
+    kind: str
+    rate: float
+    duration: float = 0.0
+    span: int = 0
+
+    def __post_init__(self):
+        if self.kind not in POINT_FAULTS + WINDOW_FAULTS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if not 0.0 <= self.rate < 1.0:
+            raise ValueError(f"rate must be in [0, 1), got {self.rate}")
+        if self.kind in WINDOW_FAULTS and self.span < 1:
+            raise ValueError(f"{self.kind} needs span >= 1")
+
+
+class FaultSchedule:
+    """A composable, seed-deterministic schedule over fault modes.
+
+    Specs are checked in order; the first mode that claims a request
+    index wins, window faults before point faults (a brownout dominates
+    everything else during its window). The schedule plugs into
+    :class:`~repro.net.http.SimServer` through two hooks:
+
+    * :meth:`inject` — called before dispatch; may replace the whole
+      exchange with an error/timeout/reset response;
+    * :meth:`corrupt` — called after a successful dispatch; may truncate
+      the response payload mid-JSON.
+    """
+
+    def __init__(self, specs: Sequence[FaultSpec] = (), seed: int = 0):
+        self.specs: List[FaultSpec] = list(specs)
+        self.seed = seed
+        order = {k: i for i, k in enumerate(WINDOW_FAULTS + POINT_FAULTS)}
+        self.specs.sort(key=lambda s: order[s.kind])
+
+    # ------------------------------------------------------------ construction
+    @classmethod
+    def none(cls) -> "FaultSchedule":
+        return cls((), 0)
+
+    @classmethod
+    def flaky(cls, p_error: float = 0.02, seed: int = 0) -> "FaultSchedule":
+        """The legacy single-mode plan, as a schedule."""
+        return cls([FaultSpec(FAULT_ERROR, p_error)], seed)
+
+    @classmethod
+    def chaos(cls, intensity: float = 1.0, seed: int = 0) -> "FaultSchedule":
+        """All six modes at an aggregate rate of ~``0.06 * intensity``."""
+        if intensity < 0:
+            raise ValueError(f"intensity must be >= 0, got {intensity}")
+        s = intensity
+        return cls([
+            FaultSpec(FAULT_BROWNOUT, 0.003 * s, duration=1.5, span=3),
+            FaultSpec(FAULT_STORM, 0.003 * s, duration=2.0, span=3),
+            FaultSpec(FAULT_TIMEOUT, 0.010 * s, duration=45.0),
+            FaultSpec(FAULT_RESET, 0.010 * s),
+            FaultSpec(FAULT_CORRUPT, 0.010 * s),
+            FaultSpec(FAULT_ERROR, 0.012 * s),
+        ], seed)
+
+    @classmethod
+    def from_profile(cls, profile: str, seed: int = 0) -> "FaultSchedule":
+        """Resolve a named CLI profile (``--fault-profile``)."""
+        if profile == "none":
+            return cls.none()
+        if profile == "flaky":
+            return cls.flaky(seed=seed)
+        if profile == "chaos":
+            return cls.chaos(seed=seed)
+        raise ValueError(f"unknown fault profile {profile!r}; "
+                         f"expected none/flaky/chaos")
+
+    # -------------------------------------------------------------- decisions
+    def _fraction(self, kind: str, request_index: int) -> float:
+        return (derive_seed(self.seed, f"{kind}:{request_index}")
+                % 100_000) / 100_000
+
+    def _window_active(self, spec: FaultSpec, request_index: int) -> bool:
+        start = max(1, request_index - spec.span + 1)
+        for index in range(start, request_index + 1):
+            if self._fraction(spec.kind + ":start", index) < spec.rate:
+                return True
+        return False
+
+    def fault_at(self, request_index: int) -> Optional[FaultSpec]:
+        """Which fault mode (if any) claims this request index."""
+        for spec in self.specs:
+            if spec.kind in WINDOW_FAULTS:
+                if self._window_active(spec, request_index):
+                    return spec
+            elif self._fraction(spec.kind, request_index) < spec.rate:
+                return spec
+        return None
+
+    @property
+    def aggregate_rate(self) -> float:
+        """Expected fraction of requests hit by some fault."""
+        total = 0.0
+        for spec in self.specs:
+            if spec.kind in WINDOW_FAULTS:
+                total += spec.rate * spec.span
+            else:
+                total += spec.rate
+        return min(1.0, total)
+
+    @property
+    def kinds(self) -> List[str]:
+        return sorted({spec.kind for spec in self.specs})
+
+    # ------------------------------------------------------------- injection
+    def inject(self, request_index: int) -> Optional["Response"]:
+        """Pre-dispatch hook: replace the exchange with a failure."""
+        from repro.net.http import (Response, STATUS_RESET, STATUS_TIMEOUT)
+        spec = self.fault_at(request_index)
+        if spec is None or spec.kind == FAULT_CORRUPT:
+            return None
+        if spec.kind == FAULT_ERROR:
+            secondary = self._fraction("error:status", request_index)
+            status = 503 if secondary < 0.5 else 500
+            return Response.error(status, "simulated transient failure")
+        if spec.kind == FAULT_TIMEOUT:
+            response = Response.error(STATUS_TIMEOUT,
+                                      "simulated client-side timeout")
+            response.headers["X-Fault-Hang-S"] = f"{spec.duration:.3f}"
+            return response
+        if spec.kind == FAULT_RESET:
+            return Response.error(STATUS_RESET, "connection reset by peer")
+        if spec.kind == FAULT_BROWNOUT:
+            return Response.error(503, "service brownout",
+                                  retry_after=spec.duration)
+        if spec.kind == FAULT_STORM:
+            return Response.error(429, "rate limit storm",
+                                  retry_after=spec.duration)
+        raise AssertionError(spec.kind)  # pragma: no cover
+
+    def corrupt(self, request_index: int, response: "Response") -> "Response":
+        """Post-dispatch hook: truncate a successful JSON payload."""
+        from repro.net.http import CorruptPayload, Response
+        if not response.ok or isinstance(response.body, CorruptPayload):
+            return response
+        spec = self.fault_at(request_index)
+        if spec is None or spec.kind != FAULT_CORRUPT:
+            return response
+        encoded = json.dumps(response.body)
+        cut_fraction = self._fraction("corrupt:cut", request_index)
+        cut = max(0, int(len(encoded) * (0.2 + 0.6 * cut_fraction)) - 1)
+        mangled = Response(status=response.status,
+                           body=CorruptPayload(encoded[:cut]),
+                           headers=dict(response.headers))
+        mangled.headers["X-Fault"] = FAULT_CORRUPT
+        return mangled

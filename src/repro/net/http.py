@@ -15,6 +15,32 @@ from repro.net.faults import FaultPlan
 from repro.net.latency import LatencyModel
 from repro.util.clock import Clock, SimClock
 
+#: non-standard statuses modelling transport-level failures: the client
+#: never saw an HTTP response, only its socket giving up.
+STATUS_RESET = 598    # connection reset by peer
+STATUS_TIMEOUT = 599  # client-side timeout fired while the server hung
+
+#: request header carrying the client's per-request timeout budget, so a
+#: hang fault knows how long the caller actually waited before giving up.
+TIMEOUT_HEADER = "X-Timeout-S"
+
+
+class CorruptPayload:
+    """A response body whose JSON decode failed partway through.
+
+    The simulation passes decoded bodies around, so a truncated payload
+    is modelled as this wrapper holding the raw prefix that did arrive.
+    Clients must treat it as a transient failure and re-request.
+    """
+
+    __slots__ = ("raw",)
+
+    def __init__(self, raw: str):
+        self.raw = raw
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CorruptPayload {len(self.raw)} bytes>"
+
 
 @dataclass
 class Request:
@@ -103,7 +129,9 @@ class SimServer:
 
     def __init__(self, clock: Optional[Clock] = None,
                  latency: Optional[LatencyModel] = None,
-                 faults: Optional[FaultPlan] = None):
+                 faults: Any = None):
+        # ``faults`` is a FaultPlan or FaultSchedule (anything exposing
+        # ``inject`` and optionally ``corrupt``).
         self.clock = clock or SimClock()
         self.latency = latency or LatencyModel.zero()
         self.faults = faults or FaultPlan.none()
@@ -124,12 +152,31 @@ class SimServer:
 
     # -- dispatch ----------------------------------------------------------
     def handle(self, request: Request) -> Response:
-        """Dispatch a request through faults → auth → throttle → handler."""
+        """Dispatch a request through faults → auth → throttle → handler.
+
+        Hang faults consume simulated time: the server sleeps the hang
+        duration — capped by the client's ``X-Timeout-S`` budget, since a
+        real client's socket timeout would have fired by then. Corruption
+        faults mangle the payload *after* a successful dispatch, the way
+        a truncated transfer looks to the caller.
+        """
         self.request_count += 1
         self.clock.sleep(self.latency.sample(self.request_count))
         fault = self.faults.inject(self.request_count)
         if fault is not None:
+            hang = float(fault.headers.get("X-Fault-Hang-S", "0") or 0.0)
+            if hang > 0:
+                budget = float(request.headers.get(TIMEOUT_HEADER, hang)
+                               or hang)
+                self.clock.sleep(min(hang, max(0.0, budget)))
             return fault
+        response = self._dispatch(request)
+        corruptor = getattr(self.faults, "corrupt", None)
+        if corruptor is not None:
+            response = corruptor(self.request_count, response)
+        return response
+
+    def _dispatch(self, request: Request) -> Response:
         rejection = self.authorize(request)
         if rejection is not None:
             return rejection

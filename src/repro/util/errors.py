@@ -34,6 +34,19 @@ class AuthError(CrawlError):
     """An access token was missing, expired, or invalid."""
 
 
+class DeadLetterError(CrawlError):
+    """A request exhausted its retries but was parked in a dead-letter
+    queue for replay — the record is delayed, not lost.
+
+    Attributes:
+        letter_path: DFS path of the persisted dead letter.
+    """
+
+    def __init__(self, message: str, letter_path: str = ""):
+        super().__init__(message)
+        self.letter_path = letter_path
+
+
 class NotFoundError(ReproError):
     """A requested entity, file, or path does not exist."""
 

@@ -1,0 +1,157 @@
+"""Deterministic chaos harness over the full pipeline (the PR-2 capstone).
+
+One world is crawled clean, then re-crawled under a composed
+:class:`FaultSchedule` injecting every fault kind — timeouts, resets,
+brownout windows, corrupt payloads, rate storms, plain 5xxs — at an
+aggregate rate above 5%. For every seed in the matrix the chaotic run
+must converge to *bit-identical* datasets and analyses: the resilience
+layer (retries, jitter, breakers, dead-letter replay, task re-execution,
+checksummed storage) is only correct if chaos is invisible in the
+output.
+
+Seeds come from ``CHAOS_SEEDS`` (space/comma separated) when set, so CI
+can shard the matrix one seed per job.
+"""
+
+import os
+import threading
+
+import pytest
+
+from repro.core.platform import ExploratoryPlatform, PlatformConfig
+from repro.dfs.jsonlines import read_json_dataset
+from repro.net.faults import FaultSchedule
+from repro.world.config import WorldConfig
+from repro.world.generator import generate_world
+
+pytestmark = pytest.mark.chaos
+
+DATASETS = (
+    "/crawl/angellist/startups",
+    "/crawl/angellist/users",
+    "/crawl/angellist/follow_edges",
+    "/crawl/angellist/investments",
+    "/crawl/crunchbase/organizations",
+    "/crawl/facebook/pages",
+    "/crawl/twitter/profiles",
+)
+
+
+def _seeds():
+    env = os.environ.get("CHAOS_SEEDS", "").replace(",", " ").split()
+    return [int(s) for s in env] if env else [7, 21, 42]
+
+
+def _sorted_records(dfs, directory):
+    return sorted(read_json_dataset(dfs, directory),
+                  key=lambda r: repr(sorted(r.items())))
+
+
+@pytest.fixture(scope="module")
+def chaos_world():
+    return generate_world(WorldConfig(scale=0.002, seed=77))
+
+
+@pytest.fixture(scope="module")
+def clean_platform(chaos_world):
+    platform = ExploratoryPlatform(chaos_world)
+    platform.run_full_crawl()
+    yield platform
+    platform.close()
+
+
+@pytest.fixture(scope="module", params=_seeds(), ids=lambda s: f"seed{s}")
+def chaos_platform(request, chaos_world):
+    platform = ExploratoryPlatform(chaos_world, config=PlatformConfig(
+        faults=FaultSchedule.chaos(seed=request.param),
+        client_max_retries=10,       # outlast a full brownout window
+        client_backoff_jitter=0.25,
+        task_retries=2))
+    platform.run_full_crawl()
+    yield platform
+    platform.close()
+
+
+class TestScheduleContract:
+    """The harness must actually be injecting meaningful chaos."""
+
+    def test_schedule_composes_enough_fault_kinds(self, chaos_platform):
+        schedule = chaos_platform.config.faults
+        assert len(schedule.kinds) >= 5
+        assert schedule.aggregate_rate >= 0.05
+
+    def test_faults_actually_fired(self, chaos_platform):
+        summary = chaos_platform.crawl_summary
+        stats = summary.angellist.client_stats
+        for source in (summary.crunchbase, summary.facebook,
+                       summary.twitter):
+            stats = stats.merge(source.client_stats)
+        assert stats.retries > 0
+        # distinct fault kinds leave distinct fingerprints; a chaos run
+        # over thousands of requests must show several of them
+        fingerprints = [stats.timeouts, stats.resets,
+                        stats.corrupt_payloads, stats.retry_after_waits,
+                        stats.throttled]
+        assert sum(1 for f in fingerprints if f > 0) >= 3, fingerprints
+
+
+class TestNothingLost:
+    def test_pipeline_completes_with_zero_hard_failures(self, chaos_platform):
+        summary = chaos_platform.crawl_summary
+        # the BFS client has no dead-letter queue: every failure there
+        # would have killed the crawl
+        assert summary.angellist.client_stats.failures == 0
+        assert summary.angellist.startups > 0
+
+    def test_dead_letter_queues_drain_to_empty(self, chaos_platform):
+        for name, queue in chaos_platform.dead_letter_queues.items():
+            assert len(queue) == 0, f"{name} still has parked letters"
+        summary = chaos_platform.crawl_summary
+        for result in (summary.facebook, summary.twitter):
+            assert result.replayed == result.dead_lettered
+
+    def test_datasets_bit_identical_to_clean_run(self, clean_platform,
+                                                 chaos_platform):
+        for directory in DATASETS:
+            assert _sorted_records(chaos_platform.dfs, directory) \
+                == _sorted_records(clean_platform.dfs, directory), directory
+
+    def test_analyses_agree_with_clean_run(self, clean_platform,
+                                           chaos_platform):
+        clean_table = clean_platform.run_plugin("engagement_table")
+        chaos_table = chaos_platform.run_plugin("engagement_table")
+        assert chaos_table.rows == clean_table.rows
+        clean_report = clean_platform.run_plugin("concentration")
+        chaos_report = chaos_platform.run_plugin("concentration")
+        assert chaos_report.render() == clean_report.render()
+
+
+# ---- engine chaos: a flaky partition op retried to success ----------------
+_LOCK = threading.Lock()
+_FAILED = set()
+
+
+def _flaky_square(item):
+    key, x = item
+    with _LOCK:
+        if key not in _FAILED:
+            _FAILED.add(key)
+            raise RuntimeError(f"transient task failure on {key}")
+    return x * x
+
+
+class TestEngineRetriesUnderChaos:
+    def test_job_metrics_report_retried_tasks(self, chaos_platform):
+        sc = chaos_platform.sc
+        data = [(f"p{i}", i) for i in range(8)]
+        with _LOCK:
+            _FAILED.clear()
+        # fail each partition's head element once; task_retries=2 from
+        # the chaos config re-executes every partition to success
+        out = (sc.parallelize(data, 4)
+               .map(_flaky_square)
+               .collect())
+        assert sorted(out) == sorted(x * x for _k, x in data)
+        metrics = sc.last_job_metrics
+        assert metrics.retried_tasks >= 1
+        assert metrics.task_attempts > 4

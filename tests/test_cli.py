@@ -76,3 +76,29 @@ class TestCommands:
         assert main(["select-communities", *SCALE,
                      "--candidates", "2", "4"]) == 0
         assert "best" in capsys.readouterr().out
+
+
+class TestResilienceFlags:
+    def test_fault_profile_builds_a_schedule(self):
+        from repro.cli import _platform_config
+        args = build_parser().parse_args(
+            ["crawl", "--fault-profile", "chaos", "--chaos-seed", "9",
+             "--task-retries", "3"])
+        config = _platform_config(args)
+        assert config.faults.seed == 9
+        assert len(config.faults.kinds) == 6
+        assert config.task_retries == 3
+        # the chaos profile hardens the clients to match
+        assert config.client_max_retries == 10
+        assert config.client_backoff_jitter == 0.25
+
+    def test_default_profile_is_fault_free(self):
+        from repro.cli import _platform_config
+        config = _platform_config(build_parser().parse_args(["crawl"]))
+        assert config.faults.specs == []
+        assert config.task_retries == 1
+
+    def test_crawl_under_flaky_profile(self, capsys):
+        assert main(["crawl", *SCALE, "--fault-profile", "flaky",
+                     "--chaos-seed", "3"]) == 0
+        assert "BFS rounds" in capsys.readouterr().out

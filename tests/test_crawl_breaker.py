@@ -1,0 +1,180 @@
+"""Tests for the circuit breaker and the dead-letter queue."""
+
+import pytest
+
+from repro.crawl.breaker import (CircuitBreaker, STATE_CLOSED,
+                                 STATE_HALF_OPEN, STATE_OPEN, breaker_for)
+from repro.crawl.client import ApiClient
+from repro.crawl.deadletter import DeadLetter, DeadLetterQueue
+from repro.dfs.filesystem import MiniDfs
+from repro.net.http import Response, SimServer
+from repro.util.clock import SimClock
+from repro.util.errors import DeadLetterError
+
+
+@pytest.fixture()
+def clock():
+    return SimClock()
+
+
+class TestCircuitBreaker:
+    def test_stays_closed_below_threshold(self, clock):
+        breaker = CircuitBreaker(clock, failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == STATE_CLOSED
+        assert breaker.acquire() == 0.0
+
+    def test_trips_after_consecutive_failures(self, clock):
+        breaker = CircuitBreaker(clock, failure_threshold=3, cooldown_s=10.0)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == STATE_OPEN
+        assert breaker.trips == 1
+
+    def test_success_resets_the_streak(self, clock):
+        breaker = CircuitBreaker(clock, failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == STATE_CLOSED
+
+    def test_open_acquire_returns_cooldown_and_half_opens(self, clock):
+        breaker = CircuitBreaker(clock, failure_threshold=1, cooldown_s=30.0)
+        breaker.record_failure()
+        wait = breaker.acquire()
+        assert wait == pytest.approx(30.0)
+        assert breaker.state == STATE_HALF_OPEN
+        assert breaker.probes == 1
+
+    def test_probe_success_closes_and_resets_cooldown(self, clock):
+        breaker = CircuitBreaker(clock, failure_threshold=1, cooldown_s=30.0)
+        breaker.record_failure()
+        breaker.acquire()
+        breaker.record_failure()          # failed probe -> escalate
+        assert breaker.current_cooldown_s == pytest.approx(60.0)
+        breaker.acquire()
+        breaker.record_success()          # probe succeeds
+        assert breaker.state == STATE_CLOSED
+        assert breaker.current_cooldown_s == pytest.approx(30.0)
+
+    def test_escalation_is_capped(self, clock):
+        breaker = CircuitBreaker(clock, failure_threshold=1, cooldown_s=100.0,
+                                 max_cooldown_s=300.0)
+        breaker.record_failure()
+        for _ in range(5):
+            breaker.acquire()
+            breaker.record_failure()
+        assert breaker.current_cooldown_s == pytest.approx(300.0)
+
+    def test_elapsed_cooldown_costs_nothing(self, clock):
+        breaker = CircuitBreaker(clock, failure_threshold=1, cooldown_s=5.0)
+        breaker.record_failure()
+        clock.sleep(60.0)
+        assert breaker.acquire() == 0.0
+
+    def test_breaker_for_disabled(self, clock):
+        assert breaker_for(clock, "x", failure_threshold=0) is None
+        assert breaker_for(clock, "x", failure_threshold=2) is not None
+
+    def test_validation(self, clock):
+        with pytest.raises(ValueError):
+            CircuitBreaker(clock, failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(clock, cooldown_s=0.0)
+
+
+class _DownServer(SimServer):
+    """Fails every request with a 503 (no Retry-After)."""
+
+    name = "down"
+
+    def __init__(self, clock):
+        super().__init__(clock=clock)
+        self.route("GET", "/x", lambda r: Response.error(500, "boom"))
+
+    def _dispatch(self, request):
+        return Response.error(503, "down hard")
+
+
+class TestBreakerInClient:
+    def test_open_breaker_delays_requests(self, clock):
+        breaker = CircuitBreaker(clock, failure_threshold=2, cooldown_s=30.0)
+        server = _DownServer(clock)
+        client = ApiClient(server, clock, token="t", max_retries=4,
+                           backoff_base=1.0, breaker=breaker)
+        with pytest.raises(Exception):
+            client.get("/x")
+        assert breaker.trips >= 1
+        assert client.stats.breaker_waits >= 1
+
+
+class TestDeadLetterQueue:
+    def test_append_and_pending_roundtrip(self):
+        dfs = MiniDfs()
+        queue = DeadLetterQueue(dfs)
+        letter = DeadLetter("GET", "/pg/acme", {"q": 1},
+                            tag={"angellist_id": 7}, error="boom", attempts=6)
+        path = queue.append(letter)
+        assert queue.pending() == [path]
+        loaded = queue.load(path)
+        assert loaded == letter
+
+    def test_sequence_survives_reopen(self):
+        dfs = MiniDfs()
+        queue = DeadLetterQueue(dfs)
+        queue.append(DeadLetter("GET", "/a"))
+        queue.append(DeadLetter("GET", "/b"))
+        reopened = DeadLetterQueue(dfs)
+        path = reopened.append(DeadLetter("GET", "/c"))
+        assert path.endswith("letter-000002.json")
+        assert len(reopened) == 3
+
+    def test_replay_drains_on_success(self, clock):
+        class _Flaky(SimServer):
+            name = "flaky"
+
+            def __init__(self):
+                super().__init__(clock=clock)
+                self.route("GET", "/item/:id",
+                           lambda r: Response.json(
+                               {"id": r.path_params["id"]}))
+
+        dfs = MiniDfs()
+        queue = DeadLetterQueue(dfs)
+        queue.append(DeadLetter("GET", "/item/1", tag={"k": 1}))
+        queue.append(DeadLetter("GET", "/item/2", tag={"k": 2}))
+        client = ApiClient(_Flaky(), clock, token="t")
+        recovered = []
+        report = queue.replay(client,
+                              lambda letter, body: recovered.append(
+                                  (letter.tag["k"], body["id"])))
+        assert report.replayed == 2 and report.drained
+        assert recovered == [(1, "1"), (2, "2")]
+        assert len(queue) == 0
+
+    def test_replay_requeues_failures(self, clock):
+        dfs = MiniDfs()
+        queue = DeadLetterQueue(dfs)
+        queue.append(DeadLetter("GET", "/x"))
+        client = ApiClient(_DownServer(clock), clock, token="t",
+                           max_retries=0, dead_letters=queue)
+        report = queue.replay(client)
+        assert report.requeued == 1 and not report.drained
+        # the replay path must NOT re-dead-letter into the queue
+        assert len(queue) == 1
+
+    def test_client_parks_letter_on_budget_exhaustion(self, clock):
+        dfs = MiniDfs()
+        queue = DeadLetterQueue(dfs)
+        client = ApiClient(_DownServer(clock), clock, token="t",
+                           max_retries=1, dead_letters=queue)
+        with pytest.raises(DeadLetterError) as excinfo:
+            client.get("/x", tag={"angellist_id": 3})
+        assert len(queue) == 1
+        letter = queue.load(excinfo.value.letter_path)
+        assert letter.tag == {"angellist_id": 3}
+        assert letter.method == "GET" and letter.path == "/x"
+        assert client.stats.dead_lettered == 1

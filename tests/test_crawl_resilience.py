@@ -1,0 +1,200 @@
+"""Client resilience (Retry-After, jitter) and crash-consistent crawls."""
+
+import pytest
+
+from repro.crawl.client import ApiClient
+from repro.crawl.frontier import BfsCrawler
+from repro.crawl.tokens import TokenPool
+from repro.dfs.filesystem import MiniDfs
+from repro.dfs.jsonlines import read_json_dataset
+from repro.net.http import Response, SimServer
+from repro.sources.angellist import AngelListServer
+from repro.util.clock import SimClock
+from repro.util.rng import derive_seed
+
+
+class _BrownoutServer(SimServer):
+    """503s with an explicit Retry-After, then recovers."""
+
+    name = "brownout"
+
+    def __init__(self, clock, fails=2, retry_after=7.0):
+        super().__init__(clock=clock)
+        self.fails = fails
+        self.retry_after = retry_after
+        self.route("GET", "/x", self._handler)
+
+    def _handler(self, request):
+        if self.fails > 0:
+            self.fails -= 1
+            return Response.error(503, "maintenance",
+                                  retry_after=self.retry_after)
+        return Response.json({"ok": True})
+
+
+class TestRetryAfterOn503:
+    def test_honored_and_counted(self):
+        clock = SimClock()
+        client = ApiClient(_BrownoutServer(clock, fails=2), clock,
+                           token="t", backoff_base=1.0)
+        assert client.get("/x") == {"ok": True}
+        assert client.stats.retry_after_waits == 2
+        assert client.stats.retries == 2
+        # the server's estimate is used verbatim — no backoff guessing
+        assert client.stats.slept_seconds == pytest.approx(14.0)
+
+    def test_backoff_still_used_without_header(self):
+        class _Plain(SimServer):
+            name = "plain"
+
+            def __init__(self, clock):
+                super().__init__(clock=clock)
+                self.fails = 2
+                self.route("GET", "/x", self._handler)
+
+            def _handler(self, request):
+                if self.fails > 0:
+                    self.fails -= 1
+                    return Response.error(503, "err")
+                return Response.json({"ok": True})
+
+        clock = SimClock()
+        client = ApiClient(_Plain(clock), clock, token="t", backoff_base=1.0)
+        client.get("/x")
+        assert client.stats.retry_after_waits == 0
+        assert client.stats.slept_seconds == pytest.approx(3.0)  # 1 + 2
+
+
+class _FlakyServer(SimServer):
+    name = "flaky"
+
+    def __init__(self, clock, fails):
+        super().__init__(clock=clock)
+        self.fails = fails
+        self.route("GET", "/flaky", self._handler)
+
+    def _handler(self, request):
+        if self.fails > 0:
+            self.fails -= 1
+            return Response.error(500, "boom")
+        return Response.json({"ok": True})
+
+
+class TestDeterministicJitter:
+    def _slept(self, seed):
+        clock = SimClock()
+        client = ApiClient(_FlakyServer(clock, fails=3), clock, token="t",
+                           backoff_base=1.0, backoff_jitter=0.5,
+                           jitter_seed=seed)
+        client.get("/flaky")
+        return client.stats.slept_seconds
+
+    def test_fixed_seed_reproduces_exact_schedule(self):
+        # the jitter fraction is a pure function of
+        # (seed, path, retry_index, lifetime request count)
+        expected = 0.0
+        for retry_index in range(3):
+            label = f"/flaky:{retry_index}:{retry_index + 1}"
+            fraction = (derive_seed(42, label) % 100_000) / 100_000
+            expected += (2 ** retry_index) * (1.0 + 0.5 * fraction)
+        assert self._slept(42) == pytest.approx(expected)
+        assert self._slept(42) == pytest.approx(self._slept(42))
+
+    def test_distinct_seeds_decorrelate(self):
+        schedules = {self._slept(seed) for seed in (1, 2, 3, 4)}
+        assert len(schedules) == 4
+
+    def test_zero_jitter_is_pure_exponential(self):
+        clock = SimClock()
+        client = ApiClient(_FlakyServer(clock, fails=3), clock, token="t",
+                           backoff_base=1.0, backoff_jitter=0.0)
+        client.get("/flaky")
+        assert client.stats.slept_seconds == pytest.approx(7.0)
+
+    def test_jitter_bounds_validated(self):
+        clock = SimClock()
+        with pytest.raises(Exception):
+            ApiClient(_FlakyServer(clock, 0), clock, token="t",
+                      backoff_jitter=1.5)
+
+
+class _DyingClient(ApiClient):
+    """Raises (simulating a process crash) after N successful requests."""
+
+    def __init__(self, *args, die_after=0, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.die_after = die_after
+        self._calls = 0
+
+    def request(self, *args, **kwargs):
+        self._calls += 1
+        if self._calls > self.die_after:
+            raise KeyboardInterrupt("simulated crawler crash")
+        return super().request(*args, **kwargs)
+
+
+def _client(world, clock, cls=ApiClient, **kwargs):
+    server = AngelListServer(world, clock=clock)
+    tokens = [server.issue_token(f"t{i}") for i in range(6)]
+    return cls(server, clock, token_pool=TokenPool(tokens, clock), **kwargs)
+
+
+class TestMidRoundCrashResume:
+    def _crash_and_resume(self, tiny_world):
+        """Checkpointed round 1, crash mid-round 2, resume to the end."""
+        dfs = MiniDfs()
+        clock = SimClock()
+        # small parts force flushes mid-round, so the crash strands part
+        # files written *after* the last durable checkpoint
+        BfsCrawler(_client(tiny_world, clock), dfs, checkpoint=True,
+                   records_per_part=10, max_rounds=1).run()
+        dying = _client(tiny_world, clock, cls=_DyingClient, die_after=40)
+        crawler = BfsCrawler(dying, dfs, checkpoint=True,
+                             records_per_part=10)
+        with pytest.raises(KeyboardInterrupt):
+            crawler.run(resume=True)
+        assert crawler.has_checkpoint()
+        stranded = dfs.glob_parts("/crawl/angellist/users")
+        resumed = BfsCrawler(_client(tiny_world, clock), dfs,
+                             checkpoint=True,
+                             records_per_part=10).run(resume=True)
+        return dfs, resumed, stranded
+
+    def test_crash_mid_round_resumes_to_identical_datasets(self, tiny_world):
+        reference_dfs = MiniDfs()
+        reference = BfsCrawler(_client(tiny_world, SimClock()),
+                               reference_dfs, records_per_part=10).run()
+        dfs, resumed, _stranded = self._crash_and_resume(tiny_world)
+        assert resumed.resumed
+        assert resumed.startups == reference.startups
+        assert resumed.users == reference.users
+        assert resumed.follow_edges == reference.follow_edges
+        assert resumed.investment_edges == reference.investment_edges
+        for name in ("startups", "users", "follow_edges", "investments"):
+            ref = sorted(read_json_dataset(
+                reference_dfs, f"/crawl/angellist/{name}"),
+                key=lambda r: repr(sorted(r.items())))
+            got = sorted(read_json_dataset(
+                dfs, f"/crawl/angellist/{name}"),
+                key=lambda r: repr(sorted(r.items())))
+            assert got == ref, name
+
+    def test_no_duplicate_records_after_crash_resume(self, tiny_world):
+        dfs, _resumed, _stranded = self._crash_and_resume(tiny_world)
+        for name in ("startups", "users"):
+            records = read_json_dataset(dfs, f"/crawl/angellist/{name}")
+            ids = [r["id"] for r in records]
+            assert len(ids) == len(set(ids)), name
+
+    def test_torn_checkpoint_temp_is_ignored(self, tiny_world):
+        dfs = MiniDfs()
+        clock = SimClock()
+        BfsCrawler(_client(tiny_world, clock), dfs, checkpoint=True,
+                   max_rounds=1).run()
+        # a crash mid-checkpoint leaves a hidden temp next to state.json
+        dfs.create_text("/crawl/angellist/checkpoint/.state.json.tmp-99",
+                        '{"torn": tru')
+        resumed = BfsCrawler(_client(tiny_world, clock), dfs,
+                             checkpoint=True).run(resume=True)
+        assert resumed.resumed
+        assert resumed.startups == len(tiny_world.companies)

@@ -51,7 +51,8 @@ class TestJobMetrics:
         d = sc.last_job_metrics.as_dict()
         assert set(d) == {"rdds_materialized", "partitions_computed",
                           "shuffles", "shuffle_records", "shuffle_bytes",
-                          "cached_hits", "fallbacks", "backend", "wall_s"}
+                          "cached_hits", "fallbacks", "task_attempts",
+                          "retried_tasks", "backend", "wall_s"}
 
     def test_metrics_reset_per_job(self, sc):
         sc.parallelize(range(50), 2).map(lambda x: (x, 1)) \

@@ -1,0 +1,164 @@
+"""Tests for Spark-style task re-execution and crashed-worker recovery."""
+
+import multiprocessing
+import os
+import threading
+
+import pytest
+
+from repro.engine.backends import (ProcessBackend, SerialBackend,
+                                   ThreadBackend)
+from repro.engine.context import SparkLiteContext
+from repro.util.errors import EngineError
+
+# module-level flaky-op registry: picklable functions, per-run state
+_LOCK = threading.Lock()
+_FAILED = set()
+
+
+@pytest.fixture(autouse=True)
+def _reset_flaky_registry():
+    with _LOCK:
+        _FAILED.clear()
+    yield
+
+
+def _fail_once(x):
+    """Raises the first time it sees each input, then succeeds."""
+    with _LOCK:
+        if x not in _FAILED:
+            _FAILED.add(x)
+            raise RuntimeError(f"transient failure on {x!r}")
+    return x * 10
+
+
+def _fail_first_element_once(x):
+    """Fails each partition's first element (even values) exactly once."""
+    with _LOCK:
+        if x % 2 == 0 and x not in _FAILED:
+            _FAILED.add(x)
+            raise RuntimeError(f"transient failure on {x!r}")
+    return x * 10
+
+
+def _fail_partition_head_once(x):
+    """Fails once on each 5-element partition's head (multiples of 5)."""
+    with _LOCK:
+        if x % 5 == 0 and x not in _FAILED:
+            _FAILED.add(x)
+            raise RuntimeError(f"transient failure on {x!r}")
+    return x * 10
+
+
+def _die_in_worker(x):
+    """Kills the hosting process unless it is the driver."""
+    if multiprocessing.current_process().name != "MainProcess":
+        os._exit(1)
+    return x + 1
+
+
+class TestAttemptBudget:
+    @pytest.mark.parametrize("backend_cls", [SerialBackend, ThreadBackend])
+    def test_flaky_task_retried_to_success(self, backend_cls):
+        backend = backend_cls()
+        backend.configure(parallelism=2, task_retries=1)
+        run = backend.run(_fail_once, [1, 2, 3])
+        assert run.results == [10, 20, 30]
+        assert run.retried == 3
+        assert run.attempts == 6          # every task needed two attempts
+        backend.close()
+
+    def test_zero_budget_propagates_the_error(self):
+        backend = SerialBackend()
+        backend.configure(parallelism=1, task_retries=0)
+        with pytest.raises(RuntimeError):
+            backend.run(_fail_once, [1])
+
+    def test_budget_exhaustion_raises_original_error(self):
+        def always_fails(x):
+            raise ValueError("permanent")
+        backend = SerialBackend()
+        backend.configure(parallelism=1, task_retries=3)
+        with pytest.raises(ValueError, match="permanent"):
+            backend.run(always_fails, [1])
+
+    def test_healthy_tasks_cost_one_attempt_each(self):
+        backend = ThreadBackend()
+        backend.configure(parallelism=2, task_retries=5)
+        run = backend.run(lambda x: x, [1, 2, 3, 4])
+        assert run.attempts == 4 and run.retried == 0
+        backend.close()
+
+
+class TestContextMetrics:
+    def test_negative_task_retries_rejected(self):
+        with pytest.raises(EngineError):
+            SparkLiteContext(parallelism=1, task_retries=-1)
+
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    def test_retries_surface_in_job_metrics(self, backend):
+        with SparkLiteContext(parallelism=2, backend=backend,
+                              task_retries=1) as sc:
+            out = (sc.parallelize(range(4), 2)
+                   .map(_fail_first_element_once).collect())
+            assert out == [0, 10, 20, 30]
+            metrics = sc.last_job_metrics
+            assert metrics.retried_tasks == 2      # one retry per partition
+            assert metrics.task_attempts >= 4
+            map_stage = next(s for s in metrics.stages if s.name == "map")
+            assert map_stage.retried == 2
+            assert map_stage.attempts == 4
+
+    def test_clean_job_reports_no_retries(self):
+        with SparkLiteContext(parallelism=2, backend="serial",
+                              task_retries=2) as sc:
+            sc.parallelize(range(8), 4).map(lambda x: x + 1).collect()
+            assert sc.last_job_metrics.retried_tasks == 0
+
+    def test_differential_with_serial_oracle(self):
+        with SparkLiteContext(parallelism=2, backend="serial",
+                              task_retries=1) as oracle:
+            expected = (oracle.parallelize(range(20), 4)
+                        .map(lambda x: (x % 3, x))
+                        .reduce_by_key(lambda a, b: a + b).collect())
+        with _LOCK:
+            _FAILED.clear()
+        with SparkLiteContext(parallelism=2, backend="thread",
+                              task_retries=1) as sc:
+            got = (sc.parallelize(range(20), 4)
+                   .map(_fail_partition_head_once)
+                   .map(lambda x: x // 10)
+                   .map(lambda x: (x % 3, x))
+                   .reduce_by_key(lambda a, b: a + b).collect())
+        assert sorted(got) == sorted(expected)
+
+
+class TestProcessPoolRecovery:
+    def test_broken_pool_is_rebuilt_and_batch_finishes(self):
+        backend = ProcessBackend(parallelism=2, task_retries=1)
+        try:
+            run = backend.run(_die_in_worker, [1, 2, 3, 4])
+            # every worker died; the batch still completed (in-driver
+            # after pool recovery was exhausted) and nothing was lost
+            assert run.results == [2, 3, 4, 5]
+            assert backend.pool_rebuilds >= 1
+            assert run.fell_back
+            assert run.attempts > 4
+            assert run.retried == 4
+        finally:
+            backend.close()
+
+    def test_healthy_pool_survives_for_later_batches(self):
+        backend = ProcessBackend(parallelism=2, task_retries=1)
+        try:
+            crashed = backend.run(_die_in_worker, [1, 2, 3, 4])
+            assert crashed.results == [2, 3, 4, 5]
+            healthy = backend.run(_noop_double, [1, 2, 3, 4])
+            assert healthy.results == [2, 4, 6, 8]
+            assert not healthy.retried
+        finally:
+            backend.close()
+
+
+def _noop_double(x):
+    return x * 2

@@ -1,0 +1,178 @@
+"""Tests for the composable, seed-deterministic FaultSchedule."""
+
+import pytest
+
+from repro.net.faults import (FAULT_BROWNOUT, FAULT_CORRUPT, FAULT_ERROR,
+                              FAULT_RESET, FAULT_STORM, FAULT_TIMEOUT,
+                              FaultSchedule, FaultSpec)
+from repro.net.http import (CorruptPayload, Response, SimServer,
+                            STATUS_RESET, STATUS_TIMEOUT, TIMEOUT_HEADER)
+from repro.util.clock import SimClock
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec("gremlins", 0.1)
+
+    def test_rate_bounds(self):
+        with pytest.raises(ValueError):
+            FaultSpec(FAULT_ERROR, 1.0)
+        with pytest.raises(ValueError):
+            FaultSpec(FAULT_ERROR, -0.1)
+
+    def test_window_needs_span(self):
+        with pytest.raises(ValueError):
+            FaultSpec(FAULT_BROWNOUT, 0.01)
+
+
+class TestSchedule:
+    def test_none_never_fires(self):
+        schedule = FaultSchedule.none()
+        assert all(schedule.fault_at(i) is None for i in range(1, 500))
+        assert schedule.aggregate_rate == 0.0
+
+    def test_deterministic_per_seed(self):
+        a = FaultSchedule.chaos(seed=3)
+        b = FaultSchedule.chaos(seed=3)
+        decisions_a = [getattr(a.fault_at(i), "kind", None)
+                       for i in range(1, 2000)]
+        decisions_b = [getattr(b.fault_at(i), "kind", None)
+                       for i in range(1, 2000)]
+        assert decisions_a == decisions_b
+
+    def test_different_seeds_differ(self):
+        a = FaultSchedule.chaos(seed=3)
+        b = FaultSchedule.chaos(seed=4)
+        assert [getattr(a.fault_at(i), "kind", None)
+                for i in range(1, 2000)] \
+            != [getattr(b.fault_at(i), "kind", None)
+                for i in range(1, 2000)]
+
+    def test_chaos_profile_covers_all_kinds(self):
+        schedule = FaultSchedule.chaos(seed=0)
+        assert set(schedule.kinds) == {FAULT_ERROR, FAULT_TIMEOUT,
+                                       FAULT_RESET, FAULT_CORRUPT,
+                                       FAULT_BROWNOUT, FAULT_STORM}
+        assert schedule.aggregate_rate >= 0.05
+
+    def test_chaos_empirical_rate_near_nominal(self):
+        schedule = FaultSchedule.chaos(seed=9)
+        hits = sum(1 for i in range(1, 20_001)
+                   if schedule.fault_at(i) is not None)
+        assert 0.03 <= hits / 20_000 <= 0.12
+
+    def test_window_spans_consecutive_requests(self):
+        schedule = FaultSchedule(
+            [FaultSpec(FAULT_BROWNOUT, 0.01, duration=2.0, span=4)], seed=1)
+        starts = [i for i in range(1, 5000)
+                  if schedule._fraction(FAULT_BROWNOUT + ":start", i) < 0.01]
+        assert starts, "seed produced no windows in 5000 requests"
+        start = starts[0]
+        for i in range(start, start + 4):
+            spec = schedule.fault_at(i)
+            assert spec is not None and spec.kind == FAULT_BROWNOUT
+
+    def test_from_profile(self):
+        assert FaultSchedule.from_profile("none").specs == []
+        assert FaultSchedule.from_profile("flaky", seed=2).kinds \
+            == [FAULT_ERROR]
+        assert len(FaultSchedule.from_profile("chaos", seed=2).specs) == 6
+        with pytest.raises(ValueError):
+            FaultSchedule.from_profile("mayhem")
+
+    def test_flaky_matches_legacy_single_mode(self):
+        schedule = FaultSchedule.flaky(p_error=0.05, seed=8)
+        kinds = {spec.kind for i in range(1, 3000)
+                 for spec in [schedule.fault_at(i)] if spec is not None}
+        assert kinds == {FAULT_ERROR}
+
+
+class TestInjection:
+    def test_error_response_shape(self):
+        schedule = FaultSchedule([FaultSpec(FAULT_ERROR, 0.5)], seed=0)
+        statuses = {schedule.inject(i).status
+                    for i in range(1, 200) if schedule.fault_at(i)}
+        assert statuses <= {500, 503} and len(statuses) == 2
+
+    def test_timeout_carries_hang_header(self):
+        schedule = FaultSchedule(
+            [FaultSpec(FAULT_TIMEOUT, 0.9, duration=45.0)], seed=0)
+        index = next(i for i in range(1, 100) if schedule.fault_at(i))
+        response = schedule.inject(index)
+        assert response.status == STATUS_TIMEOUT
+        assert float(response.headers["X-Fault-Hang-S"]) == 45.0
+
+    def test_brownout_and_storm_carry_retry_after(self):
+        for kind, status in ((FAULT_BROWNOUT, 503), (FAULT_STORM, 429)):
+            schedule = FaultSchedule(
+                [FaultSpec(kind, 0.2, duration=7.5, span=2)], seed=0)
+            index = next(i for i in range(1, 200) if schedule.fault_at(i))
+            response = schedule.inject(index)
+            assert response.status == status
+            assert float(response.headers["Retry-After"]) == 7.5
+
+    def test_reset_status(self):
+        schedule = FaultSchedule([FaultSpec(FAULT_RESET, 0.9)], seed=0)
+        index = next(i for i in range(1, 100) if schedule.fault_at(i))
+        assert schedule.inject(index).status == STATUS_RESET
+
+    def test_corrupt_is_post_dispatch_only(self):
+        schedule = FaultSchedule([FaultSpec(FAULT_CORRUPT, 0.9)], seed=0)
+        index = next(i for i in range(1, 100) if schedule.fault_at(i))
+        assert schedule.inject(index) is None
+        clean = Response.json({"answer": 42, "padding": "x" * 50})
+        mangled = schedule.corrupt(index, clean)
+        assert isinstance(mangled.body, CorruptPayload)
+        assert mangled.headers["X-Fault"] == FAULT_CORRUPT
+        # the prefix that "arrived" really is a truncation
+        assert '{"answer": 42'.startswith(mangled.body.raw[:13]) \
+            or mangled.body.raw.startswith('{"answer": 42')
+
+    def test_corrupt_leaves_errors_alone(self):
+        schedule = FaultSchedule([FaultSpec(FAULT_CORRUPT, 0.9)], seed=0)
+        index = next(i for i in range(1, 100) if schedule.fault_at(i))
+        error = Response.error(503, "down")
+        assert schedule.corrupt(index, error) is error
+
+
+class _PingServer(SimServer):
+    name = "ping"
+
+    def __init__(self, clock, faults):
+        super().__init__(clock=clock, faults=faults)
+        self.route("GET", "/ping", lambda r: Response.json({"pong": True}))
+
+
+class TestSimServerIntegration:
+    def test_hang_consumes_at_most_the_client_budget(self):
+        clock = SimClock()
+        schedule = FaultSchedule(
+            [FaultSpec(FAULT_TIMEOUT, 0.99, duration=45.0)], seed=0)
+        server = _PingServer(clock, schedule)
+        before = clock.now()
+        response = server.get("/ping", headers={TIMEOUT_HEADER: "5.0"})
+        assert response.status == STATUS_TIMEOUT
+        assert clock.now() - before == pytest.approx(5.0)
+
+    def test_hang_without_budget_sleeps_full_duration(self):
+        clock = SimClock()
+        schedule = FaultSchedule(
+            [FaultSpec(FAULT_TIMEOUT, 0.99, duration=45.0)], seed=0)
+        server = _PingServer(clock, schedule)
+        before = clock.now()
+        assert server.get("/ping").status == STATUS_TIMEOUT
+        assert clock.now() - before == pytest.approx(45.0)
+
+    def test_corruption_applies_after_dispatch(self):
+        clock = SimClock()
+        schedule = FaultSchedule([FaultSpec(FAULT_CORRUPT, 0.99)], seed=0)
+        server = _PingServer(clock, schedule)
+        response = server.get("/ping")
+        assert response.ok
+        assert isinstance(response.body, CorruptPayload)
+
+    def test_clean_schedule_passes_through(self):
+        clock = SimClock()
+        server = _PingServer(clock, FaultSchedule.none())
+        assert server.get("/ping").body == {"pong": True}

@@ -11,3 +11,7 @@ python -m compileall -q src benchmarks tools examples
 
 echo "== pytest (tier 1) =="
 python -m pytest -x -q "$@"
+
+echo "== pytest (chaos suite) =="
+# the deterministic fault-injection harness, on its default seed matrix
+python -m pytest -x -q -m chaos
