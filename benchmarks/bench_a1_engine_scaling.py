@@ -87,10 +87,13 @@ def test_a1_results_invariant_across_parallelism(benchmark):
 
 # --------------------------------------------------------------- standalone
 def _sweep_one(backend: str, rows: int, partitions: int,
-               parallelism: int, rounds: int) -> dict:
+               parallelism: int, rounds: int,
+               combine: bool = True, compress: bool = False) -> dict:
     times = []
     metrics = None
-    with SparkLiteContext(parallelism=parallelism, backend=backend) as sc:
+    with SparkLiteContext(parallelism=parallelism, backend=backend,
+                          shuffle_combine=combine,
+                          shuffle_compress=compress) as sc:
         result = _job(sc, partitions, rows)  # warm-up (pools spin up lazily)
         for _ in range(rounds):
             start = time.perf_counter()
@@ -102,6 +105,8 @@ def _sweep_one(backend: str, rows: int, partitions: int,
         "rows": rows,
         "partitions": partitions,
         "parallelism": parallelism,
+        "combine": combine,
+        "compress": compress,
         "result": result,
         "wall_s_best": min(times),
         "wall_s_all": [round(t, 4) for t in times],
@@ -120,6 +125,10 @@ def main(argv=None) -> int:
     parser.add_argument("--parallelism", type=int, default=4)
     parser.add_argument("--rounds", type=int, default=3,
                         help="timed repetitions after warm-up (min 1)")
+    parser.add_argument("--no-combine", action="store_true",
+                        help="disable map-side combiners (A/B baseline)")
+    parser.add_argument("--compress", action="store_true",
+                        help="zlib-compress shuffle blocks")
     parser.add_argument("--json", metavar="FILE",
                         help="also write the sweep as JSON")
     args = parser.parse_args(argv)
@@ -132,12 +141,15 @@ def main(argv=None) -> int:
     rows_out = []
     for backend in backends:
         entry = _sweep_one(backend, args.rows, args.partitions,
-                           args.parallelism, args.rounds)
+                           args.parallelism, args.rounds,
+                           combine=not args.no_combine,
+                           compress=args.compress)
         rows_out.append(entry)
         jm = entry["job_metrics"]
         print(f"{backend:>8}: best {entry['wall_s_best']:.3f}s  "
               f"(stages={len(jm['stages'])} "
-              f"shuffled={jm['shuffle_records']} recs / "
+              f"shuffled={jm['shuffle_records']}→"
+              f"{jm['shuffle_records_moved']} recs / "
               f"{jm['shuffle_bytes']} B, fallbacks={jm['fallbacks']})")
         for stage in jm["stages"]:
             print(f"          stage {stage['stage_id']} {stage['name']:<12} "

@@ -46,6 +46,17 @@ def _add_world_args(parser: argparse.ArgumentParser) -> None:
                              "faults")
     parser.add_argument("--task-retries", type=int, default=1,
                         help="engine per-partition task re-execution budget")
+    parser.add_argument("--shuffle-compress", action="store_true",
+                        help="zlib-compress shuffle blocks above the "
+                             "engine's size threshold")
+    parser.add_argument("--broadcast-join-threshold", type=int,
+                        default=256 * 1024, metavar="BYTES",
+                        help="broadcast one join side when its serialized "
+                             "size fits under this (0 disables)")
+    parser.add_argument("--cache-budget", type=int,
+                        default=64 * 1024 * 1024, metavar="BYTES",
+                        help="LRU byte budget for persisted partitions; "
+                             "over-budget entries spill to the DFS")
 
 
 def _resolve_world(args: argparse.Namespace) -> World:
@@ -61,6 +72,10 @@ def _platform_config(args: argparse.Namespace) -> PlatformConfig:
     config = PlatformConfig(
         engine_backend=getattr(args, "engine_backend", "thread"),
         task_retries=getattr(args, "task_retries", 1),
+        shuffle_compress=getattr(args, "shuffle_compress", False),
+        broadcast_join_threshold=getattr(
+            args, "broadcast_join_threshold", 256 * 1024),
+        cache_budget=getattr(args, "cache_budget", 64 * 1024 * 1024),
         faults=FaultSchedule.from_profile(
             profile, seed=getattr(args, "chaos_seed", 0)))
     if profile == "chaos":

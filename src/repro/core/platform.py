@@ -38,6 +38,18 @@ class PlatformConfig:
     engine_backend: str = "thread"
     #: per-partition task re-execution budget (Spark-style)
     task_retries: int = 1
+    # ---- shuffle fast path (see DESIGN.md "Shuffle fast path") ----
+    #: zlib-compress shuffle blocks above the engine's size threshold
+    shuffle_compress: bool = False
+    #: broadcast one join side when its serialized size fits under this
+    #: many bytes (0 disables; raw contexts default to off, the platform
+    #: opts in because its dimension tables are small)
+    broadcast_join_threshold: int = 256 * 1024
+    #: LRU byte budget for persisted partitions (None = unbounded)
+    cache_budget: Optional[int] = 64 * 1024 * 1024
+    #: storage level for the crawl datasets persisted after a full
+    #: crawl: "memory" (LRU + spill) or "dfs" (write-through)
+    persist_datasets: str = "memory"
     dfs_datanodes: int = 4
     records_per_part: int = 5000
     latency: LatencyModel = field(default_factory=LatencyModel.zero)
@@ -102,7 +114,11 @@ class ExploratoryPlatform:
         self.sc = SparkLiteContext(
             parallelism=self.config.engine_parallelism,
             backend=self.config.engine_backend,
-            task_retries=self.config.task_retries)
+            task_retries=self.config.task_retries,
+            shuffle_compress=self.config.shuffle_compress,
+            broadcast_join_threshold=self.config.broadcast_join_threshold,
+            cache_budget=self.config.cache_budget,
+            cache_dfs=self.dfs)
         #: one circuit breaker per source, shared by that source's workers
         self.breakers: Dict[str, Optional[CircuitBreaker]] = {
             name: breaker_for(self.clock, name,
@@ -196,7 +212,32 @@ class ExploratoryPlatform:
         self.crawl_summary = CrawlSummary(
             angellist=bfs, crunchbase=augment,
             facebook=facebook, twitter=twitter)
+        self._persist_crawl_datasets()
         return self.crawl_summary
+
+    #: the dataset directories every analysis reads (§4–§7 pipelines)
+    CRAWL_DATASET_DIRS = (
+        "/crawl/angellist/startups",
+        "/crawl/angellist/users",
+        "/crawl/angellist/investments",
+        "/crawl/angellist/follow_edges",
+        "/crawl/crunchbase/organizations",
+        "/crawl/facebook/pages",
+        "/crawl/twitter/profiles",
+    )
+
+    def _persist_crawl_datasets(self) -> None:
+        """Mark the crawl datasets persisted so the analytics pipeline
+        (graph build → CoDA → engagement → prediction) scans each part
+        file once; the context dedupes ``json_dataset`` by directory, so
+        every later job hits the same persisted lineage node."""
+        from repro.util.errors import EngineError
+        for directory in self.CRAWL_DATASET_DIRS:
+            try:
+                self.sc.json_dataset(self.dfs, directory).persist(
+                    self.config.persist_datasets)
+            except EngineError:
+                continue  # dataset not produced by this crawl; skip
 
     # ------------------------------------------------------------------ data
     def require_crawled(self) -> None:

@@ -8,9 +8,18 @@ narrow transformations fuse within a partition, and wide transformations
 shuffle. Partition tasks run on a pluggable
 :class:`~repro.engine.backends.ExecutionBackend` — serial (reference
 semantics), thread (default) or process (true parallelism for picklable
-stages) — and results of ``cache()``d RDDs are reused across jobs. Every
-action leaves a per-stage :class:`~repro.engine.metrics.JobMetrics` on
-``context.last_job_metrics``.
+stages) — and results of ``persist()``-ed RDDs are served across jobs
+from an LRU-budgeted :class:`~repro.engine.cache.CacheManager` (with
+optional MiniDfs spill). Shuffles take the fast path where it exists:
+map-side combiners for ``reduce_by_key`` / ``aggregate_by_key`` /
+``distinct`` / ``count_by_key``, serialize-once (optionally compressed)
+:class:`~repro.engine.shuffle.ShuffleBlock` payloads on the process
+backend, sampled range partitioning for ``sort_by``, and an adaptive
+broadcast-hash ``join`` when one side fits under a size threshold.
+Every action leaves a per-stage
+:class:`~repro.engine.metrics.JobMetrics` on
+``context.last_job_metrics``, including records/bytes shuffled both
+before and after combining/compression.
 
 Example::
 
@@ -24,12 +33,17 @@ Example::
 from repro.engine.backends import (BACKENDS, ExecutionBackend,
                                    ProcessBackend, SerialBackend,
                                    ThreadBackend, resolve_backend)
+from repro.engine.cache import CacheManager
 from repro.engine.context import SparkLiteContext
 from repro.engine.dataframe import DataFrame, Row
 from repro.engine.metrics import JobMetrics, MetricsTrace, StageMetrics
 from repro.engine.rdd import RDD
+from repro.engine.shuffle import (HashPartitioner, RangePartitioner,
+                                  ShuffleBlock)
 
 __all__ = ["SparkLiteContext", "RDD", "DataFrame", "Row",
            "ExecutionBackend", "SerialBackend", "ThreadBackend",
            "ProcessBackend", "BACKENDS", "resolve_backend",
-           "JobMetrics", "StageMetrics", "MetricsTrace"]
+           "JobMetrics", "StageMetrics", "MetricsTrace",
+           "CacheManager", "ShuffleBlock", "HashPartitioner",
+           "RangePartitioner"]

@@ -95,6 +95,10 @@ class ExecutionBackend:
     """
 
     name = "abstract"
+    #: True when partition tasks cross a process boundary, i.e. shuffle
+    #: payloads should be sealed into ShuffleBlocks (serialize-once)
+    #: instead of re-pickled as raw record lists on every hop.
+    shuffle_blocks = False
 
     def __init__(self, parallelism: Optional[int] = None,
                  task_retries: Optional[int] = None):
@@ -192,6 +196,7 @@ class ProcessBackend(ExecutionBackend):
     """
 
     name = "process"
+    shuffle_blocks = True
 
     def __init__(self, parallelism: Optional[int] = None,
                  task_retries: Optional[int] = None,

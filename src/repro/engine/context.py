@@ -6,8 +6,10 @@ import json
 from typing import Any, Callable, List, Optional, Sequence
 
 from repro.engine.backends import ExecutionBackend, resolve_backend
+from repro.engine.cache import CacheManager
 from repro.engine.metrics import MetricsTrace
 from repro.engine.rdd import RDD, JobRunner
+from repro.engine.shuffle import DEFAULT_COMPRESS_THRESHOLD
 from repro.util.errors import EngineError
 
 
@@ -27,6 +29,20 @@ class SparkLiteContext:
             first run (Spark-style deterministic re-execution). Extra
             attempts surface as ``task_attempts``/``retried_tasks`` in
             each job's metrics.
+        shuffle_combine: run map-side combiners on stages that declare
+            one (``reduce_by_key`` & co.). On by default; turning it off
+            is for A/B measurement — results are identical either way.
+        shuffle_compress: zlib-compress shuffle blocks whose serialized
+            size is at least ``shuffle_compress_threshold`` bytes.
+        broadcast_join_threshold: serialized-size ceiling (bytes) under
+            which one side of a ``join`` is broadcast instead of
+            shuffling both sides. 0 disables broadcast joins (default —
+            platform configs opt in).
+        cache_budget: LRU byte budget for ``persist()``-ed partitions;
+            ``None`` means unbounded. Over-budget entries spill to
+            ``cache_dfs`` when one is attached, else drop (recompute).
+        cache_dfs: a :class:`~repro.dfs.filesystem.MiniDfs` for cache
+            spill and ``persist(storage="dfs")``.
 
     Note:
         Whatever the backend, the execution *model* is Spark's —
@@ -36,20 +52,40 @@ class SparkLiteContext:
 
     def __init__(self, parallelism: int = 4,
                  backend: Any = None,
-                 task_retries: int = 0):
+                 task_retries: int = 0,
+                 shuffle_combine: bool = True,
+                 shuffle_compress: bool = False,
+                 shuffle_compress_threshold: int = DEFAULT_COMPRESS_THRESHOLD,
+                 broadcast_join_threshold: int = 0,
+                 cache_budget: Optional[int] = None,
+                 cache_dfs: Any = None):
         if parallelism < 1:
             raise EngineError("parallelism must be >= 1")
         if task_retries < 0:
             raise EngineError("task_retries must be >= 0")
+        if broadcast_join_threshold < 0:
+            raise EngineError("broadcast_join_threshold must be >= 0")
+        if cache_budget is not None and cache_budget < 0:
+            raise EngineError("cache_budget must be >= 0")
         self.parallelism = parallelism
         self.backend: ExecutionBackend = resolve_backend(
             backend, parallelism, task_retries)
+        self.shuffle_combine = shuffle_combine
+        self.shuffle_compress = shuffle_compress
+        self.shuffle_compress_threshold = shuffle_compress_threshold
+        self.broadcast_join_threshold = broadcast_join_threshold
+        #: cross-job partition store backing RDD.persist()/cache()
+        self.cache_manager = CacheManager(budget_bytes=cache_budget,
+                                          dfs=cache_dfs)
         self._stopped = False
         self.jobs_run = 0
         #: JobMetrics of the most recent action (None before any job).
         self.last_job_metrics = None
         #: bounded per-job metrics history (``--engine-metrics`` dumps it)
         self.metrics_trace = MetricsTrace()
+        #: dataset-scan RDDs keyed by (dfs, dir, part files) so repeated
+        #: reads of one directory share a lineage node — and its cache
+        self._datasets = {}
 
     # ---------------------------------------------------------------- creation
     def parallelize(self, data: Sequence[Any],
@@ -66,15 +102,27 @@ class SparkLiteContext:
         return RDD(self, parts, (), compute, name="parallelize")
 
     def json_dataset(self, dfs, directory: str) -> RDD:
-        """One RDD partition per DFS part file (like HDFS input splits)."""
+        """One RDD partition per DFS part file (like HDFS input splits).
+
+        Scans of the same directory with the same part files return the
+        *same* RDD node, so ``dataset.persist()`` in one analysis is
+        honored when another analysis re-opens the directory — the
+        pipeline reads each dataset once, not once per job.
+        """
         paths = dfs.glob_parts(directory)
         if not paths:
             raise EngineError(f"no part files under {directory}")
+        key = (id(dfs), directory, tuple(paths))
+        rdd = self._datasets.get(key)
+        if rdd is not None:
+            return rdd
 
         def compute(runner: JobRunner, index: int) -> List[Any]:
             text = dfs.read_text(paths[index])
             return [json.loads(line) for line in text.splitlines() if line]
-        return RDD(self, len(paths), (), compute, name=f"json:{directory}")
+        rdd = RDD(self, len(paths), (), compute, name=f"json:{directory}")
+        self._datasets[key] = rdd
+        return rdd
 
     def empty(self) -> RDD:
         return self.parallelize([])
@@ -101,6 +149,16 @@ class SparkLiteContext:
 
     def _run_job(self, rdd: RDD) -> List[Any]:
         return [x for part in self._run_job_partitions(rdd) for x in part]
+
+    def _run_job_take(self, rdd: RDD, n: int) -> List[Any]:
+        """A short-circuiting job: stop once ``n`` elements are gathered."""
+        self._check_alive()
+        self.jobs_run += 1
+        runner = JobRunner(self)
+        result = runner.take(rdd, n)
+        self.last_job_metrics = runner.metrics
+        self.metrics_trace.append(runner.metrics)
+        return result
 
     def stop(self) -> None:
         self.backend.close()

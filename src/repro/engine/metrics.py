@@ -36,11 +36,14 @@ class StageMetrics:
     kind: str
     partitions: int = 0
     records_out: int = 0
-    shuffle_records: int = 0
-    shuffle_bytes: int = 0
+    shuffle_records: int = 0        # records entering the exchange (pre-combine)
+    shuffle_records_moved: int = 0  # records actually shipped (post-combine)
+    shuffle_bytes: int = 0          # bytes actually moved (post-compress)
+    shuffle_bytes_raw: int = 0      # serialized size before compression
     wall_s: float = 0.0
     cache_hit: bool = False
     fallback: bool = False
+    broadcast: bool = False  # join served by a broadcast table, no shuffle
     attempts: int = 0   # task executions, including retried attempts
     retried: int = 0    # tasks that needed more than one attempt
 
@@ -53,10 +56,13 @@ class StageMetrics:
             "partitions": self.partitions,
             "records_out": self.records_out,
             "shuffle_records": self.shuffle_records,
+            "shuffle_records_moved": self.shuffle_records_moved,
             "shuffle_bytes": self.shuffle_bytes,
+            "shuffle_bytes_raw": self.shuffle_bytes_raw,
             "wall_s": round(self.wall_s, 6),
             "cache_hit": self.cache_hit,
             "fallback": self.fallback,
+            "broadcast": self.broadcast,
             "attempts": self.attempts,
             "retried": self.retried,
         }
@@ -79,7 +85,10 @@ class JobMetrics:
         self.partitions_computed = 0
         self.shuffles = 0
         self.shuffle_records = 0
+        self.shuffle_records_moved = 0
         self.shuffle_bytes = 0
+        self.shuffle_bytes_raw = 0
+        self.broadcast_joins = 0
         self.cached_hits = 0
         self.fallbacks = 0
         self.task_attempts = 0
@@ -108,10 +117,22 @@ class JobMetrics:
         self.wall_s += stage.wall_s
         return stage
 
-    def record_shuffle(self, records: int, nbytes: int) -> None:
+    def record_shuffle(self, records: int, nbytes: int,
+                       records_moved: int = None,
+                       raw_bytes: int = None) -> None:
+        """One exchange: ``records`` entered it (pre-combine) and
+        ``records_moved`` actually crossed it (defaults to ``records``
+        when no combiner ran); ``nbytes`` moved on the wire against a
+        ``raw_bytes`` uncompressed size."""
         self.shuffles += 1
         self.shuffle_records += records
+        self.shuffle_records_moved += (records if records_moved is None
+                                       else records_moved)
         self.shuffle_bytes += nbytes
+        self.shuffle_bytes_raw += nbytes if raw_bytes is None else raw_bytes
+
+    def record_broadcast_join(self) -> None:
+        self.broadcast_joins += 1
 
     def next_stage_id(self) -> int:
         return len(self.stages)
@@ -123,7 +144,10 @@ class JobMetrics:
             "partitions_computed": self.partitions_computed,
             "shuffles": self.shuffles,
             "shuffle_records": self.shuffle_records,
+            "shuffle_records_moved": self.shuffle_records_moved,
             "shuffle_bytes": self.shuffle_bytes,
+            "shuffle_bytes_raw": self.shuffle_bytes_raw,
+            "broadcast_joins": self.broadcast_joins,
             "cached_hits": self.cached_hits,
             "fallbacks": self.fallbacks,
             "task_attempts": self.task_attempts,

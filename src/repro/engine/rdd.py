@@ -25,17 +25,28 @@ closure; those stages run in-process on any backend.
 from __future__ import annotations
 
 import itertools
-import pickle
+import operator
 import threading
 import time
-import zlib
 from collections import defaultdict
 from typing import (Any, Callable, Dict, Generic, Iterable, List, Optional,
                     Tuple, TypeVar)
 
 from repro.engine.metrics import (STAGE_CACHED, STAGE_NARROW, STAGE_SHUFFLE,
                                   STAGE_TASK, JobMetrics, StageMetrics)
+# the canonical key hashing lives in shuffle.py now; re-exported here
+# unchanged because CRC32 bucket placement is pinned by regression tests
+# that import these names from this module.
+from repro.engine.shuffle import (BroadcastHashJoinOp, CogroupJoinTask,
+                                  HashPartitioner, MapShuffleTask,
+                                  ReduceShuffleTask, ShuffleBlock,
+                                  _canonical_bytes, _hash_partition,
+                                  _stable_hash, payload_bytes,
+                                  plan_range_partitioner)
 from repro.util.errors import EngineError
+
+__all__ = ["RDD", "JobRunner", "ShuffleSpec",
+           "_canonical_bytes", "_stable_hash", "_hash_partition"]
 
 T = TypeVar("T")
 U = TypeVar("U")
@@ -43,50 +54,6 @@ K = TypeVar("K")
 V = TypeVar("V")
 
 _rdd_ids = itertools.count()
-
-
-# --------------------------------------------------------------------- hashing
-def _canonical_bytes(key: Any) -> bytes:
-    """Deterministic, type-tagged encoding: equal keys → equal bytes.
-
-    Builtin ``hash`` is salted per interpreter for strings
-    (``PYTHONHASHSEED``), which would make shuffle placement differ
-    between runs — and between the driver and a process-pool worker.
-    Numeric cross-type equality (``1 == 1.0 == True``) is normalized so
-    equal keys always land in the same bucket.
-    """
-    if key is None:
-        return b"N"
-    if isinstance(key, bool):
-        key = int(key)
-    if isinstance(key, float) and key.is_integer() and abs(key) < 2 ** 63:
-        key = int(key)
-    if isinstance(key, int):
-        return b"i" + str(key).encode("ascii")
-    if isinstance(key, float):
-        return b"f" + repr(key).encode("ascii")
-    if isinstance(key, str):
-        return b"s" + key.encode("utf-8", "surrogatepass")
-    if isinstance(key, bytes):
-        return b"b" + key
-    if isinstance(key, tuple):
-        parts = [_canonical_bytes(item) for item in key]
-        return b"t" + b"".join(
-            str(len(p)).encode("ascii") + b":" + p for p in parts)
-    if isinstance(key, frozenset):
-        total = sum(zlib.crc32(_canonical_bytes(item))
-                    for item in key) & 0xFFFFFFFF
-        return b"z" + str(total).encode("ascii")
-    # last resort: types with a deterministic repr (dataclasses, enums)
-    return b"r" + repr(key).encode("utf-8", "surrogatepass")
-
-
-def _stable_hash(key: Any) -> int:
-    return zlib.crc32(_canonical_bytes(key))
-
-
-def _hash_partition(key: Any, num_partitions: int) -> int:
-    return _stable_hash(key) % num_partitions
 
 
 # ----------------------------------------------------------- partition operators
@@ -192,35 +159,6 @@ def _identity(item):
     return item
 
 
-class _BucketOp:
-    """Map side of a shuffle: split one partition into bucket lists.
-
-    Receives ``(global_offset, items)`` so a ``bucket_fn`` of ``None``
-    can round-robin by global element position (repartition) without
-    shared mutable state — keeping the exchange deterministic and
-    parallelizable chunk by chunk.
-    """
-
-    __slots__ = ("bucket_fn", "num_buckets")
-
-    def __init__(self, bucket_fn, num_buckets):
-        self.bucket_fn = bucket_fn
-        self.num_buckets = num_buckets
-
-    def __call__(self, chunk):
-        offset, items = chunk
-        n = self.num_buckets
-        buckets: List[List[Any]] = [[] for _ in range(n)]
-        fn = self.bucket_fn
-        if fn is None:
-            for i, item in enumerate(items):
-                buckets[(offset + i) % n].append(item)
-        else:
-            for item in items:
-                buckets[_hash_partition(fn(item), n)].append(item)
-        return buckets
-
-
 class _GatherOp:
     __slots__ = ()
 
@@ -284,17 +222,68 @@ class _AggregateByKeyOp:
         return list(acc.items())
 
 
+class _CountPairsOp:
+    """Collapse ``(k, v)`` pairs to ``(k, count)`` in first-seen order."""
+
+    __slots__ = ()
+
+    def __call__(self, bucket):
+        counts: Dict[Any, int] = {}
+        for k, _v in bucket:
+            counts[k] = counts.get(k, 0) + 1
+        return list(counts.items())
+
+
+class _SortOp:
+    """Reduce side of a range sort: order one bucket (stable)."""
+
+    __slots__ = ("key_fn", "ascending")
+
+    def __init__(self, key_fn, ascending):
+        self.key_fn = key_fn
+        self.ascending = ascending
+
+    def __call__(self, bucket):
+        return sorted(bucket, key=self.key_fn, reverse=not self.ascending)
+
+
+class _RangePlan:
+    """Deferred range-partitioner factory for ``sort_by``.
+
+    Cut points depend on the parent's *data*, so the partitioner can
+    only be planned once the parent is materialized; the runner calls
+    this with the parent's partitions at exchange time.
+    """
+
+    __slots__ = ("key_fn", "ascending")
+
+    def __init__(self, key_fn, ascending):
+        self.key_fn = key_fn
+        self.ascending = ascending
+
+    def __call__(self, parts, num_buckets):
+        return plan_range_partitioner(parts, num_buckets, self.key_fn,
+                                      ascending=self.ascending)
+
+
 class ShuffleSpec:
     """One wide dependency: map-side bucketing + reduce-side post op.
 
-    ``bucket_fn`` of ``None`` means round-robin by global position.
+    ``bucket_fn`` of ``None`` means round-robin by global position
+    unless a ``plan`` is set, in which case the runner derives a data-
+    dependent partitioner (range sort) from the materialized parent.
+    ``combiner`` — when present — pre-aggregates each map task's bucket
+    before anything is shipped; ``post`` must then merge the partial
+    aggregates (the classic Spark combiner contract).
     """
 
-    __slots__ = ("bucket_fn", "post")
+    __slots__ = ("bucket_fn", "post", "combiner", "plan")
 
-    def __init__(self, bucket_fn, post):
+    def __init__(self, bucket_fn, post, combiner=None, plan=None):
         self.bucket_fn = bucket_fn
         self.post = post
+        self.combiner = combiner
+        self.plan = plan
 
 
 class RDD(Generic[T]):
@@ -306,7 +295,8 @@ class RDD(Generic[T]):
                  wide: bool = False,
                  name: str = "rdd",
                  part_fn: Optional[Callable] = None,
-                 shuffle: Optional[ShuffleSpec] = None):
+                 shuffle: Optional[ShuffleSpec] = None,
+                 join_how: Optional[str] = None):
         if num_partitions < 1:
             raise EngineError("an RDD needs at least one partition")
         self.context = context
@@ -316,23 +306,42 @@ class RDD(Generic[T]):
         self._compute = compute
         self.part_fn = part_fn
         self.shuffle = shuffle
-        self.wide = wide or shuffle is not None
+        self.join_how = join_how
+        self.wide = wide or shuffle is not None or join_how is not None
         self.name = name
         self._cached: Optional[List[List[T]]] = None
         self._cache_requested = False
+        self._storage_level = "memory"
 
     # ------------------------------------------------------------------ misc
     def __repr__(self) -> str:
         return f"<RDD {self.rdd_id} {self.name} p={self.num_partitions}>"
 
-    def cache(self) -> "RDD[T]":
-        """Keep computed partitions for reuse by later jobs."""
+    def persist(self, storage: str = "memory") -> "RDD[T]":
+        """Keep computed partitions for reuse by later jobs.
+
+        ``storage="memory"`` holds them in the context's LRU cache
+        (subject to its byte budget, spilling to the DFS under
+        pressure); ``storage="dfs"`` writes them through to MiniDfs
+        immediately so they survive eviction.
+        """
+        if storage not in ("memory", "dfs"):
+            raise EngineError(
+                f"unknown storage level {storage!r}; use 'memory' or 'dfs'")
         self._cache_requested = True
+        self._storage_level = storage
         return self
+
+    def cache(self) -> "RDD[T]":
+        """``persist("memory")`` — Spark's historical alias."""
+        return self.persist("memory")
 
     def unpersist(self) -> "RDD[T]":
         self._cached = None
         self._cache_requested = False
+        manager = getattr(self.context, "cache_manager", None)
+        if manager is not None:
+            manager.unpersist(self.rdd_id)
         return self
 
     # -------------------------------------------------------- narrow transforms
@@ -382,33 +391,61 @@ class RDD(Generic[T]):
     def _shuffle(self, num_partitions: Optional[int],
                  bucket_fn: Optional[Callable[[T], Any]],
                  post: Callable[[List[T]], List[U]],
-                 name: str) -> "RDD[U]":
+                 name: str,
+                 combiner: Optional[Callable] = None,
+                 plan: Optional[Callable] = None) -> "RDD[U]":
         parts = num_partitions or self.num_partitions
+        if not getattr(self.context, "shuffle_combine", True):
+            combiner = None
         return RDD(self.context, parts, (self,),
-                   shuffle=ShuffleSpec(bucket_fn, post), name=name)
+                   shuffle=ShuffleSpec(bucket_fn, post, combiner, plan),
+                   name=name)
 
     def repartition(self, num_partitions: int) -> "RDD[T]":
         return self._shuffle(num_partitions, None, _GatherOp(), "repartition")
 
     def distinct(self, num_partitions: Optional[int] = None) -> "RDD[T]":
+        # map-side dedup: each map task ships each value at most once
         return self._shuffle(num_partitions, _identity, _DistinctOp(),
-                             "distinct")
+                             "distinct", combiner=_DistinctOp())
 
     def group_by_key(self, num_partitions: Optional[int] = None) -> "RDD":
+        # no combiner: grouping moves every value by definition
         return self._shuffle(num_partitions, _pair_key, _GroupByKeyOp(),
                              "groupByKey")
 
     def reduce_by_key(self, fn: Callable[[V, V], V],
                       num_partitions: Optional[int] = None) -> "RDD":
+        # map-side partial reduce; the same op merges partials reduce-side
         return self._shuffle(num_partitions, _pair_key, _ReduceByKeyOp(fn),
-                             "reduceByKey")
+                             "reduceByKey", combiner=_ReduceByKeyOp(fn))
 
     def aggregate_by_key(self, zero: U, seq: Callable[[U, V], U],
                          comb: Callable[[U, U], U],
                          num_partitions: Optional[int] = None) -> "RDD":
+        """Fold values per key. ``seq`` folds a value into an
+        accumulator, ``comb`` merges two accumulators — with combining
+        on, ``seq`` runs map-side and ``comb`` merges the shipped
+        partials (Spark's combineByKey contract)."""
+        if getattr(self.context, "shuffle_combine", True):
+            return self._shuffle(num_partitions, _pair_key,
+                                 _ReduceByKeyOp(comb), "aggregateByKey",
+                                 combiner=_AggregateByKeyOp(zero, seq, comb))
         return self._shuffle(num_partitions, _pair_key,
                              _AggregateByKeyOp(zero, seq, comb),
                              "aggregateByKey")
+
+    def count_by_key_rdd(self, num_partitions: Optional[int] = None) -> "RDD":
+        """Distributed key counting: ``(k, v) → (k, count)`` pairs.
+
+        With combining on, each map task ships one ``(k, n)`` partial
+        per distinct key instead of every raw pair."""
+        if getattr(self.context, "shuffle_combine", True):
+            return self._shuffle(num_partitions, _pair_key,
+                                 _ReduceByKeyOp(operator.add), "countByKey",
+                                 combiner=_CountPairsOp())
+        return self._shuffle(num_partitions, _pair_key, _CountPairsOp(),
+                             "countByKey")
 
     def cogroup(self, other: "RDD", num_partitions: Optional[int] = None) -> "RDD":
         parts = num_partitions or max(self.num_partitions,
@@ -427,39 +464,57 @@ class RDD(Generic[T]):
         return RDD(self.context, parts, (self, other), compute, wide=True,
                    name="cogroup")
 
+    def _join_with(self, other: "RDD", how: str, name: str,
+                   num_partitions: Optional[int]) -> "RDD":
+        if other.context is not self.context:
+            raise EngineError("cannot join RDDs from different contexts")
+        parts = num_partitions or max(self.num_partitions,
+                                      other.num_partitions)
+        return RDD(self.context, parts, (self, other), join_how=how,
+                   name=name)
+
     def join(self, other: "RDD", num_partitions: Optional[int] = None) -> "RDD":
-        def emit(item):
-            key, (lefts, rights) = item
-            return [(key, (lv, rv)) for lv in lefts for rv in rights]
-        return self.cogroup(other, num_partitions).flat_map(emit)
+        """Inner join on pair keys.
+
+        Adaptive: when one side's serialized size fits under the
+        context's ``broadcast_join_threshold``, it is collected into a
+        driver-side hash table and probed against the other side with
+        no shuffle at all; otherwise both sides hash-exchange.
+        """
+        return self._join_with(other, "inner", "join", num_partitions)
 
     def left_outer_join(self, other: "RDD",
                         num_partitions: Optional[int] = None) -> "RDD":
-        def emit(item):
-            key, (lefts, rights) = item
-            if not rights:
-                return [(key, (lv, None)) for lv in lefts]
-            return [(key, (lv, rv)) for lv in lefts for rv in rights]
-        return self.cogroup(other, num_partitions).flat_map(emit)
+        return self._join_with(other, "left", "leftOuterJoin",
+                               num_partitions)
 
     def sort_by(self, key_fn: Callable[[T], Any],
-                ascending: bool = True) -> "RDD[T]":
-        """Total sort into a single partition (fine at simulator scale)."""
-        def compute(runner: "JobRunner", index: int) -> List[T]:
-            everything = [x for p in runner.all_partitions(self) for x in p]
-            return sorted(everything, key=key_fn, reverse=not ascending)
-        return RDD(self.context, 1, (self,), compute, wide=True,
-                   name="sortBy")
+                ascending: bool = True,
+                num_partitions: Optional[int] = None) -> "RDD[T]":
+        """Parallel total sort via sampled range partitioning.
+
+        Keys sampled from the materialized parent become cut points;
+        every element shuffles to the bucket owning its key range and
+        each bucket sorts independently — collected output is globally
+        ordered, ties in input order (same bytes the old single-
+        partition sort produced), but the work stays partitioned.
+        """
+        return self._shuffle(num_partitions, None,
+                             _SortOp(key_fn, ascending), "sortBy",
+                             plan=_RangePlan(key_fn, ascending))
 
     # ----------------------------------------------------------------- actions
     def collect(self) -> List[T]:
         return self.context._run_job(self)
 
     def count(self) -> int:
-        return len(self.collect())
+        # sums per-partition lengths; never flattens into one driver list
+        return sum(len(p) for p in self.context._run_job_partitions(self))
 
     def take(self, n: int) -> List[T]:
-        return self.collect()[:n]
+        if n <= 0:
+            return []
+        return self.context._run_job_take(self, n)
 
     def first(self) -> T:
         result = self.take(1)
@@ -548,16 +603,10 @@ class RDD(Generic[T]):
         return edges, counts
 
     def count_by_value(self) -> Dict[T, int]:
-        counts: Dict[T, int] = defaultdict(int)
-        for x in self.collect():
-            counts[x] += 1
-        return dict(counts)
+        return dict(self.key_by(_identity).count_by_key_rdd().collect())
 
     def count_by_key(self) -> Dict[Any, int]:
-        counts: Dict[Any, int] = defaultdict(int)
-        for k, _v in self.collect():
-            counts[k] += 1
-        return dict(counts)
+        return dict(self.count_by_key_rdd().collect())
 
     def collect_as_map(self) -> Dict[Any, Any]:
         return dict(self.collect())
@@ -583,6 +632,11 @@ class JobRunner:
     their parents' already-computed results — nested pool submission (a
     classic pool deadlock) can't happen, and process-pool tasks receive
     their input data explicitly rather than through shared state.
+
+    Partitions persisted via :meth:`RDD.persist` are served from the
+    context's :class:`~repro.engine.cache.CacheManager`, and lineage
+    walking stops at any node whose partitions the cache can supply —
+    ancestors of a cached node are never touched.
     """
 
     def __init__(self, context):
@@ -593,8 +647,40 @@ class JobRunner:
         #: instrumentation for the job that just ran (see JobMetrics)
         self.metrics = JobMetrics(backend=context.backend.name)
 
+    # ----------------------------------------------------------------- caching
+    def _has_cache(self, rdd: RDD) -> bool:
+        """Cheap peek: could this node's partitions come from a cache?"""
+        if rdd.rdd_id in self._partitions or rdd._cached is not None:
+            return True
+        if not rdd._cache_requested:
+            return False
+        manager = getattr(self.context, "cache_manager", None)
+        return manager is not None and rdd.rdd_id in manager
+
+    def _load_cached(self, rdd: RDD) -> bool:
+        """Pull cached partitions into this job's memo; True on a hit."""
+        if rdd.rdd_id in self._partitions:
+            return True
+        results = rdd._cached
+        if results is None and rdd._cache_requested:
+            manager = getattr(self.context, "cache_manager", None)
+            if manager is not None and rdd.rdd_id in manager:
+                results = manager.get(rdd.rdd_id)
+        if results is None:
+            return False
+        self._partitions[rdd.rdd_id] = results
+        self._record_cached(rdd)
+        return True
+
+    def _store_cache(self, rdd: RDD, results: List[List[Any]]) -> None:
+        manager = getattr(self.context, "cache_manager", None)
+        if manager is not None:
+            manager.put(rdd.rdd_id, results, storage=rdd._storage_level)
+        else:
+            rdd._cached = results
+
     def _lineage(self, rdd: RDD) -> List[RDD]:
-        """Ancestors-first topological order of the lineage DAG."""
+        """Ancestors-first topological order, pruned at cached nodes."""
         order: List[RDD] = []
         seen = set()
 
@@ -602,8 +688,9 @@ class JobRunner:
             if node.rdd_id in seen:
                 return
             seen.add(node.rdd_id)
-            for parent in node.parents:
-                visit(parent)
+            if not self._has_cache(node):
+                for parent in node.parents:
+                    visit(parent)
             order.append(node)
         visit(rdd)
         return order
@@ -615,29 +702,19 @@ class JobRunner:
             partitions=rdd.num_partitions, cache_hit=True))
 
     def all_partitions(self, rdd: RDD) -> List[List[Any]]:
-        if rdd._cached is not None:
-            if rdd.rdd_id not in self._partitions:
-                self._partitions[rdd.rdd_id] = rdd._cached
-                self._record_cached(rdd)
-            return rdd._cached
         if rdd.rdd_id not in self._partitions:
             for node in self._lineage(rdd):
                 self._materialize(node)
         return self._partitions[rdd.rdd_id]
 
     def _materialize(self, rdd: RDD) -> None:
-        if rdd._cached is not None:
-            if rdd.rdd_id not in self._partitions:
-                self._partitions[rdd.rdd_id] = rdd._cached
-                self._record_cached(rdd)
-            return
-        if rdd.rdd_id in self._partitions:
+        if self._load_cached(rdd):
             return
         backend = self.context.backend
         start = time.perf_counter()
         fallback = False
-        shuffle_records = 0
-        shuffle_bytes = 0
+        broadcast = False
+        rec_in = rec_moved = b_moved = b_raw = 0
         attempts = 0
         retried = 0
         if rdd.part_fn is not None:
@@ -647,69 +724,206 @@ class JobRunner:
             attempts, retried = run.attempts, run.retried
             kind = STAGE_NARROW
         elif rdd.shuffle is not None:
-            buckets, shuffle_records, shuffle_bytes, exchange = \
-                self._exchange(rdd)
-            post = backend.run(rdd.shuffle.post, buckets)
+            pieces, stats, exchange = self._exchange(rdd)
+            rec_in, rec_moved, b_moved, b_raw = stats
+            post = backend.run(ReduceShuffleTask(rdd.shuffle.post), pieces)
             results = post.results
             fallback = exchange.fell_back or post.fell_back
             attempts = exchange.attempts + post.attempts
             retried = exchange.retried + post.retried
             kind = STAGE_SHUFFLE
-            self.metrics.record_shuffle(shuffle_records, shuffle_bytes)
+            self.metrics.record_shuffle(rec_in, b_moved, rec_moved, b_raw)
+        elif rdd.join_how is not None:
+            results, stats = self._join(rdd)
+            (fallback, attempts, retried,
+             rec_in, rec_moved, b_moved, b_raw, broadcast) = stats
+            kind = STAGE_NARROW if broadcast else STAGE_SHUFFLE
         else:
             compute = rdd._compute
             if compute is None:
                 raise EngineError(f"RDD {rdd!r} has no compute function")
             # closures read runner state: always in-process
-            before_rec = self.metrics.shuffle_records
-            before_bytes = self.metrics.shuffle_bytes
+            before = (self.metrics.shuffle_records,
+                      self.metrics.shuffle_records_moved,
+                      self.metrics.shuffle_bytes,
+                      self.metrics.shuffle_bytes_raw)
             results = backend.run_local(
                 lambda i: compute(self, i), rdd.num_partitions)
             kind = STAGE_TASK
             # attribute driver-side shuffles (cogroup) to this stage
-            shuffle_records = self.metrics.shuffle_records - before_rec
-            shuffle_bytes = self.metrics.shuffle_bytes - before_bytes
+            rec_in = self.metrics.shuffle_records - before[0]
+            rec_moved = self.metrics.shuffle_records_moved - before[1]
+            b_moved = self.metrics.shuffle_bytes - before[2]
+            b_raw = self.metrics.shuffle_bytes_raw - before[3]
         self._partitions[rdd.rdd_id] = results
         if rdd._cache_requested:
-            rdd._cached = results
+            self._store_cache(rdd, results)
         self.metrics.record_stage(StageMetrics(
             stage_id=self.metrics.next_stage_id(), rdd_id=rdd.rdd_id,
             name=rdd.name, kind=kind, partitions=rdd.num_partitions,
             records_out=sum(len(p) for p in results),
-            shuffle_records=shuffle_records, shuffle_bytes=shuffle_bytes,
+            shuffle_records=rec_in, shuffle_records_moved=rec_moved,
+            shuffle_bytes=b_moved, shuffle_bytes_raw=b_raw,
             wall_s=time.perf_counter() - start, fallback=fallback,
-            attempts=attempts, retried=retried))
+            broadcast=broadcast, attempts=attempts, retried=retried))
 
     def partition(self, rdd: RDD, index: int) -> List[Any]:
         return self.all_partitions(rdd)[index]
 
-    # ---------------------------------------------------------------- shuffles
-    def _exchange(self, rdd: RDD) -> Tuple[List[List[Any]], int, int, "Any"]:
-        """Chunked map-side exchange for a structured wide node.
+    # ------------------------------------------------------------------- take
+    def take(self, rdd: RDD, n: int) -> List[Any]:
+        """First ``n`` elements, scanning as few partitions as possible.
 
-        Each parent partition is bucketed independently (a picklable
-        task, so it can run on the process pool) and the driver merges
-        the chunks in partition order — deterministic on every backend.
-        Returns the backend's :class:`RunResult` so the caller can roll
-        fallbacks and task attempts into the stage metrics.
+        A source RDD (per-partition compute, no parents — ``parallelize``
+        slices, ``json_dataset`` part files) is evaluated one partition
+        at a time and the scan stops as soon as ``n`` elements exist, so
+        ``take(5)`` on a dataset reads one part file, not the directory.
+        Derived RDDs still materialize (transforms may need every
+        partition) but only the needed prefix is flattened.
         """
-        parent = rdd.parents[0]
-        parts = self.all_partitions(parent)
+        gathered: List[List[Any]] = []
+        count = 0
+        if (rdd._compute is not None and not rdd.parents
+                and not rdd._cache_requested):
+            start = time.perf_counter()
+            scanned = 0
+            for index in range(rdd.num_partitions):
+                part = rdd._compute(self, index)
+                gathered.append(part)
+                count += len(part)
+                scanned += 1
+                if count >= n:
+                    break
+            self.metrics.record_stage(StageMetrics(
+                stage_id=self.metrics.next_stage_id(), rdd_id=rdd.rdd_id,
+                name=rdd.name, kind=STAGE_TASK, partitions=scanned,
+                records_out=count, wall_s=time.perf_counter() - start))
+        else:
+            for part in self.all_partitions(rdd):
+                gathered.append(part)
+                count += len(part)
+                if count >= n:
+                    break
+        return [x for part in gathered for x in part][:n]
+
+    # ---------------------------------------------------------------- shuffles
+    def _exchange(self, rdd: RDD):
+        """Map-side exchange for a structured wide node.
+
+        Resolves the partitioner (data-dependent range plan, round-robin,
+        or CRC32 hash — unchanged placement), then delegates to
+        :meth:`_exchange_parts`.
+        """
+        parts = self.all_partitions(rdd.parents[0])
+        spec = rdd.shuffle
         num_buckets = rdd.num_partitions
+        if spec.plan is not None:
+            partitioner = spec.plan(parts, num_buckets)
+        elif spec.bucket_fn is None:
+            partitioner = None
+        else:
+            partitioner = HashPartitioner(spec.bucket_fn, num_buckets)
+        return self._exchange_parts(parts, num_buckets, partitioner,
+                                    spec.combiner)
+
+    def _exchange_parts(self, parts, num_buckets, partitioner,
+                        combiner=None):
+        """Bucket (+combine, +seal) every parent partition on the backend.
+
+        Returns ``(pieces, (records_in, records_moved, bytes_moved,
+        bytes_raw), run)`` where ``pieces[b]`` lists bucket ``b``'s
+        payload from each map chunk in partition order — deterministic
+        on every backend. Payloads are :class:`ShuffleBlock`s when the
+        backend crosses a process boundary or compression is on;
+        otherwise plain lists (and byte volume falls back to one pickle
+        of the whole exchange, as before).
+        """
+        context = self.context
+        backend = context.backend
+        compress = getattr(context, "shuffle_compress", False)
+        seal = bool(getattr(backend, "shuffle_blocks", False) or compress)
+        op = MapShuffleTask(
+            partitioner, num_buckets, combiner, seal, compress,
+            getattr(context, "shuffle_compress_threshold", 4096))
         offsets = []
         offset = 0
         for part in parts:
             offsets.append(offset)
             offset += len(part)
-        op = _BucketOp(rdd.shuffle.bucket_fn, num_buckets)
-        run = self.context.backend.run(op, list(zip(offsets, parts)))
-        buckets: List[List[Any]] = [[] for _ in range(num_buckets)]
-        moved = 0
-        for chunk_buckets in run.results:
-            for b, items in enumerate(chunk_buckets):
-                buckets[b].extend(items)
-                moved += len(items)
-        return buckets, moved, _payload_bytes(buckets), run
+        run = backend.run(op, list(zip(offsets, parts)))
+        pieces: List[List[Any]] = [[] for _ in range(num_buckets)]
+        rec_in = rec_moved = b_moved = b_raw = 0
+        for out in run.results:
+            rec_in += out.records_in
+            rec_moved += out.records_out
+            for b, payload in enumerate(out.buckets):
+                pieces[b].append(payload)
+                if isinstance(payload, ShuffleBlock):
+                    b_moved += payload.nbytes
+                    b_raw += payload.raw_bytes
+        if not seal:
+            b_moved = b_raw = payload_bytes(pieces)
+        return pieces, (rec_in, rec_moved, b_moved, b_raw), run
+
+    # ------------------------------------------------------------------- joins
+    def _join(self, rdd: RDD):
+        """Adaptive pair join: broadcast-hash when a side fits, else
+        a two-sided hash exchange cogrouped per bucket."""
+        left, right = rdd.parents
+        how = rdd.join_how
+        left_parts = self.all_partitions(left)
+        right_parts = self.all_partitions(right)
+        num_buckets = rdd.num_partitions
+        backend = self.context.backend
+        threshold = getattr(self.context, "broadcast_join_threshold", 0) or 0
+        if threshold > 0:
+            pick = self._broadcast_side(left_parts, right_parts, how,
+                                        threshold)
+            if pick is not None:
+                small_is_right, table = pick
+                big_parts = left_parts if small_is_right else right_parts
+                run = backend.run(
+                    BroadcastHashJoinOp(table, how, small_is_right),
+                    list(big_parts))
+                self.metrics.record_broadcast_join()
+                results = _reshape(run.results, num_buckets)
+                return results, (run.fell_back, run.attempts, run.retried,
+                                 0, 0, 0, 0, True)
+        partitioner = HashPartitioner(_pair_key, num_buckets)
+        pieces_l, stats_l, run_l = self._exchange_parts(
+            left_parts, num_buckets, partitioner)
+        self.metrics.record_shuffle(stats_l[0], stats_l[2],
+                                    stats_l[1], stats_l[3])
+        pieces_r, stats_r, run_r = self._exchange_parts(
+            right_parts, num_buckets, partitioner)
+        self.metrics.record_shuffle(stats_r[0], stats_r[2],
+                                    stats_r[1], stats_r[3])
+        post = backend.run(CogroupJoinTask(how),
+                           list(zip(pieces_l, pieces_r)))
+        stats = tuple(a + b for a, b in zip(stats_l, stats_r))
+        return post.results, (
+            run_l.fell_back or run_r.fell_back or post.fell_back,
+            run_l.attempts + run_r.attempts + post.attempts,
+            run_l.retried + run_r.retried + post.retried,
+            stats[0], stats[1], stats[2], stats[3], False)
+
+    @staticmethod
+    def _broadcast_side(left_parts, right_parts, how, threshold):
+        """Pick a side to broadcast, or None when neither fits.
+
+        The right side is always eligible; the left side only for inner
+        joins (a left-outer join must emit unmatched *left* rows, which
+        the probe side streams, so the left side has to stay big-side).
+        A measured size of 0 means the payload would not pickle.
+        """
+        right_size = payload_bytes(right_parts)
+        if 0 < right_size <= threshold:
+            return True, _hash_table(right_parts)
+        if how == "inner":
+            left_size = payload_bytes(left_parts)
+            if 0 < left_size <= threshold:
+                return False, _hash_table(left_parts)
+        return None
 
     def shuffle(self, rdd: RDD, num_buckets: int,
                 bucket_fn: Callable[[Any], Any],
@@ -730,14 +944,30 @@ class JobRunner:
                                                 num_buckets)].append(item)
                         moved += 1
                 self._shuffles[key] = buckets
-                self.metrics.record_shuffle(moved, _payload_bytes(buckets))
+                self.metrics.record_shuffle(moved, payload_bytes(buckets))
         return self._shuffles[key]
 
 
-def _payload_bytes(buckets: List[List[Any]]) -> int:
-    """Pickled size of a shuffle payload — what 'bytes moved' means for
-    a process pool; 0 when the payload isn't picklable."""
-    try:
-        return len(pickle.dumps(buckets, protocol=pickle.HIGHEST_PROTOCOL))
-    except Exception:
-        return 0
+def _hash_table(parts: List[List[Any]]) -> Dict[Any, List[Any]]:
+    """Collect pair partitions into a key → values broadcast table."""
+    table: Dict[Any, List[Any]] = {}
+    for part in parts:
+        for k, v in part:
+            table.setdefault(k, []).append(v)
+    return table
+
+
+def _reshape(parts: List[List[Any]], num_partitions: int) -> List[List[Any]]:
+    """Pad or fold a partition list to the node's declared width."""
+    if len(parts) == num_partitions:
+        return list(parts)
+    if len(parts) < num_partitions:
+        return list(parts) + [[] for _ in range(num_partitions - len(parts))]
+    head = list(parts[:num_partitions - 1])
+    tail = [x for part in parts[num_partitions - 1:] for x in part]
+    head.append(tail)
+    return head
+
+
+# back-compat alias: pre-fast-path callers measured payloads through here
+_payload_bytes = payload_bytes

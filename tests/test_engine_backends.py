@@ -118,6 +118,27 @@ def scenario_sort_by(sc):
             .sort_by(_negate).collect())
 
 
+def scenario_sort_by_range_partitioned(sc):
+    # enough rows and duplicate keys to exercise the sampled cut points
+    data = [(i * 37) % 19 for i in range(120)]
+    return sc.parallelize(data, 6).sort_by(_identity_key).collect()
+
+
+def scenario_sort_by_descending(sc):
+    data = [(i * 11) % 13 for i in range(60)]
+    return (sc.parallelize(data, 4)
+            .sort_by(_identity_key, ascending=False).collect())
+
+
+def scenario_count_by_key(sc):
+    return (sc.parallelize(range(90), 5)
+            .map(_mod5_pair).count_by_key_rdd().collect())
+
+
+def scenario_take_prefix(sc):
+    return sc.parallelize(range(200), 8).map(_double).take(13)
+
+
 def scenario_zip_with_index(sc):
     return sc.parallelize(list("abcdefg"), 3).zip_with_index().collect()
 
@@ -168,6 +189,10 @@ def _row_ok(row):
 
 def _raised_k(row):
     return row["raised"] / 1000.0
+
+
+def _identity_key(x):
+    return x
 
 
 SCENARIOS = {
@@ -221,6 +246,49 @@ class TestProcessBackendBehaviour:
 
 def _first_of_pair(pair):
     return pair[0]
+
+
+class TestShuffleFastPathDifferential:
+    """The fast path must be invisible in results: combined vs
+    uncombined shuffles, compressed blocks, and broadcast vs hash joins
+    all produce identical output on every backend."""
+
+    COMBINABLE = ["reduce_by_key", "aggregate_by_key", "distinct",
+                  "count_by_key", "sort_by_range_partitioned"]
+
+    @pytest.mark.parametrize("scenario", COMBINABLE)
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_combine_on_off_identical(self, backend, scenario):
+        fn = SCENARIOS[scenario]
+        with SparkLiteContext(parallelism=3, backend=backend) as on, \
+                SparkLiteContext(parallelism=3, backend=backend,
+                                 shuffle_combine=False) as off:
+            assert repr(fn(on)) == repr(fn(off))
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_compressed_shuffle_identical(self, backend):
+        fn = SCENARIOS["reduce_by_key"]
+        with SparkLiteContext(parallelism=3, backend=backend) as plain, \
+                SparkLiteContext(parallelism=3, backend=backend,
+                                 shuffle_compress=True,
+                                 shuffle_compress_threshold=1) as squeezed:
+            assert repr(fn(plain)) == repr(fn(squeezed))
+
+    @pytest.mark.parametrize("scenario", ["join", "left_outer_join"])
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_broadcast_join_matches_hash_join(self, backend, scenario):
+        fn = SCENARIOS[scenario]
+        with SparkLiteContext(parallelism=3, backend=backend) as hashed, \
+                SparkLiteContext(parallelism=3, backend=backend,
+                                 broadcast_join_threshold=1 << 20) as bcast:
+            hash_out = fn(hashed)
+            assert hashed.last_job_metrics.broadcast_joins == 0
+            bcast_out = fn(bcast)
+            assert bcast.last_job_metrics.broadcast_joins == 1
+            assert bcast.last_job_metrics.shuffles == 0
+            # broadcast streams big-side order; compare as multisets
+            assert sorted(map(repr, bcast_out)) == \
+                sorted(map(repr, hash_out))
 
 
 class TestBackendResolution:

@@ -50,7 +50,9 @@ class TestJobMetrics:
         sc.parallelize([1]).collect()
         d = sc.last_job_metrics.as_dict()
         assert set(d) == {"rdds_materialized", "partitions_computed",
-                          "shuffles", "shuffle_records", "shuffle_bytes",
+                          "shuffles", "shuffle_records",
+                          "shuffle_records_moved", "shuffle_bytes",
+                          "shuffle_bytes_raw", "broadcast_joins",
                           "cached_hits", "fallbacks", "task_attempts",
                           "retried_tasks", "backend", "wall_s"}
 

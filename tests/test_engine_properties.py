@@ -31,8 +31,9 @@ keys = st.one_of(
 pairs = st.lists(st.tuples(keys, st.integers(-50, 50)), max_size=50)
 
 
-def _sc(parallelism=2, backend="serial"):
-    return SparkLiteContext(parallelism=parallelism, backend=backend)
+def _sc(parallelism=2, backend="serial", **kwargs):
+    return SparkLiteContext(parallelism=parallelism, backend=backend,
+                            **kwargs)
 
 
 @given(data=ints, parts=partitions)
@@ -105,3 +106,96 @@ def test_thread_backend_matches_serial(data, parts):
     with _sc(backend="serial") as serial, \
             _sc(parallelism=3, backend="thread") as threaded:
         assert job(threaded) == job(serial)
+
+
+# ----------------------------------------------------- shuffle fast path
+@pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+@given(data=pairs, parts=partitions, width=partitions)
+@SETTINGS
+def test_combined_shuffles_match_uncombined(backend, data, parts, width):
+    """Map-side combining is invisible: identical output, any backend,
+    for every stage kind that declares a combiner."""
+    def jobs(sc):
+        pairs_rdd = sc.parallelize(data, parts)
+        return [
+            pairs_rdd.reduce_by_key(lambda a, b: a + b,
+                                    num_partitions=width).collect(),
+            pairs_rdd.aggregate_by_key(
+                0, lambda acc, v: acc + 1,
+                lambda a, b: a + b, num_partitions=width).collect(),
+            pairs_rdd.count_by_key_rdd(num_partitions=width).collect(),
+            pairs_rdd.distinct(num_partitions=width).collect(),
+        ]
+    with _sc(parallelism=3, backend=backend) as on, \
+            _sc(parallelism=3, backend=backend,
+                shuffle_combine=False) as off:
+        assert repr(jobs(on)) == repr(jobs(off))
+
+
+@pytest.mark.parametrize("ascending", [True, False])
+@given(data=ints, parts=partitions, width=partitions)
+@SETTINGS
+def test_range_sort_agrees_with_sorted(ascending, data, parts, width):
+    """Range-partitioned sort == the old single-partition collapse ==
+    Python's stable sorted()."""
+    with _sc(parallelism=3) as sc:
+        result = (sc.parallelize(data, parts)
+                  .sort_by(lambda x: x % 7, ascending=ascending,
+                           num_partitions=width)
+                  .collect())
+    assert result == sorted(data, key=lambda x: x % 7,
+                            reverse=not ascending)
+
+
+@given(data=pairs, parts=partitions)
+@SETTINGS
+def test_count_by_key_agrees_with_counter(data, parts):
+    expected = {}
+    for k, _v in data:
+        expected[k] = expected.get(k, 0) + 1
+    with _sc() as sc:
+        assert sc.parallelize(data, parts).count_by_key() == expected
+
+
+@given(data=ints, parts=partitions, n=st.integers(0, 70))
+@SETTINGS
+def test_take_agrees_with_prefix(data, parts, n):
+    with _sc() as sc:
+        assert sc.parallelize(data, parts).take(n) == data[:n]
+
+
+def _retry_shuffle_job(sc, data, parts, width, flaky_map):
+    return (sc.parallelize(data, parts)
+            .map(flaky_map)
+            .reduce_by_key(lambda a, b: a + b, num_partitions=width)
+            .collect())
+
+
+@given(data=st.lists(st.integers(0, 200), min_size=1, max_size=40),
+       parts=partitions, width=partitions)
+@SETTINGS
+def test_combined_shuffle_survives_task_retries(data, parts, width):
+    """Task re-execution must not double-count combined partials.
+
+    One transient failure per example (any more could legitimately
+    exhaust the retry budget when they land in the same partition);
+    the failed map task re-runs, re-bucketing and re-combining every
+    element it already processed."""
+    import threading
+    lock = threading.Lock()
+    state = {"tripped": False}
+
+    def flaky(x):
+        with lock:
+            if not state["tripped"]:
+                state["tripped"] = True
+                raise RuntimeError("transient")
+        return (x % 5, x)
+
+    with _sc(parallelism=3, backend="thread") as oracle:
+        expected = _retry_shuffle_job(oracle, data, parts, width,
+                                      lambda x: (x % 5, x))
+    with SparkLiteContext(parallelism=3, backend="thread",
+                          task_retries=2) as sc:
+        got = _retry_shuffle_job(sc, data, parts, width, flaky)
+    assert sorted(got) == sorted(expected)

@@ -1,0 +1,257 @@
+"""Unit tests for the shuffle fast path primitives.
+
+The differential/property suites prove the fast path is invisible in
+job results; these tests pin the primitives themselves — block sealing
+and compression, range-partition planning, map-side combine counts and
+broadcast-side selection — so a regression is reported at the layer
+that broke, not three stages downstream.
+"""
+
+import operator
+import pickle
+
+import pytest
+
+from repro.engine.context import SparkLiteContext
+from repro.engine.rdd import (JobRunner, _DistinctOp, _ReduceByKeyOp,
+                              _pair_key)
+from repro.engine.shuffle import (DEFAULT_COMPRESS_THRESHOLD,
+                                  BroadcastHashJoinOp, CogroupJoinTask,
+                                  HashPartitioner, MapShuffleTask,
+                                  RangePartitioner, ReduceShuffleTask,
+                                  ShuffleBlock, _hash_partition,
+                                  merge_pieces, payload_bytes,
+                                  plan_range_partitioner)
+
+
+# ------------------------------------------------------------------- blocks
+class TestShuffleBlock:
+    def test_seal_decode_roundtrip(self):
+        items = [(k % 3, "v" * k) for k in range(50)]
+        block = ShuffleBlock.seal(items)
+        assert block.decode() == items
+        assert block.count == 50
+        assert block.codec == ShuffleBlock.CODEC_PICKLE
+        assert block.raw_bytes == block.nbytes
+
+    def test_empty_block(self):
+        block = ShuffleBlock.seal([])
+        assert block.decode() == []
+        assert block.count == 0
+
+    def test_compresses_above_threshold(self):
+        items = ["repetitive-payload"] * 400
+        block = ShuffleBlock.seal(items, compress=True, threshold=64)
+        assert block.codec == ShuffleBlock.CODEC_ZLIB
+        assert block.nbytes < block.raw_bytes
+        assert block.decode() == items
+
+    def test_small_blocks_stay_raw(self):
+        items = [1, 2, 3]
+        block = ShuffleBlock.seal(items, compress=True,
+                                  threshold=DEFAULT_COMPRESS_THRESHOLD)
+        assert block.codec == ShuffleBlock.CODEC_PICKLE
+        assert block.decode() == items
+
+    def test_incompressible_payload_stays_raw(self):
+        # pseudo-random bytes: zlib output would be *larger*; keep raw
+        import random
+        rng = random.Random(1234)
+        items = [rng.randbytes(512) for _ in range(8)]
+        block = ShuffleBlock.seal(items, compress=True, threshold=1)
+        assert block.codec == ShuffleBlock.CODEC_PICKLE
+        assert block.decode() == items
+
+    def test_block_is_picklable(self):
+        block = ShuffleBlock.seal(list(range(20)), compress=True, threshold=1)
+        clone = pickle.loads(pickle.dumps(block))
+        assert clone.decode() == block.decode()
+        assert clone.codec == block.codec
+
+
+# ------------------------------------------------------------- partitioners
+class TestPartitioners:
+    def test_hash_partitioner_matches_stable_hash(self):
+        part = HashPartitioner(lambda kv: kv[0], 7)
+        for key in ["a", "b", 1, 1.0, None, ("x", 2)]:
+            assert part((key, "ignored")) == _hash_partition(key, 7)
+
+    def test_range_partitioner_ascending(self):
+        part = RangePartitioner(lambda x: x, cuts=[10, 20])
+        assert [part(x) for x in (5, 10, 15, 20, 25)] == [0, 1, 1, 2, 2]
+
+    def test_range_partitioner_descending_mirrors(self):
+        asc = RangePartitioner(lambda x: x, cuts=[10, 20])
+        desc = RangePartitioner(lambda x: x, cuts=[10, 20], descending=True)
+        for x in (5, 10, 15, 20, 25):
+            assert desc(x) == len(asc.cuts) - asc(x)
+
+    def test_equal_keys_share_a_bucket(self):
+        part = plan_range_partitioner([[3] * 50 + [7] * 50], 4, lambda x: x)
+        assert len({part(3) for _ in range(5)}) == 1
+        assert len({part(7) for _ in range(5)}) == 1
+
+    def test_plan_is_deterministic(self):
+        parts = [[(i * 37) % 101 for i in range(200)],
+                 [(i * 13) % 101 for i in range(150)]]
+        first = plan_range_partitioner(parts, 5, lambda x: x)
+        second = plan_range_partitioner(parts, 5, lambda x: x)
+        assert first.cuts == second.cuts
+        assert first.cuts == sorted(first.cuts)
+        assert len(first.cuts) <= 4  # at most num_buckets - 1 cuts
+
+    def test_plan_collapses_duplicate_cuts(self):
+        part = plan_range_partitioner([[1] * 100], 8, lambda x: x)
+        assert len(part.cuts) <= 1
+
+    def test_plan_empty_input_single_bucket(self):
+        part = plan_range_partitioner([[], []], 4, lambda x: x)
+        assert part.cuts == []
+        assert part(42) == 0
+
+    def test_plan_buckets_preserve_order(self):
+        data = [(i * 61) % 331 for i in range(400)]
+        part = plan_range_partitioner([data], 6, lambda x: x)
+        buckets = [[] for _ in range(6)]
+        for x in data:
+            buckets[part(x)].append(x)
+        flattened = [x for bucket in buckets for x in sorted(bucket)]
+        assert flattened == sorted(data)
+
+
+# ------------------------------------------------------------------ map task
+class TestMapShuffleTask:
+    def test_round_robin_uses_global_offset(self):
+        task = MapShuffleTask(None, 3)
+        out = task((4, list("abcde")))  # elements 4..8 of the job
+        assert out.buckets == [["c"], ["a", "d"], ["b", "e"]]
+        assert (out.records_in, out.records_out) == (5, 5)
+
+    def test_hash_placement(self):
+        task = MapShuffleTask(HashPartitioner(lambda kv: kv[0], 4), 4)
+        pairs = [(k % 6, k) for k in range(30)]
+        out = task((0, pairs))
+        for index, bucket in enumerate(out.buckets):
+            assert all(_hash_partition(k, 4) == index for k, _ in bucket)
+
+    def test_combiner_shrinks_records_out(self):
+        task = MapShuffleTask(HashPartitioner(lambda kv: kv[0], 2), 2,
+                              combiner=_ReduceByKeyOp(operator.add))
+        pairs = [(k % 4, 1) for k in range(100)]
+        out = task((0, pairs))
+        assert out.records_in == 100
+        assert out.records_out == 4  # one partial per distinct key
+        merged = merge_pieces([b for b in out.buckets])
+        assert sorted(merged) == [(0, 25), (1, 25), (2, 25), (3, 25)]
+
+    def test_distinct_combiner(self):
+        task = MapShuffleTask(HashPartitioner(lambda x: x, 2), 2,
+                              combiner=_DistinctOp())
+        out = task((0, [1, 1, 2, 2, 2, 3]))
+        assert out.records_out == 3
+
+    def test_seal_wraps_nonempty_buckets_only(self):
+        task = MapShuffleTask(HashPartitioner(lambda x: 0, 3), 3, seal=True)
+        out = task((0, [10, 20]))
+        assert isinstance(out.buckets[0], ShuffleBlock)
+        assert out.buckets[1] is None and out.buckets[2] is None
+        assert merge_pieces(out.buckets) == [10, 20]
+
+    def test_reduce_task_merges_in_map_order(self):
+        pieces = [ShuffleBlock.seal([(0, "a")]), None, [(0, "b")],
+                  ShuffleBlock.seal([(0, "c")], compress=True, threshold=1)]
+        result = ReduceShuffleTask(_ReduceByKeyOp(operator.add))(pieces)
+        assert result == [(0, "abc")]
+
+
+# --------------------------------------------------------------------- joins
+class TestJoinOps:
+    TABLE = {1: ["x", "y"], 2: ["z"]}
+
+    def test_broadcast_inner_small_right(self):
+        op = BroadcastHashJoinOp(self.TABLE, "inner", small_is_right=True)
+        out = op([(1, "L1"), (3, "L3"), (2, "L2")])
+        assert out == [(1, ("L1", "x")), (1, ("L1", "y")), (2, ("L2", "z"))]
+
+    def test_broadcast_left_outer_emits_unmatched(self):
+        op = BroadcastHashJoinOp(self.TABLE, "left", small_is_right=True)
+        out = op([(3, "L3"), (2, "L2")])
+        assert out == [(3, ("L3", None)), (2, ("L2", "z"))]
+
+    def test_broadcast_small_left_keeps_orientation(self):
+        op = BroadcastHashJoinOp(self.TABLE, "inner", small_is_right=False)
+        out = op([(1, "R1"), (9, "R9")])
+        assert out == [(1, ("x", "R1")), (1, ("y", "R1"))]
+
+    def test_cogroup_inner_nested_order(self):
+        task = CogroupJoinTask("inner")
+        out = task(([[(1, "a"), (2, "b"), (1, "c")]],
+                    [[(1, "x"), (1, "y")]]))
+        assert out == [(1, ("a", "x")), (1, ("a", "y")),
+                       (1, ("c", "x")), (1, ("c", "y"))]
+
+    def test_cogroup_left_outer(self):
+        task = CogroupJoinTask("left")
+        out = task(([[(1, "a"), (5, "q")]], [[(1, "x")]]))
+        assert out == [(1, ("a", "x")), (5, ("q", None))]
+
+    def test_payload_bytes(self):
+        assert payload_bytes([[1, 2], [3]]) > 0
+        assert payload_bytes([[(x for x in range(3))]]) == 0  # unpicklable
+
+    def test_broadcast_side_respects_threshold(self):
+        small = [[(1, "a")]]
+        big = [[(k, k) for k in range(2000)]]
+        pick = JobRunner._broadcast_side
+        fits = payload_bytes(small)
+        small_is_right, table = pick(big, small, "inner", fits)
+        assert small_is_right is True and table == {1: ["a"]}
+        assert pick(big, small, "inner", 1) is None  # over-threshold
+        # the left side may broadcast only for inner joins
+        small_is_right, _table = pick(small, big, "inner", fits)
+        assert small_is_right is False
+        assert pick(small, big, "left", fits) is None
+
+
+# ----------------------------------------------------- metrics through jobs
+class TestShuffleMetrics:
+    def test_records_pre_and_post_combine(self):
+        with SparkLiteContext(parallelism=2, backend="serial") as sc:
+            (sc.parallelize([(k % 3, 1) for k in range(90)], 3)
+             .reduce_by_key(operator.add).collect())
+            metrics = sc.last_job_metrics
+        assert metrics.shuffle_records == 90          # raw, pre-combine
+        assert metrics.shuffle_records_moved == 9     # 3 keys × 3 map tasks
+        assert metrics.shuffle_bytes > 0
+
+    def test_uncombined_moves_everything(self):
+        with SparkLiteContext(parallelism=2, backend="serial",
+                              shuffle_combine=False) as sc:
+            (sc.parallelize([(k % 3, 1) for k in range(90)], 3)
+             .reduce_by_key(operator.add).collect())
+            metrics = sc.last_job_metrics
+        assert metrics.shuffle_records == 90
+        assert metrics.shuffle_records_moved == 90
+
+    def test_compression_reported_in_bytes(self):
+        with SparkLiteContext(parallelism=2, backend="serial",
+                              shuffle_compress=True,
+                              shuffle_compress_threshold=32) as sc:
+            (sc.parallelize([(k % 2, "blob" * 50) for k in range(500)], 4)
+             .group_by_key().collect())
+            metrics = sc.last_job_metrics
+        assert 0 < metrics.shuffle_bytes < metrics.shuffle_bytes_raw
+
+    def test_broadcast_join_stage_flagged(self):
+        with SparkLiteContext(parallelism=2, backend="serial",
+                              broadcast_join_threshold=1 << 20) as sc:
+            left = sc.parallelize([(k % 5, k) for k in range(40)], 3)
+            right = sc.parallelize([(k, -k) for k in range(5)], 2)
+            left.join(right).collect()
+            metrics = sc.last_job_metrics
+        assert metrics.broadcast_joins == 1
+        assert metrics.shuffles == 0
+        assert any(stage.broadcast for stage in metrics.stages)
+
+    def test_pair_key_helper(self):
+        assert _pair_key((3, "v")) == 3

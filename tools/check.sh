@@ -15,3 +15,9 @@ python -m pytest -x -q "$@"
 echo "== pytest (chaos suite) =="
 # the deterministic fault-injection harness, on its default seed matrix
 python -m pytest -x -q -m chaos
+
+echo "== benchmark smoke (engine fast path) =="
+# small-scale A4 run: proves the combine reduction holds and leaves the
+# BENCH_engine.json perf-trajectory artifact for the PR
+python benchmarks/bench_a4_shuffle_combine.py \
+    --smoke --json benchmarks/out/BENCH_engine.json
