@@ -1,0 +1,225 @@
+"""A5 ablation — partition-level recovery beats a full stage rerun.
+
+The tentpole claim: when an executor dies mid-stage, lineage-based
+recovery recomputes only the partitions that were actually lost — the
+survivors' results are kept — so ``recomputed_partitions`` in the job
+metrics stays strictly below the stage's partition count, where a full
+stage rerun would pay for all of them. A second measurement pins the
+checkpoint path: re-collecting a checkpointed RDD restores from the
+DFS without materializing any lineage. This module pins both claims as
+pytest tests and, run standalone, writes the ``BENCH_recovery.json``
+perf-trajectory file that ``tools/check.sh`` produces for every PR::
+
+    PYTHONPATH=src python benchmarks/bench_a5_recovery.py \
+        --smoke --json benchmarks/out/BENCH_recovery.json
+
+The workload's functions are module-level so they pickle, and the
+"this worker already died once" marker is a *file* (under the directory
+named by ``REPRO_RECOVERY_MARKER_DIR``) so the decision survives the
+killed process: the relaunched attempt sees the marker and computes
+normally.
+"""
+
+import argparse
+import json
+import multiprocessing
+import os
+import shutil
+import tempfile
+import time
+
+import pytest
+
+from repro.dfs.filesystem import MiniDfs
+from repro.engine.backends import BACKENDS
+from repro.engine.context import SparkLiteContext
+from repro.engine.supervisor import ExecutorLostError
+
+ROWS = 12_000
+PARTITIONS = 8
+MARKER_ENV = "REPRO_RECOVERY_MARKER_DIR"
+#: the element whose task kills its executor, chosen per run (first
+#: element of the last partition) and passed via env so it survives the
+#: fork into pool workers
+KILL_ENV = "REPRO_RECOVERY_KILL_ELEMENT"
+
+
+def _work(x: int) -> int:
+    """A measurably expensive per-row computation (picklable)."""
+    acc = 0
+    for i in range(120):
+        acc += (x * i) % 7919
+    return acc
+
+
+def _work_or_die_once(x: int) -> int:
+    """Kills the hosting executor the first time the kill element runs.
+
+    Sleeping before dying lets every sibling partition finish, so
+    recovery has survivors to preserve — the whole point of the claim.
+    """
+    if x == int(os.environ[KILL_ENV]):
+        marker = os.path.join(os.environ[MARKER_ENV], "died")
+        if not os.path.exists(marker):
+            with open(marker, "w"):
+                pass
+            time.sleep(0.2)
+            if multiprocessing.current_process().name != "MainProcess":
+                os._exit(1)
+            raise ExecutorLostError("simulated executor loss")
+    return _work(x)
+
+
+def _job(sc: SparkLiteContext, rows: int, fn):
+    return sc.parallelize(range(rows), PARTITIONS).map(fn).collect()
+
+
+def _clear_marker() -> None:
+    marker = os.path.join(os.environ[MARKER_ENV], "died")
+    if os.path.exists(marker):
+        os.remove(marker)
+
+
+def _run_recovery(backend: str, rows: int):
+    """Clean run vs. kill-one-worker run → (metrics row, results match)."""
+    os.environ[KILL_ENV] = str(rows - rows // PARTITIONS)
+    with SparkLiteContext(parallelism=4, backend=backend,
+                          task_deadline=30.0) as sc:
+        start = time.perf_counter()
+        clean = _job(sc, rows, _work)
+        wall_clean = time.perf_counter() - start
+    _clear_marker()
+    with SparkLiteContext(parallelism=4, backend=backend,
+                          task_deadline=30.0) as sc:
+        start = time.perf_counter()
+        recovered = _job(sc, rows, _work_or_die_once)
+        wall_recovery = time.perf_counter() - start
+        metrics = sc.last_job_metrics
+    row = {
+        "rows": rows,
+        "partitions": PARTITIONS,
+        "wall_s_clean": round(wall_clean, 4),
+        "wall_s_recovery": round(wall_recovery, 4),
+        "recomputed_partitions": metrics.recomputed_partitions,
+        "partitions_full_rerun": PARTITIONS,
+        "recompute_fraction": round(
+            metrics.recomputed_partitions / PARTITIONS, 3),
+        "lost_executors": metrics.lost_executors,
+        "pool_rebuilds": metrics.pool_rebuilds,
+    }
+    return row, recovered == clean
+
+
+def _run_checkpoint(rows: int):
+    """First materialization vs. checkpoint restore of the same RDD."""
+    dfs = MiniDfs()
+    with SparkLiteContext(parallelism=2, backend="serial",
+                          checkpoint_dir="/engine/checkpoints",
+                          checkpoint_dfs=dfs) as sc:
+        rdd = (sc.parallelize(range(rows), PARTITIONS)
+               .map(_work).checkpoint())
+        start = time.perf_counter()
+        first = rdd.collect()
+        wall_first = time.perf_counter() - start
+        start = time.perf_counter()
+        again = rdd.collect()
+        wall_restore = time.perf_counter() - start
+        metrics = sc.last_job_metrics
+    assert again == first
+    return {
+        "rows": rows,
+        "wall_s_first": round(wall_first, 4),
+        "wall_s_restore": round(wall_restore, 4),
+        "checkpoint_hits": metrics.checkpoint_hits,
+        "rdds_materialized_on_restore": metrics.rdds_materialized,
+    }
+
+
+# ------------------------------------------------------------------ pytest
+@pytest.fixture(autouse=True)
+def _marker_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv(MARKER_ENV, str(tmp_path))
+
+
+@pytest.mark.parametrize("backend", sorted(BACKENDS))
+def test_a5_recovery_recomputes_fewer_partitions(backend):
+    """Losing one executor never recomputes the whole stage."""
+    row, identical = _run_recovery(backend, 4_000)
+    assert identical, f"recovery changed results on {backend}"
+    assert 1 <= row["recomputed_partitions"] < PARTITIONS, row
+
+
+def test_a5_checkpoint_restore_skips_lineage():
+    row = _run_checkpoint(4_000)
+    assert row["checkpoint_hits"] == 1
+    assert row["rdds_materialized_on_restore"] == 0
+
+
+# --------------------------------------------------------------- standalone
+def _bench_payload(rows: int) -> dict:
+    recovery = {}
+    for backend in sorted(BACKENDS):
+        row, identical = _run_recovery(backend, rows)
+        assert identical, f"recovery changed results on {backend}"
+        recovery[backend] = row
+    return {
+        "benchmark": "engine-partition-recovery",
+        "recovery": recovery,
+        "checkpoint": _run_checkpoint(rows),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Measure partition-level recovery vs. a full stage "
+                    "rerun; write BENCH_recovery.json.")
+    parser.add_argument("--rows", type=int, default=ROWS)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI scale: few rows")
+    parser.add_argument("--json", metavar="FILE",
+                        help="write the measurements as JSON")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.rows = min(args.rows, 4_000)
+    if args.rows < PARTITIONS:
+        parser.error(f"--rows must be >= {PARTITIONS}")
+
+    marker_dir = tempfile.mkdtemp(prefix="repro-recovery-")
+    os.environ[MARKER_ENV] = marker_dir
+    try:
+        payload = _bench_payload(args.rows)
+    finally:
+        shutil.rmtree(marker_dir, ignore_errors=True)
+
+    for backend, row in payload["recovery"].items():
+        print(f"{backend:>8}: recomputed {row['recomputed_partitions']}/"
+              f"{row['partitions_full_rerun']} partitions "
+              f"({row['recompute_fraction']:.0%} of a full rerun), "
+              f"{row['wall_s_recovery']:.3f}s vs "
+              f"{row['wall_s_clean']:.3f}s clean")
+    ckpt = payload["checkpoint"]
+    print(f"checkpoint: restore {ckpt['wall_s_restore']:.3f}s vs "
+          f"first {ckpt['wall_s_first']:.3f}s, "
+          f"{ckpt['rdds_materialized_on_restore']} RDDs rematerialized")
+
+    worst = max(row["recomputed_partitions"]
+                for row in payload["recovery"].values())
+    if worst >= PARTITIONS:
+        print(f"RECOVERY REGRESSION: recomputed {worst} partitions — "
+              f"no better than a full stage rerun")
+        return 1
+    if any(row["recomputed_partitions"] < 1
+           for row in payload["recovery"].values()):
+        print("RECOVERY REGRESSION: fault injected but nothing recomputed")
+        return 1
+    if args.json:
+        os.makedirs(os.path.dirname(args.json) or ".", exist_ok=True)
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+    sys.exit(main())

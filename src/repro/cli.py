@@ -38,9 +38,11 @@ def _add_world_args(parser: argparse.ArgumentParser) -> None:
                         help="dump the per-stage JobMetrics trace of every "
                              "engine job as JSON")
     parser.add_argument("--fault-profile", default="none",
-                        choices=("none", "flaky", "chaos"),
+                        choices=("none", "flaky", "chaos", "chaos-engine"),
                         help="inject seeded faults into every simulated "
-                             "source (see repro.net.faults.FaultSchedule)")
+                             "source (see repro.net.faults.FaultSchedule); "
+                             "chaos-engine adds kill-worker/hang-task "
+                             "faults inside the engine itself")
     parser.add_argument("--chaos-seed", type=int, default=0,
                         help="seed of the fault schedule; same seed, same "
                              "faults")
@@ -57,6 +59,18 @@ def _add_world_args(parser: argparse.ArgumentParser) -> None:
                         default=64 * 1024 * 1024, metavar="BYTES",
                         help="LRU byte budget for persisted partitions; "
                              "over-budget entries spill to the DFS")
+    parser.add_argument("--checkpoint-dir", default="/engine/checkpoints",
+                        metavar="DFS_DIR",
+                        help="DFS directory where RDD.checkpoint() "
+                             "persists partitions (lineage truncation)")
+    parser.add_argument("--speculation", action="store_true",
+                        help="launch deterministic backup attempts for "
+                             "straggler partition tasks (first result "
+                             "wins, outputs byte-identical)")
+    parser.add_argument("--task-deadline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-task zombie deadline; a partition task "
+                             "running longer is replaced in-driver")
 
 
 def _resolve_world(args: argparse.Namespace) -> World:
@@ -76,9 +90,13 @@ def _platform_config(args: argparse.Namespace) -> PlatformConfig:
         broadcast_join_threshold=getattr(
             args, "broadcast_join_threshold", 256 * 1024),
         cache_budget=getattr(args, "cache_budget", 64 * 1024 * 1024),
+        checkpoint_dir=getattr(args, "checkpoint_dir",
+                               "/engine/checkpoints"),
+        speculation=getattr(args, "speculation", False),
+        task_deadline=getattr(args, "task_deadline", None),
         faults=FaultSchedule.from_profile(
             profile, seed=getattr(args, "chaos_seed", 0)))
-    if profile == "chaos":
+    if profile in ("chaos", "chaos-engine"):
         # survive brownout windows: retry harder, decorrelate workers
         config.client_max_retries = 10
         config.client_backoff_jitter = 0.25

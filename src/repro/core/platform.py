@@ -50,6 +50,14 @@ class PlatformConfig:
     #: storage level for the crawl datasets persisted after a full
     #: crawl: "memory" (LRU + spill) or "dfs" (write-through)
     persist_datasets: str = "memory"
+    # ---- task supervision (see DESIGN.md "Recovery matrix") ----
+    #: wall-second deadline per partition task; a task past it is a
+    #: zombie and is replaced in-driver (None disables)
+    task_deadline: Optional[float] = None
+    #: launch deterministic backup attempts for straggler tasks
+    speculation: bool = False
+    #: DFS directory backing RDD.checkpoint() on the platform context
+    checkpoint_dir: str = "/engine/checkpoints"
     dfs_datanodes: int = 4
     records_per_part: int = 5000
     latency: LatencyModel = field(default_factory=LatencyModel.zero)
@@ -118,7 +126,15 @@ class ExploratoryPlatform:
             shuffle_compress=self.config.shuffle_compress,
             broadcast_join_threshold=self.config.broadcast_join_threshold,
             cache_budget=self.config.cache_budget,
-            cache_dfs=self.dfs)
+            cache_dfs=self.dfs,
+            task_deadline=self.config.task_deadline,
+            speculation=self.config.speculation,
+            # engine faults ride the same schedule as network faults; a
+            # plain FaultPlan (or a schedule without engine specs) is a
+            # no-op for the supervisor
+            engine_faults=self.config.faults,
+            checkpoint_dir=self.config.checkpoint_dir,
+            checkpoint_dfs=self.dfs)
         #: one circuit breaker per source, shared by that source's workers
         self.breakers: Dict[str, Optional[CircuitBreaker]] = {
             name: breaker_for(self.clock, name,

@@ -14,6 +14,7 @@ Each writes a JSON-lines dataset keyed by ``angellist_id``.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -56,10 +57,22 @@ def _replay_into_dataset(client: ApiClient,
     is written exactly as the inline path would have written it. New
     records land in fresh part files after the existing ones. Returns
     how many records were recovered.
+
+    Replay is **idempotent** on the dataset: letters whose
+    ``angellist_id`` already landed in ``out_dir`` (an earlier replay
+    recovered them but crashed before the queue deleted the letter, or
+    the same batch is re-delivered) are acknowledged without writing a
+    duplicate record.
     """
     if dead_letters is None or len(dead_letters) == 0:
         return 0
     start = len(dfs.glob_parts(out_dir))
+    landed = set()
+    for path in dfs.glob_parts(out_dir):
+        for line in dfs.read_text(path).splitlines():
+            if line:
+                landed.add(json.loads(line).get("angellist_id"))
+    landed.discard(None)
     recovered = 0
     with JsonLinesWriter(dfs, out_dir, records_per_part,
                          start_part_index=start) as writer:
@@ -67,9 +80,14 @@ def _replay_into_dataset(client: ApiClient,
             nonlocal recovered
             if body is None:  # pragma: no cover - dead letters aren't 404s
                 return
+            key = letter.tag.get("angellist_id")
+            if key is not None and key in landed:
+                return  # already landed: ack the letter, write nothing
             record = dict(body)
             record.update(letter.tag)
             writer.write(record)
+            if key is not None:
+                landed.add(key)
             recovered += 1
 
         dead_letters.replay(client, on_success)

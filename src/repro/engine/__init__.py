@@ -34,16 +34,21 @@ from repro.engine.backends import (BACKENDS, ExecutionBackend,
                                    ProcessBackend, SerialBackend,
                                    ThreadBackend, resolve_backend)
 from repro.engine.cache import CacheManager
+from repro.engine.checkpoint import CheckpointManager
 from repro.engine.context import SparkLiteContext
 from repro.engine.dataframe import DataFrame, Row
 from repro.engine.metrics import JobMetrics, MetricsTrace, StageMetrics
 from repro.engine.rdd import RDD
 from repro.engine.shuffle import (HashPartitioner, RangePartitioner,
                                   ShuffleBlock)
+from repro.engine.supervisor import (ExecutorLostError, RunResult,
+                                     SupervisePolicy, TaskSupervisor)
 
 __all__ = ["SparkLiteContext", "RDD", "DataFrame", "Row",
            "ExecutionBackend", "SerialBackend", "ThreadBackend",
            "ProcessBackend", "BACKENDS", "resolve_backend",
            "JobMetrics", "StageMetrics", "MetricsTrace",
-           "CacheManager", "ShuffleBlock", "HashPartitioner",
-           "RangePartitioner"]
+           "CacheManager", "CheckpointManager", "ShuffleBlock",
+           "HashPartitioner", "RangePartitioner",
+           "ExecutorLostError", "RunResult", "SupervisePolicy",
+           "TaskSupervisor"]

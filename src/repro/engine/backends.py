@@ -16,14 +16,20 @@ as a batch of independent tasks — ``fn`` applied to each element of
   back to in-driver execution, and the fallback is counted in the
   job's metrics rather than hidden.
 
-Fault tolerance, Spark-style task re-execution: every backend gives
-each partition task an *attempt budget* (``task_retries`` extra runs).
-A task that raises is deterministically re-executed — partition tasks
-are pure functions of their input — and the extra attempts surface in
-:class:`~repro.engine.metrics.JobMetrics` as ``task_attempts`` /
-``retried_tasks``. The process backend additionally survives crashed
-workers: a ``BrokenProcessPool`` tears the pool down, rebuilds it, and
-re-runs the batch before giving up and finishing in-driver.
+Fault tolerance is delegated to the
+:class:`~repro.engine.supervisor.TaskSupervisor`, which watches each
+partition task individually: per-task attempt budgets (``task_retries``
+deterministic re-executions), per-task deadlines with zombie
+replacement, quantile-based speculative execution, and fine-grained
+executor-loss recovery. The process backend survives crashed workers at
+partition granularity — a ``BrokenProcessPool`` tears the pool down,
+rebuilds it (bounded by ``pool_rebuild_budget``), and relaunches *only
+the unresolved partitions*; results already gathered are never
+recomputed. Everything the supervisor observed surfaces in
+:class:`~repro.engine.metrics.JobMetrics` (``task_attempts``,
+``retried_tasks``, ``lost_executors``, ``recomputed_partitions``,
+``speculative_launched``/``_won``, ``zombie_tasks``,
+``pool_rebuilds``).
 
 Backends are selected by name (``"serial"`` / ``"thread"`` /
 ``"process"``) or by passing an instance to
@@ -34,55 +40,16 @@ from __future__ import annotations
 
 import pickle
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, List, Optional
 
+from repro.engine.supervisor import (ExecutorLostError, RunResult,
+                                     SupervisePolicy, TaskSupervisor,
+                                     _Attempted)
 from repro.util.errors import EngineError
 
-
-@dataclass
-class RunResult:
-    """What one stage batch actually did."""
-
-    results: List[Any] = field(default_factory=list)
-    fell_back: bool = False
-    attempts: int = 0   # total task executions, including re-runs
-    retried: int = 0    # tasks that needed more than one attempt
-
-
-class _Attempted:
-    """Run one task under an attempt budget; returns ``(attempts, result)``.
-
-    A callable object (not a closure) so it pickles to a process pool
-    whenever the wrapped function does. Re-execution is deterministic
-    because partition tasks are pure: same input, same output.
-    """
-
-    __slots__ = ("fn", "retries")
-
-    def __init__(self, fn: Callable[[Any], Any], retries: int):
-        self.fn = fn
-        self.retries = retries
-
-    def __call__(self, x: Any) -> Tuple[int, Any]:
-        attempt = 0
-        while True:
-            attempt += 1
-            try:
-                return attempt, self.fn(x)
-            except Exception:
-                if attempt > self.retries:
-                    raise
-
-
-def _gather(pairs: List[Tuple[int, Any]],
-            fell_back: bool = False) -> RunResult:
-    return RunResult(
-        results=[result for _attempts, result in pairs],
-        fell_back=fell_back,
-        attempts=sum(attempts for attempts, _result in pairs),
-        retried=sum(1 for attempts, _result in pairs if attempts > 1))
+__all__ = ["RunResult", "ExecutionBackend", "SerialBackend",
+           "ThreadBackend", "ProcessBackend", "BACKENDS",
+           "resolve_backend", "ExecutorLostError", "SupervisePolicy"]
 
 
 class ExecutionBackend:
@@ -104,14 +71,18 @@ class ExecutionBackend:
                  task_retries: Optional[int] = None):
         self._parallelism = parallelism
         self._task_retries = task_retries
+        self._policy: Optional[SupervisePolicy] = None
 
     # ------------------------------------------------------------ lifecycle
-    def configure(self, parallelism: int, task_retries: int = 0) -> None:
+    def configure(self, parallelism: int, task_retries: int = 0,
+                  policy: Optional[SupervisePolicy] = None) -> None:
         """Adopt the context's settings unless explicit ones were given."""
         if self._parallelism is None:
             self._parallelism = parallelism
         if self._task_retries is None:
             self._task_retries = task_retries
+        if policy is not None:
+            self._policy = policy
 
     @property
     def parallelism(self) -> int:
@@ -121,12 +92,23 @@ class ExecutionBackend:
     def task_retries(self) -> int:
         return self._task_retries or 0
 
+    @property
+    def policy(self) -> SupervisePolicy:
+        if self._policy is None:
+            self._policy = SupervisePolicy()
+        return self._policy
+
     def close(self) -> None:  # pragma: no cover - trivial default
         pass
 
     # ------------------------------------------------------------ execution
-    def run(self, fn: Callable[[Any], Any],
-            inputs: List[Any]) -> RunResult:
+    def supervisor(self, fn: Callable[[Any], Any], inputs: List[Any],
+                   stage_key: Optional[str] = None) -> TaskSupervisor:
+        return TaskSupervisor(fn, inputs, self.task_retries, self.policy,
+                              stage_key)
+
+    def run(self, fn: Callable[[Any], Any], inputs: List[Any],
+            stage_key: Optional[str] = None) -> RunResult:
         raise NotImplementedError
 
     def run_local(self, fn: Callable[[int], Any], count: int) -> List[Any]:
@@ -138,9 +120,8 @@ class SerialBackend(ExecutionBackend):
 
     name = "serial"
 
-    def run(self, fn, inputs):
-        wrapped = _Attempted(fn, self.task_retries)
-        return _gather([wrapped(x) for x in inputs])
+    def run(self, fn, inputs, stage_key=None):
+        return self.supervisor(fn, inputs, stage_key).run_serial()
 
     def run_local(self, fn, count):
         wrapped = _Attempted(fn, self.task_retries)
@@ -164,12 +145,12 @@ class ThreadBackend(ExecutionBackend):
             self._pool = ThreadPoolExecutor(max_workers=self.parallelism)
         return self._pool
 
-    def run(self, fn, inputs):
-        wrapped = _Attempted(fn, self.task_retries)
+    def run(self, fn, inputs, stage_key=None):
+        watcher = self.supervisor(fn, inputs, stage_key)
         pool = self._ensure_pool()
         if pool is None or len(inputs) <= 1:
-            return _gather([wrapped(x) for x in inputs])
-        return _gather(list(pool.map(wrapped, inputs)))
+            return watcher.run_serial()
+        return watcher.run_pool(pool.submit)
 
     def run_local(self, fn, count):
         wrapped = _Attempted(fn, self.task_retries)
@@ -189,10 +170,20 @@ class ProcessBackend(ExecutionBackend):
 
     Unpicklable tasks (closures over local state) run in-driver and are
     reported via ``fell_back`` so :class:`JobMetrics` can count them —
-    the engine never fails a job over a pickling constraint. A crashed
-    worker (``BrokenProcessPool``) triggers pool recovery: the dead pool
-    is discarded, a fresh one is built, and the batch re-runs; only when
-    rebuilds are exhausted does the batch finish in-driver.
+    the engine never fails a job over a pickling constraint.
+
+    Worker crashes are recovered at partition granularity: a
+    ``BrokenProcessPool`` discards the dead pool, and — up to
+    ``pool_rebuild_budget`` times per batch — builds a fresh one and
+    relaunches only the partitions whose results were lost. The budget
+    is deliberately *independent of* ``task_retries``: losing a worker
+    is never the task's fault, so even ``task_retries=0`` gets one free
+    rebuild (the pre-supervisor code expressed this as
+    ``rebuilds_left = max(1, task_retries)``; the coupling was
+    accidental and is now an explicit constructor knob). Once the
+    budget is exhausted the remaining partitions finish in-driver with
+    ``fell_back`` set. Rebuilds are counted separately from retries in
+    ``JobMetrics.pool_rebuilds``.
     """
 
     name = "process"
@@ -200,9 +191,18 @@ class ProcessBackend(ExecutionBackend):
 
     def __init__(self, parallelism: Optional[int] = None,
                  task_retries: Optional[int] = None,
-                 chunked: bool = True):
+                 chunked: bool = True,
+                 pool_rebuild_budget: int = 1):
         super().__init__(parallelism, task_retries)
+        #: legacy knob from the pool.map era; supervised runs submit one
+        #: future per partition (recovery needs per-task granularity),
+        #: so chunking no longer changes execution. Accepted for compat.
         self.chunked = chunked
+        if pool_rebuild_budget < 0:
+            raise EngineError(f"pool_rebuild_budget must be >= 0, "
+                              f"got {pool_rebuild_budget}")
+        #: fresh pools granted per batch after worker crashes
+        self.pool_rebuild_budget = pool_rebuild_budget
         self._pool: Optional[ProcessPoolExecutor] = None
         #: how many times a broken pool was torn down and rebuilt
         self.pool_rebuilds = 0
@@ -220,44 +220,26 @@ class ProcessBackend(ExecutionBackend):
         except Exception:
             return False
 
-    def run(self, fn, inputs):
-        wrapped = _Attempted(fn, self.task_retries)
+    def _submit(self, task, arg):
+        return self._ensure_pool().submit(task, arg)
+
+    def run(self, fn, inputs, stage_key=None):
+        watcher = self.supervisor(fn, inputs, stage_key)
         if self.parallelism <= 1 or len(inputs) <= 1:
-            return _gather([wrapped(x) for x in inputs])
-        if not self._picklable(wrapped):
-            return _gather([wrapped(x) for x in inputs], fell_back=True)
-        chunksize = 1
-        if self.chunked:
-            chunksize = max(1, len(inputs) // (self.parallelism * 2))
-        rebuilds_left = max(1, self.task_retries)
-        batch_attempts = 0
-        while True:
-            try:
-                pool = self._ensure_pool()
-                result = _gather(
-                    list(pool.map(wrapped, inputs, chunksize=chunksize)))
-                result.attempts += batch_attempts
-                if batch_attempts:
-                    result.retried = max(result.retried, len(inputs))
-                return result
-            except (pickle.PicklingError, TypeError, AttributeError):
-                # unpicklable *data* (or results); redo safely in-driver
-                result = _gather([wrapped(x) for x in inputs],
-                                 fell_back=True)
-                result.attempts += batch_attempts
-                return result
-            except BrokenProcessPool:
-                # a worker died mid-batch: recover the pool and re-run
-                self._pool = None
-                self.pool_rebuilds += 1
-                batch_attempts += len(inputs)
-                if rebuilds_left <= 0:
-                    result = _gather([wrapped(x) for x in inputs],
-                                     fell_back=True)
-                    result.attempts += batch_attempts
-                    result.retried = max(result.retried, len(inputs))
-                    return result
-                rebuilds_left -= 1
+            return watcher.run_serial()
+        if not self._picklable(_Attempted(fn, self.task_retries)):
+            return watcher.run_serial(fell_back=True)
+        rebuilds_left = [self.pool_rebuild_budget]
+
+        def recover() -> bool:
+            self._pool = None  # the old pool is dead; drop it
+            if rebuilds_left[0] <= 0:
+                return False
+            rebuilds_left[0] -= 1
+            self.pool_rebuilds += 1
+            return True
+
+        return watcher.run_pool(self._submit, recover)
 
     def run_local(self, fn, count):
         # Driver closures read runner state; never cross the pickle wall.
@@ -278,11 +260,12 @@ BACKENDS = {
 }
 
 
-def resolve_backend(spec: Any, parallelism: int,
-                    task_retries: int = 0) -> ExecutionBackend:
+def resolve_backend(spec: Any, parallelism: int, task_retries: int = 0,
+                    policy: Optional[SupervisePolicy] = None,
+                    ) -> ExecutionBackend:
     """Turn a backend name or instance into a configured backend."""
     if isinstance(spec, ExecutionBackend):
-        spec.configure(parallelism, task_retries)
+        spec.configure(parallelism, task_retries, policy)
         return spec
     if spec is None:
         spec = ThreadBackend.name
@@ -293,7 +276,7 @@ def resolve_backend(spec: Any, parallelism: int,
             raise EngineError(
                 f"unknown backend {spec!r}; expected one of "
                 f"{sorted(BACKENDS)}")
-        backend.configure(parallelism, task_retries)
+        backend.configure(parallelism, task_retries, policy)
         return backend
     raise EngineError(f"backend must be a name or ExecutionBackend, "
                       f"got {type(spec).__name__}")

@@ -5,8 +5,10 @@ from __future__ import annotations
 import json
 from typing import Any, Callable, List, Optional, Sequence
 
-from repro.engine.backends import ExecutionBackend, resolve_backend
+from repro.engine.backends import (ExecutionBackend, SupervisePolicy,
+                                   resolve_backend)
 from repro.engine.cache import CacheManager
+from repro.engine.checkpoint import CheckpointManager
 from repro.engine.metrics import MetricsTrace
 from repro.engine.rdd import RDD, JobRunner
 from repro.engine.shuffle import DEFAULT_COMPRESS_THRESHOLD
@@ -43,6 +45,20 @@ class SparkLiteContext:
             ``cache_dfs`` when one is attached, else drop (recompute).
         cache_dfs: a :class:`~repro.dfs.filesystem.MiniDfs` for cache
             spill and ``persist(storage="dfs")``.
+        task_deadline: wall-second budget per partition task; a task
+            running longer is declared a zombie and replaced by an
+            in-driver attempt (the job never wedges on a stuck
+            executor). ``None`` disables deadlines.
+        speculation: launch deterministic backup attempts for straggler
+            tasks once three quarters of a stage has completed;
+            first result wins, outputs stay byte-identical.
+        engine_faults: a :class:`~repro.net.faults.FaultSchedule` whose
+            engine specs (``kill_worker`` / ``hang_task``) are injected
+            into partition tasks — chaos testing for the supervisor.
+        checkpoint_dir: DFS directory for :meth:`RDD.checkpoint`;
+            ``None`` leaves checkpointing unconfigured.
+        checkpoint_dfs: the MiniDfs holding checkpoints (defaults to
+            ``cache_dfs``).
 
     Note:
         Whatever the backend, the execution *model* is Spark's —
@@ -58,7 +74,12 @@ class SparkLiteContext:
                  shuffle_compress_threshold: int = DEFAULT_COMPRESS_THRESHOLD,
                  broadcast_join_threshold: int = 0,
                  cache_budget: Optional[int] = None,
-                 cache_dfs: Any = None):
+                 cache_dfs: Any = None,
+                 task_deadline: Optional[float] = None,
+                 speculation: bool = False,
+                 engine_faults: Any = None,
+                 checkpoint_dir: Optional[str] = None,
+                 checkpoint_dfs: Any = None):
         if parallelism < 1:
             raise EngineError("parallelism must be >= 1")
         if task_retries < 0:
@@ -67,9 +88,16 @@ class SparkLiteContext:
             raise EngineError("broadcast_join_threshold must be >= 0")
         if cache_budget is not None and cache_budget < 0:
             raise EngineError("cache_budget must be >= 0")
+        if task_deadline is not None and task_deadline <= 0:
+            raise EngineError("task_deadline must be > 0 seconds")
         self.parallelism = parallelism
+        #: how every stage batch is supervised (see engine.supervisor)
+        self.supervise_policy = SupervisePolicy(
+            task_deadline_s=task_deadline,
+            speculation=speculation,
+            engine_faults=engine_faults)
         self.backend: ExecutionBackend = resolve_backend(
-            backend, parallelism, task_retries)
+            backend, parallelism, task_retries, self.supervise_policy)
         self.shuffle_combine = shuffle_combine
         self.shuffle_compress = shuffle_compress
         self.shuffle_compress_threshold = shuffle_compress_threshold
@@ -77,6 +105,11 @@ class SparkLiteContext:
         #: cross-job partition store backing RDD.persist()/cache()
         self.cache_manager = CacheManager(budget_bytes=cache_budget,
                                           dfs=cache_dfs)
+        #: durable lineage truncation backing RDD.checkpoint()
+        self.checkpoint_manager: Optional[CheckpointManager] = None
+        if checkpoint_dir is not None:
+            self.set_checkpoint_dir(checkpoint_dir,
+                                    checkpoint_dfs or cache_dfs)
         self._stopped = False
         self.jobs_run = 0
         #: JobMetrics of the most recent action (None before any job).
@@ -86,6 +119,14 @@ class SparkLiteContext:
         #: dataset-scan RDDs keyed by (dfs, dir, part files) so repeated
         #: reads of one directory share a lineage node — and its cache
         self._datasets = {}
+
+    def set_checkpoint_dir(self, directory: str, dfs: Any) -> None:
+        """Configure where :meth:`RDD.checkpoint` persists partitions."""
+        if dfs is None:
+            raise EngineError(
+                "checkpointing needs a MiniDfs; pass checkpoint_dfs= or "
+                "cache_dfs= to the context")
+        self.checkpoint_manager = CheckpointManager(dfs, directory)
 
     # ---------------------------------------------------------------- creation
     def parallelize(self, data: Sequence[Any],

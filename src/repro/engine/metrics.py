@@ -20,10 +20,11 @@ from dataclasses import dataclass, field
 from typing import Any, Deque, Dict, List
 
 #: stage kinds recorded by the runner
-STAGE_NARROW = "narrow"      # partition-wise op, parent partition -> child
-STAGE_SHUFFLE = "shuffle"    # map-side exchange + reduce-side post op
-STAGE_TASK = "task"          # generic driver-side compute closure
-STAGE_CACHED = "cached"      # partitions served from a cache() result
+STAGE_NARROW = "narrow"          # partition-wise op, parent partition -> child
+STAGE_SHUFFLE = "shuffle"        # map-side exchange + reduce-side post op
+STAGE_TASK = "task"              # generic driver-side compute closure
+STAGE_CACHED = "cached"          # partitions served from a cache() result
+STAGE_CHECKPOINT = "checkpoint"  # partitions restored from a DFS checkpoint
 
 
 @dataclass
@@ -46,6 +47,29 @@ class StageMetrics:
     broadcast: bool = False  # join served by a broadcast table, no shuffle
     attempts: int = 0   # task executions, including retried attempts
     retried: int = 0    # tasks that needed more than one attempt
+    # ---- supervision counters (see repro.engine.supervisor) ----
+    lost_executors: int = 0          # worker deaths observed (real/injected)
+    recomputed_partitions: int = 0   # partitions relaunched after a loss
+    speculative_launched: int = 0    # straggler backup attempts started
+    speculative_won: int = 0         # backups that beat the original
+    zombie_tasks: int = 0            # tasks past their deadline, replaced
+    pool_rebuilds: int = 0           # process pools torn down and rebuilt
+
+    def add_run(self, run: Any) -> None:
+        """Fold one backend :class:`RunResult`'s counters into this stage.
+
+        A stage can issue several runs (map exchange + reduce post, the
+        legs of a cogroup), so counters accumulate rather than assign.
+        """
+        self.attempts += run.attempts
+        self.retried += run.retried
+        self.fallback = self.fallback or run.fell_back
+        self.lost_executors += run.lost_executors
+        self.recomputed_partitions += run.recomputed_partitions
+        self.speculative_launched += run.speculative_launched
+        self.speculative_won += run.speculative_won
+        self.zombie_tasks += run.zombie_tasks
+        self.pool_rebuilds += run.pool_rebuilds
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -65,6 +89,12 @@ class StageMetrics:
             "broadcast": self.broadcast,
             "attempts": self.attempts,
             "retried": self.retried,
+            "lost_executors": self.lost_executors,
+            "recomputed_partitions": self.recomputed_partitions,
+            "speculative_launched": self.speculative_launched,
+            "speculative_won": self.speculative_won,
+            "zombie_tasks": self.zombie_tasks,
+            "pool_rebuilds": self.pool_rebuilds,
         }
 
 
@@ -93,6 +123,14 @@ class JobMetrics:
         self.fallbacks = 0
         self.task_attempts = 0
         self.retried_tasks = 0
+        self.lost_executors = 0
+        self.recomputed_partitions = 0
+        self.speculative_launched = 0
+        self.speculative_won = 0
+        self.zombie_tasks = 0
+        self.pool_rebuilds = 0
+        self.checkpoint_hits = 0
+        self.checkpoint_writes = 0
         self.wall_s = 0.0
 
     # ------------------------------------------------------------- recording
@@ -106,7 +144,10 @@ class JobMetrics:
         """
         self.stages.append(stage)
         if stage.cache_hit:
-            self.cached_hits += 1
+            if stage.kind == STAGE_CHECKPOINT:
+                self.checkpoint_hits += 1
+            else:
+                self.cached_hits += 1
         else:
             self.rdds_materialized += 1
             self.partitions_computed += stage.partitions
@@ -114,6 +155,12 @@ class JobMetrics:
             self.fallbacks += 1
         self.task_attempts += stage.attempts
         self.retried_tasks += stage.retried
+        self.lost_executors += stage.lost_executors
+        self.recomputed_partitions += stage.recomputed_partitions
+        self.speculative_launched += stage.speculative_launched
+        self.speculative_won += stage.speculative_won
+        self.zombie_tasks += stage.zombie_tasks
+        self.pool_rebuilds += stage.pool_rebuilds
         self.wall_s += stage.wall_s
         return stage
 
@@ -152,6 +199,14 @@ class JobMetrics:
             "fallbacks": self.fallbacks,
             "task_attempts": self.task_attempts,
             "retried_tasks": self.retried_tasks,
+            "lost_executors": self.lost_executors,
+            "recomputed_partitions": self.recomputed_partitions,
+            "speculative_launched": self.speculative_launched,
+            "speculative_won": self.speculative_won,
+            "zombie_tasks": self.zombie_tasks,
+            "pool_rebuilds": self.pool_rebuilds,
+            "checkpoint_hits": self.checkpoint_hits,
+            "checkpoint_writes": self.checkpoint_writes,
             "backend": self.backend,
             "wall_s": round(self.wall_s, 6),
         }

@@ -32,8 +32,9 @@ from collections import defaultdict
 from typing import (Any, Callable, Dict, Generic, Iterable, List, Optional,
                     Tuple, TypeVar)
 
-from repro.engine.metrics import (STAGE_CACHED, STAGE_NARROW, STAGE_SHUFFLE,
-                                  STAGE_TASK, JobMetrics, StageMetrics)
+from repro.engine.metrics import (STAGE_CACHED, STAGE_CHECKPOINT,
+                                  STAGE_NARROW, STAGE_SHUFFLE, STAGE_TASK,
+                                  JobMetrics, StageMetrics)
 # the canonical key hashing lives in shuffle.py now; re-exported here
 # unchanged because CRC32 bucket placement is pinned by regression tests
 # that import these names from this module.
@@ -312,6 +313,7 @@ class RDD(Generic[T]):
         self._cached: Optional[List[List[T]]] = None
         self._cache_requested = False
         self._storage_level = "memory"
+        self._checkpoint_requested = False
 
     # ------------------------------------------------------------------ misc
     def __repr__(self) -> str:
@@ -335,6 +337,35 @@ class RDD(Generic[T]):
     def cache(self) -> "RDD[T]":
         """``persist("memory")`` — Spark's historical alias."""
         return self.persist("memory")
+
+    def checkpoint(self) -> "RDD[T]":
+        """Persist this RDD's partitions to the DFS and truncate lineage.
+
+        On the next materialization the computed partitions are written
+        atomically to the context's
+        :class:`~repro.engine.checkpoint.CheckpointManager`; from then
+        on jobs restore them from the checkpoint instead of walking
+        lineage — even after the in-memory cache evicts them. Requires
+        the context to have a checkpoint directory configured
+        (``SparkLiteContext(checkpoint_dir=...)`` or
+        ``set_checkpoint_dir``); raises :class:`EngineError` otherwise.
+
+        Unlike Spark there is no separate ``persist`` requirement:
+        checkpointing alone is enough for later jobs to reuse the data.
+        """
+        if getattr(self.context, "checkpoint_manager", None) is None:
+            raise EngineError(
+                "checkpoint() needs a checkpoint directory; construct the "
+                "context with checkpoint_dir=... or call "
+                "set_checkpoint_dir() first")
+        self._checkpoint_requested = True
+        return self
+
+    @property
+    def is_checkpointed(self) -> bool:
+        """True once a committed checkpoint exists for this RDD."""
+        manager = getattr(self.context, "checkpoint_manager", None)
+        return manager is not None and self.rdd_id in manager
 
     def unpersist(self) -> "RDD[T]":
         self._cached = None
@@ -646,30 +677,59 @@ class JobRunner:
         self._shuffle_lock = threading.Lock()
         #: instrumentation for the job that just ran (see JobMetrics)
         self.metrics = JobMetrics(backend=context.backend.name)
+        #: per-context job serial: with the stage ordinal it makes every
+        #: batch's ``stage_key`` stable across reruns of the same program
+        #: (RDD ids are process-global, so they would not be), which is
+        #: what keeps injected engine faults seed-deterministic.
+        self.job_serial = getattr(context, "jobs_run", 0)
+
+    def _stage_key(self, role: str) -> str:
+        return f"j{self.job_serial}s{self.metrics.next_stage_id()}{role}"
 
     # ----------------------------------------------------------------- caching
     def _has_cache(self, rdd: RDD) -> bool:
-        """Cheap peek: could this node's partitions come from a cache?"""
+        """Cheap peek: could this node's partitions come from a cache?
+
+        A committed checkpoint counts: it is a materialized lineage
+        boundary exactly like a cache entry, just durable.
+        """
         if rdd.rdd_id in self._partitions or rdd._cached is not None:
             return True
-        if not rdd._cache_requested:
-            return False
-        manager = getattr(self.context, "cache_manager", None)
-        return manager is not None and rdd.rdd_id in manager
+        if rdd._cache_requested:
+            manager = getattr(self.context, "cache_manager", None)
+            if manager is not None and rdd.rdd_id in manager:
+                return True
+        if rdd._checkpoint_requested:
+            ckpt = getattr(self.context, "checkpoint_manager", None)
+            if ckpt is not None and rdd.rdd_id in ckpt:
+                return True
+        return False
 
     def _load_cached(self, rdd: RDD) -> bool:
-        """Pull cached partitions into this job's memo; True on a hit."""
+        """Pull cached partitions into this job's memo; True on a hit.
+
+        The memory cache is consulted first (cheap), then the DFS
+        checkpoint — so a checkpointed RDD whose cached partitions were
+        LRU-evicted restores from the checkpoint instead of recomputing
+        its full lineage.
+        """
         if rdd.rdd_id in self._partitions:
             return True
         results = rdd._cached
+        kind = STAGE_CACHED
         if results is None and rdd._cache_requested:
             manager = getattr(self.context, "cache_manager", None)
             if manager is not None and rdd.rdd_id in manager:
                 results = manager.get(rdd.rdd_id)
+        if results is None and rdd._checkpoint_requested:
+            ckpt = getattr(self.context, "checkpoint_manager", None)
+            if ckpt is not None:
+                results = ckpt.get(rdd.rdd_id)
+                kind = STAGE_CHECKPOINT
         if results is None:
             return False
         self._partitions[rdd.rdd_id] = results
-        self._record_cached(rdd)
+        self._record_cached(rdd, kind)
         return True
 
     def _store_cache(self, rdd: RDD, results: List[List[Any]]) -> None:
@@ -695,10 +755,10 @@ class JobRunner:
         visit(rdd)
         return order
 
-    def _record_cached(self, rdd: RDD) -> None:
+    def _record_cached(self, rdd: RDD, kind: str = STAGE_CACHED) -> None:
         self.metrics.record_stage(StageMetrics(
             stage_id=self.metrics.next_stage_id(), rdd_id=rdd.rdd_id,
-            name=rdd.name, kind=STAGE_CACHED,
+            name=rdd.name, kind=kind,
             partitions=rdd.num_partitions, cache_hit=True))
 
     def all_partitions(self, rdd: RDD) -> List[List[Any]]:
@@ -712,31 +772,28 @@ class JobRunner:
             return
         backend = self.context.backend
         start = time.perf_counter()
-        fallback = False
         broadcast = False
         rec_in = rec_moved = b_moved = b_raw = 0
-        attempts = 0
-        retried = 0
+        runs: List[Any] = []
         if rdd.part_fn is not None:
             inputs = self.all_partitions(rdd.parents[0])
-            run = backend.run(rdd.part_fn, inputs)
-            results, fallback = run.results, run.fell_back
-            attempts, retried = run.attempts, run.retried
+            run = backend.run(rdd.part_fn, inputs,
+                              stage_key=self._stage_key("n"))
+            runs.append(run)
+            results = run.results
             kind = STAGE_NARROW
         elif rdd.shuffle is not None:
             pieces, stats, exchange = self._exchange(rdd)
             rec_in, rec_moved, b_moved, b_raw = stats
-            post = backend.run(ReduceShuffleTask(rdd.shuffle.post), pieces)
+            post = backend.run(ReduceShuffleTask(rdd.shuffle.post), pieces,
+                               stage_key=self._stage_key("r"))
+            runs.extend([exchange, post])
             results = post.results
-            fallback = exchange.fell_back or post.fell_back
-            attempts = exchange.attempts + post.attempts
-            retried = exchange.retried + post.retried
             kind = STAGE_SHUFFLE
             self.metrics.record_shuffle(rec_in, b_moved, rec_moved, b_raw)
         elif rdd.join_how is not None:
-            results, stats = self._join(rdd)
-            (fallback, attempts, retried,
-             rec_in, rec_moved, b_moved, b_raw, broadcast) = stats
+            results, stats, runs, broadcast = self._join(rdd)
+            rec_in, rec_moved, b_moved, b_raw = stats
             kind = STAGE_NARROW if broadcast else STAGE_SHUFFLE
         else:
             compute = rdd._compute
@@ -758,14 +815,25 @@ class JobRunner:
         self._partitions[rdd.rdd_id] = results
         if rdd._cache_requested:
             self._store_cache(rdd, results)
-        self.metrics.record_stage(StageMetrics(
+        if rdd._checkpoint_requested:
+            self._store_checkpoint(rdd, results)
+        stage = StageMetrics(
             stage_id=self.metrics.next_stage_id(), rdd_id=rdd.rdd_id,
             name=rdd.name, kind=kind, partitions=rdd.num_partitions,
             records_out=sum(len(p) for p in results),
             shuffle_records=rec_in, shuffle_records_moved=rec_moved,
             shuffle_bytes=b_moved, shuffle_bytes_raw=b_raw,
-            wall_s=time.perf_counter() - start, fallback=fallback,
-            broadcast=broadcast, attempts=attempts, retried=retried))
+            wall_s=time.perf_counter() - start, broadcast=broadcast)
+        for run in runs:
+            stage.add_run(run)
+        self.metrics.record_stage(stage)
+
+    def _store_checkpoint(self, rdd: RDD, results: List[List[Any]]) -> None:
+        ckpt = getattr(self.context, "checkpoint_manager", None)
+        if ckpt is None or rdd.rdd_id in ckpt:
+            return
+        ckpt.put(rdd.rdd_id, results)
+        self.metrics.checkpoint_writes += 1
 
     def partition(self, rdd: RDD, index: int) -> List[Any]:
         return self.all_partitions(rdd)[index]
@@ -784,7 +852,8 @@ class JobRunner:
         gathered: List[List[Any]] = []
         count = 0
         if (rdd._compute is not None and not rdd.parents
-                and not rdd._cache_requested):
+                and not rdd._cache_requested
+                and not rdd._checkpoint_requested):
             start = time.perf_counter()
             scanned = 0
             for index in range(rdd.num_partitions):
@@ -824,10 +893,11 @@ class JobRunner:
         else:
             partitioner = HashPartitioner(spec.bucket_fn, num_buckets)
         return self._exchange_parts(parts, num_buckets, partitioner,
-                                    spec.combiner)
+                                    spec.combiner,
+                                    stage_key=self._stage_key("m"))
 
     def _exchange_parts(self, parts, num_buckets, partitioner,
-                        combiner=None):
+                        combiner=None, stage_key=None):
         """Bucket (+combine, +seal) every parent partition on the backend.
 
         Returns ``(pieces, (records_in, records_moved, bytes_moved,
@@ -850,7 +920,8 @@ class JobRunner:
         for part in parts:
             offsets.append(offset)
             offset += len(part)
-        run = backend.run(op, list(zip(offsets, parts)))
+        run = backend.run(op, list(zip(offsets, parts)),
+                          stage_key=stage_key)
         pieces: List[List[Any]] = [[] for _ in range(num_buckets)]
         rec_in = rec_moved = b_moved = b_raw = 0
         for out in run.results:
@@ -868,7 +939,12 @@ class JobRunner:
     # ------------------------------------------------------------------- joins
     def _join(self, rdd: RDD):
         """Adaptive pair join: broadcast-hash when a side fits, else
-        a two-sided hash exchange cogrouped per bucket."""
+        a two-sided hash exchange cogrouped per bucket.
+
+        Returns ``(results, shuffle_stats, runs, broadcast)`` — the
+        caller folds each backend run's supervision counters into the
+        stage row via :meth:`StageMetrics.add_run`.
+        """
         left, right = rdd.parents
         how = rdd.join_how
         left_parts = self.all_partitions(left)
@@ -884,28 +960,26 @@ class JobRunner:
                 big_parts = left_parts if small_is_right else right_parts
                 run = backend.run(
                     BroadcastHashJoinOp(table, how, small_is_right),
-                    list(big_parts))
+                    list(big_parts), stage_key=self._stage_key("b"))
                 self.metrics.record_broadcast_join()
                 results = _reshape(run.results, num_buckets)
-                return results, (run.fell_back, run.attempts, run.retried,
-                                 0, 0, 0, 0, True)
+                return results, (0, 0, 0, 0), [run], True
         partitioner = HashPartitioner(_pair_key, num_buckets)
         pieces_l, stats_l, run_l = self._exchange_parts(
-            left_parts, num_buckets, partitioner)
+            left_parts, num_buckets, partitioner,
+            stage_key=self._stage_key("l"))
         self.metrics.record_shuffle(stats_l[0], stats_l[2],
                                     stats_l[1], stats_l[3])
         pieces_r, stats_r, run_r = self._exchange_parts(
-            right_parts, num_buckets, partitioner)
+            right_parts, num_buckets, partitioner,
+            stage_key=self._stage_key("r"))
         self.metrics.record_shuffle(stats_r[0], stats_r[2],
                                     stats_r[1], stats_r[3])
         post = backend.run(CogroupJoinTask(how),
-                           list(zip(pieces_l, pieces_r)))
+                           list(zip(pieces_l, pieces_r)),
+                           stage_key=self._stage_key("p"))
         stats = tuple(a + b for a, b in zip(stats_l, stats_r))
-        return post.results, (
-            run_l.fell_back or run_r.fell_back or post.fell_back,
-            run_l.attempts + run_r.attempts + post.attempts,
-            run_l.retried + run_r.retried + post.retried,
-            stats[0], stats[1], stats[2], stats[3], False)
+        return post.results, stats, [run_l, run_r, post], False
 
     @staticmethod
     def _broadcast_side(left_parts, right_parts, how, threshold):

@@ -1,0 +1,410 @@
+"""Task supervision: deadlines, executor loss, speculative execution.
+
+The backends used to treat a stage batch as all-or-nothing: a crashed
+process pool re-ran the *whole* batch. The :class:`TaskSupervisor`
+replaces that with Spark-style fine-grained recovery — one batch is a
+set of independent partition tasks, each watched individually:
+
+* **executor loss** — a task whose executor dies (a real worker crash
+  surfacing as ``BrokenProcessPool``, or an injected
+  :class:`ExecutorLostError` on the in-process backends) is re-launched
+  on its own; finished partitions are never recomputed. Pool rebuilds
+  are bounded by the backend's *rebuild budget*, after which the
+  remaining tasks finish in-driver.
+* **zombie detection** — with a ``task_deadline_s`` set, a task that
+  outlives its deadline is declared a zombie: its eventual result is
+  discarded and a replacement attempt runs in-driver immediately, so a
+  wedged executor can never wedge the job. (Partition tasks are pure,
+  so the replacement's result is byte-identical by construction.)
+* **speculative execution** — once a quantile of the stage's tasks has
+  completed, any task running longer than ``multiplier × median`` of
+  the completed runtimes gets a backup attempt; first result wins, ties
+  broken deterministically in favor of the earlier attempt. Purity
+  again guarantees the output does not depend on which attempt wins.
+* **fault injection** — a :class:`~repro.net.faults.FaultSchedule` with
+  engine specs (``kill_worker`` / ``hang_task``) claims task keys
+  deterministically; a claimed task's *first* attempt dies or wedges,
+  and every recovery path above is exercised by the chaos harness.
+
+Everything the supervisor observed lands in the batch's
+:class:`RunResult` and from there in ``JobMetrics`` (``lost_executors``,
+``recomputed_partitions``, ``speculative_launched``, ``speculative_won``,
+``zombie_tasks``, ``pool_rebuilds``).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import pickle
+import time
+from concurrent.futures import FIRST_COMPLETED, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.net.faults import FAULT_HANG_TASK, FAULT_KILL_WORKER
+
+
+class ExecutorLostError(RuntimeError):
+    """The executor running a task died mid-flight (real or injected).
+
+    Raised *instead of* a task failure: losing an executor is never the
+    task's fault, so it does not consume the task's retry budget — the
+    supervisor relaunches the partition and counts it as recomputed.
+    """
+
+
+@dataclass
+class SupervisePolicy:
+    """How a backend watches a stage batch (off by default)."""
+
+    #: a task running longer than this many wall seconds is a zombie;
+    #: ``None``/``0`` disables deadlines
+    task_deadline_s: Optional[float] = None
+    #: launch backup attempts for stragglers
+    speculation: bool = False
+    #: fraction of the stage that must complete before speculating
+    speculation_quantile: float = 0.75
+    #: straggler threshold: ``multiplier × median`` completed runtime
+    speculation_multiplier: float = 2.0
+    #: never speculate on tasks younger than this (seconds)
+    speculation_min_runtime_s: float = 0.05
+    #: monitor tick while tasks are in flight (seconds)
+    heartbeat_s: float = 0.02
+    #: a FaultSchedule whose ``engine_specs`` claim task keys
+    engine_faults: Any = None
+
+    @property
+    def engine_specs(self) -> list:
+        return list(getattr(self.engine_faults, "engine_specs", ()) or ())
+
+    @property
+    def monitoring(self) -> bool:
+        """True when the batch needs a watchdog tick, not just a wait."""
+        return bool(self.task_deadline_s) or self.speculation
+
+    @property
+    def active(self) -> bool:
+        return self.monitoring or bool(self.engine_specs)
+
+
+@dataclass
+class RunResult:
+    """What one stage batch actually did."""
+
+    results: List[Any] = field(default_factory=list)
+    fell_back: bool = False
+    attempts: int = 0   # total task executions, including re-runs
+    retried: int = 0    # tasks that needed more than one attempt
+    # ---- supervision counters (see module docstring) ----
+    lost_executors: int = 0          # worker deaths observed (real/injected)
+    recomputed_partitions: int = 0   # partitions relaunched after a loss
+    speculative_launched: int = 0    # backup attempts started
+    speculative_won: int = 0         # backups that beat the original
+    zombie_tasks: int = 0            # tasks past their deadline, replaced
+    pool_rebuilds: int = 0           # process pools torn down and rebuilt
+
+
+class _Attempted:
+    """Run one task under an attempt budget; returns ``(attempts, result)``.
+
+    A callable object (not a closure) so it pickles to a process pool
+    whenever the wrapped function does. Re-execution is deterministic
+    because partition tasks are pure: same input, same output.
+    ``ExecutorLostError`` passes straight through — executor loss is the
+    supervisor's to handle and must not consume the task's budget.
+    """
+
+    __slots__ = ("fn", "retries")
+
+    def __init__(self, fn: Callable[[Any], Any], retries: int):
+        self.fn = fn
+        self.retries = retries
+
+    def __call__(self, x: Any) -> Tuple[int, Any]:
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return attempt, self.fn(x)
+            except ExecutorLostError:
+                raise
+            except Exception:
+                if attempt > self.retries:
+                    raise
+
+
+class _InjectedTask:
+    """A task's first attempt, carrying one scheduled engine fault.
+
+    ``kill_worker`` takes the host down: ``os._exit`` in a pool worker
+    (a real ``BrokenProcessPool``), an :class:`ExecutorLostError` on the
+    in-process backends (threads cannot be killed, so the loss is
+    simulated at the same decision point). ``hang_task`` wedges for
+    ``duration`` seconds before computing, long enough to trip a task
+    deadline or a speculation threshold when one is configured.
+    """
+
+    __slots__ = ("task", "kind", "duration")
+
+    def __init__(self, task: Callable[[Any], Any], kind: str,
+                 duration: float):
+        self.task = task
+        self.kind = kind
+        self.duration = duration
+
+    def __call__(self, x: Any) -> Any:
+        if self.kind == FAULT_KILL_WORKER:
+            import multiprocessing
+            if multiprocessing.current_process().name != "MainProcess":
+                os._exit(1)  # a real worker death, mid-stage
+            raise ExecutorLostError("injected executor loss")
+        if self.kind == FAULT_HANG_TASK:
+            time.sleep(self.duration)
+        return self.task(x)
+
+
+class _Attempt:
+    """One in-flight submission of one partition task."""
+
+    __slots__ = ("index", "serial", "started", "speculative", "zombie")
+
+    def __init__(self, index: int, serial: int, started: float,
+                 speculative: bool):
+        self.index = index
+        self.serial = serial
+        self.started = started
+        self.speculative = speculative
+        self.zombie = False
+
+
+#: exceptions that mean "this payload would not cross the pickle wall"
+_PICKLE_ERRORS = (pickle.PicklingError, TypeError, AttributeError)
+
+
+class TaskSupervisor:
+    """Supervises one stage batch on behalf of a backend.
+
+    ``run_serial`` executes tasks one at a time on the calling thread
+    (the serial backend, small batches, and in-driver fallbacks);
+    ``run_pool`` drives a futures pool with per-task recovery, deadlines
+    and speculation. Both return a :class:`RunResult` whose ``results``
+    are in input order on every path — determinism never depends on
+    which executor, attempt, or recovery route produced a partition.
+    """
+
+    def __init__(self, fn: Callable[[Any], Any], inputs: List[Any],
+                 retries: int, policy: Optional[SupervisePolicy] = None,
+                 stage_key: Optional[str] = None):
+        self.fn = fn
+        self.inputs = inputs
+        self.retries = retries
+        self.policy = policy or SupervisePolicy()
+        self.stage_key = stage_key or "anon"
+        #: fault claimed by the schedule for each index's FIRST attempt
+        self._injected: List[Any] = [None] * len(inputs)
+        faults = self.policy.engine_faults
+        if faults is not None and self.policy.engine_specs:
+            for i in range(len(inputs)):
+                self._injected[i] = faults.engine_fault_at(
+                    f"{self.stage_key}:{i}")
+
+    # ------------------------------------------------------------- task build
+    def make_task(self, index: int, first: bool) -> Callable[[Any], Any]:
+        """The callable for one submission of partition ``index``.
+
+        Only the very first submission carries an injected fault;
+        relaunches, backups, and in-driver replacements run the bare
+        task — the fault hit the *executor*, not the data.
+        """
+        task = _Attempted(self.fn, self.retries)
+        spec = self._injected[index] if first else None
+        if spec is not None:
+            return _InjectedTask(task, spec.kind, spec.duration)
+        return task
+
+    # ------------------------------------------------------------ serial path
+    def run_serial(self, fell_back: bool = False) -> RunResult:
+        out = RunResult(fell_back=fell_back)
+        for index, x in enumerate(self.inputs):
+            out.attempts += 1
+            lost = False
+            try:
+                attempts, value = self.make_task(index, first=True)(x)
+            except ExecutorLostError:
+                lost = True
+                out.lost_executors += 1
+                out.recomputed_partitions += 1
+                out.attempts += 1
+                attempts, value = self.make_task(index, first=False)(x)
+            out.attempts += attempts - 1
+            if lost or attempts > 1:
+                out.retried += 1
+            out.results.append(value)
+        return out
+
+    # -------------------------------------------------------------- pool path
+    def run_pool(self, submit: Callable[..., Any],
+                 recover: Optional[Callable[[], bool]] = None) -> RunResult:
+        """Drive the batch through a futures pool.
+
+        ``submit(task, arg)`` returns a Future; ``recover()`` (process
+        pools only) rebuilds a broken pool and returns False once the
+        rebuild budget is exhausted — remaining partitions then finish
+        in-driver with ``fell_back`` set.
+        """
+        policy = self.policy
+        n = len(self.inputs)
+        out = RunResult(results=[None] * n)
+        resolved = [False] * n
+        launches = [0] * n        # submissions + driver runs per index
+        extra_attempts = [0] * n  # in-worker retries reported by _Attempted
+        speculated = [False] * n
+        durations: List[float] = []
+        active: dict = {}         # Future -> _Attempt
+        serial = 0
+        pending = n
+        deadline = policy.task_deadline_s or 0.0
+        tick = policy.heartbeat_s if policy.monitoring else None
+
+        def launch(index: int, first: bool,
+                   speculative: bool = False) -> bool:
+            nonlocal serial
+            task = self.make_task(index, first)
+            try:
+                future = submit(task, self.inputs[index])
+            except BrokenProcessPool:
+                return False
+            launches[index] += 1
+            serial += 1
+            active[future] = _Attempt(index, serial, time.monotonic(),
+                                      speculative)
+            return True
+
+        def resolve(index: int, value: Any, attempt: Optional[_Attempt],
+                    now: float) -> None:
+            nonlocal pending
+            out.results[index] = value
+            resolved[index] = True
+            pending -= 1
+            if attempt is not None:
+                durations.append(now - attempt.started)
+                if attempt.speculative:
+                    out.speculative_won += 1
+
+        def run_in_driver(index: int) -> None:
+            launches[index] += 1
+            attempts, value = self.make_task(index, first=False)(
+                self.inputs[index])
+            extra_attempts[index] += attempts - 1
+            resolve(index, value, None, time.monotonic())
+
+        def handle_pool_loss() -> None:
+            """The pool died, taking every in-flight task with it.
+
+            A broken pool fails all pending futures at once, so this is
+            handled as one loss event: rebuild (budget allowing), then
+            relaunch only the *unresolved* partitions — results already
+            gathered are kept, which is the whole point of fine-grained
+            recovery.
+            """
+            out.lost_executors += 1
+            active.clear()
+            recovered = recover is not None and recover()
+            if recovered:
+                out.pool_rebuilds += 1
+            else:
+                out.fell_back = True
+            for index in range(n):
+                if resolved[index]:
+                    continue
+                if launches[index] > 0:  # actually lost, not just queued
+                    out.recomputed_partitions += 1
+                if not recovered or not launch(index, first=False):
+                    run_in_driver(index)
+
+        pool_lost = False
+        for index in range(n):
+            if not launch(index, first=True):
+                pool_lost = True
+                break
+        if pool_lost:
+            handle_pool_loss()
+
+        while pending:
+            if not active:
+                # nothing in flight can resolve the remainder
+                for index in range(n):
+                    if not resolved[index]:
+                        out.fell_back = True
+                        run_in_driver(index)
+                break
+            done, _ = wait(list(active), timeout=tick,
+                           return_when=FIRST_COMPLETED)
+            now = time.monotonic()
+            pool_lost = False
+            # deterministic tie-break: earlier attempts win equal finishes
+            for future in sorted(done, key=lambda f: active[f].serial):
+                attempt = active.pop(future)
+                index = attempt.index
+                if future.cancelled():
+                    continue
+                error = future.exception()
+                if resolved[index]:
+                    # a losing twin or a late zombie: executed, ignored
+                    if error is None:
+                        extra_attempts[index] += future.result()[0]
+                    continue
+                if error is None:
+                    attempts, value = future.result()
+                    extra_attempts[index] += attempts - 1
+                    resolve(index, value, attempt, now)
+                elif isinstance(error, ExecutorLostError):
+                    out.lost_executors += 1
+                    out.recomputed_partitions += 1
+                    if not launch(index, first=False):
+                        pool_lost = True
+                elif isinstance(error, BrokenProcessPool):
+                    pool_lost = True
+                elif isinstance(error, _PICKLE_ERRORS):
+                    # unpicklable data or result: this partition stays
+                    # in-driver (a genuine task TypeError re-raises here)
+                    out.fell_back = True
+                    run_in_driver(index)
+                else:
+                    raise error
+            if pool_lost:
+                handle_pool_loss()
+                now = time.monotonic()
+            if deadline > 0:
+                for future, attempt in list(active.items()):
+                    if (attempt.zombie or resolved[attempt.index]
+                            or now - attempt.started <= deadline):
+                        continue
+                    attempt.zombie = True
+                    out.zombie_tasks += 1
+                    future.cancel()
+                    run_in_driver(attempt.index)
+            if policy.speculation and pending and durations:
+                completed = n - pending
+                if completed >= max(1, math.ceil(
+                        policy.speculation_quantile * n)):
+                    median = sorted(durations)[len(durations) // 2]
+                    cutoff = max(policy.speculation_min_runtime_s,
+                                 policy.speculation_multiplier * median)
+                    for attempt in list(active.values()):
+                        index = attempt.index
+                        if (resolved[index] or speculated[index]
+                                or attempt.speculative or attempt.zombie
+                                or now - attempt.started <= cutoff):
+                            continue
+                        speculated[index] = True
+                        if launch(index, first=False, speculative=True):
+                            out.speculative_launched += 1
+
+        out.attempts = sum(launches) + sum(extra_attempts)
+        out.retried = sum(
+            1 for index in range(n)
+            if launches[index] + extra_attempts[index] > 1)
+        return out

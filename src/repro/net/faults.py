@@ -36,8 +36,13 @@ FAULT_CORRUPT = "corrupt"    # 200 whose JSON body arrives truncated
 FAULT_BROWNOUT = "brownout"  # consecutive 503s with Retry-After
 FAULT_STORM = "rate_storm"   # consecutive 429s with Retry-After
 
+#: engine faults — injected into partition *tasks*, not network requests
+FAULT_KILL_WORKER = "kill_worker"  # the executor running the task dies
+FAULT_HANG_TASK = "hang_task"      # the task wedges for ``duration`` seconds
+
 POINT_FAULTS = (FAULT_ERROR, FAULT_TIMEOUT, FAULT_RESET, FAULT_CORRUPT)
 WINDOW_FAULTS = (FAULT_BROWNOUT, FAULT_STORM)
+ENGINE_FAULTS = (FAULT_KILL_WORKER, FAULT_HANG_TASK)
 
 
 @dataclass(frozen=True)
@@ -85,12 +90,14 @@ class FaultSpec:
     span: int = 0
 
     def __post_init__(self):
-        if self.kind not in POINT_FAULTS + WINDOW_FAULTS:
+        if self.kind not in POINT_FAULTS + WINDOW_FAULTS + ENGINE_FAULTS:
             raise ValueError(f"unknown fault kind {self.kind!r}")
         if not 0.0 <= self.rate < 1.0:
             raise ValueError(f"rate must be in [0, 1), got {self.rate}")
         if self.kind in WINDOW_FAULTS and self.span < 1:
             raise ValueError(f"{self.kind} needs span >= 1")
+        if self.kind == FAULT_HANG_TASK and self.duration <= 0:
+            raise ValueError(f"{self.kind} needs duration > 0")
 
 
 class FaultSchedule:
@@ -108,7 +115,12 @@ class FaultSchedule:
     """
 
     def __init__(self, specs: Sequence[FaultSpec] = (), seed: int = 0):
-        self.specs: List[FaultSpec] = list(specs)
+        #: engine-level specs live apart: they claim *task* keys through
+        #: :meth:`engine_fault_at`, never network request indexes
+        self.engine_specs: List[FaultSpec] = [
+            s for s in specs if s.kind in ENGINE_FAULTS]
+        self.specs: List[FaultSpec] = [
+            s for s in specs if s.kind not in ENGINE_FAULTS]
         self.seed = seed
         order = {k: i for i, k in enumerate(WINDOW_FAULTS + POINT_FAULTS)}
         self.specs.sort(key=lambda s: order[s.kind])
@@ -139,6 +151,24 @@ class FaultSchedule:
         ], seed)
 
     @classmethod
+    def engine_chaos(cls, intensity: float = 1.0,
+                     seed: int = 0) -> "FaultSchedule":
+        """Engine-only faults: kill-worker-mid-stage and hang-task.
+
+        These never touch the network simulation; they are consumed by
+        the engine's task supervisor (``SparkLiteContext(engine_faults=
+        ...)``), which must recover lost partitions and route around
+        wedged tasks without changing a single output byte.
+        """
+        if intensity < 0:
+            raise ValueError(f"intensity must be >= 0, got {intensity}")
+        s = intensity
+        return cls([
+            FaultSpec(FAULT_KILL_WORKER, min(0.999, 0.02 * s)),
+            FaultSpec(FAULT_HANG_TASK, min(0.999, 0.03 * s), duration=0.1),
+        ], seed)
+
+    @classmethod
     def from_profile(cls, profile: str, seed: int = 0) -> "FaultSchedule":
         """Resolve a named CLI profile (``--fault-profile``)."""
         if profile == "none":
@@ -147,8 +177,12 @@ class FaultSchedule:
             return cls.flaky(seed=seed)
         if profile == "chaos":
             return cls.chaos(seed=seed)
+        if profile == "chaos-engine":
+            net = cls.chaos(seed=seed)
+            return cls(net.specs + cls.engine_chaos(seed=seed).engine_specs,
+                       seed)
         raise ValueError(f"unknown fault profile {profile!r}; "
-                         f"expected none/flaky/chaos")
+                         f"expected none/flaky/chaos/chaos-engine")
 
     # -------------------------------------------------------------- decisions
     def _fraction(self, kind: str, request_index: int) -> float:
@@ -172,6 +206,19 @@ class FaultSchedule:
                 return spec
         return None
 
+    def engine_fault_at(self, task_key: str) -> Optional[FaultSpec]:
+        """Which engine fault (if any) claims this partition task.
+
+        ``task_key`` is a stable per-context identifier (job serial +
+        stage ordinal + partition index), so the same program replayed
+        with the same seed loses the same executors at the same points.
+        First matching spec wins, in declaration order.
+        """
+        for spec in self.engine_specs:
+            if self._fraction(spec.kind, task_key) < spec.rate:
+                return spec
+        return None
+
     @property
     def aggregate_rate(self) -> float:
         """Expected fraction of requests hit by some fault."""
@@ -185,7 +232,8 @@ class FaultSchedule:
 
     @property
     def kinds(self) -> List[str]:
-        return sorted({spec.kind for spec in self.specs})
+        return sorted({spec.kind for spec in self.specs}
+                      | {spec.kind for spec in self.engine_specs})
 
     # ------------------------------------------------------------- injection
     def inject(self, request_index: int) -> Optional["Response"]:

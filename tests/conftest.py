@@ -7,12 +7,28 @@ many test modules read from it without mutating it.
 
 from __future__ import annotations
 
+import faulthandler
+import os
+
 import pytest
 
 from repro.core.platform import ExploratoryPlatform
 from repro.graph.bipartite import BipartiteGraph
 from repro.world.config import WorldConfig
 from repro.world.generator import World, generate_world
+
+
+def pytest_configure(config):
+    # A wedged supervisor/pool test would otherwise hang CI silently;
+    # dump every thread's stack if any single run exceeds the budget.
+    faulthandler.enable()
+    timeout = float(os.environ.get("REPRO_FAULTHANDLER_TIMEOUT", "0") or 0)
+    if timeout > 0:
+        faulthandler.dump_traceback_later(timeout, repeat=True, exit=False)
+
+
+def pytest_unconfigure(config):
+    faulthandler.cancel_dump_traceback_later()
 
 
 @pytest.fixture(scope="session")

@@ -155,3 +155,62 @@ class TestEngineRetriesUnderChaos:
         metrics = sc.last_job_metrics
         assert metrics.retried_tasks >= 1
         assert metrics.task_attempts > 4
+
+
+# ---- engine chaos: kill-worker-mid-stage on every backend ------------------
+def _bucket_pair(x):
+    return (x % 7, x * 3 + 1)
+
+
+def _sum_two(a, b):
+    return a + b
+
+
+def _engine_pipeline(sc):
+    """A representative multi-stage job: narrow → shuffle → narrow."""
+    return (sc.parallelize(range(200), 8)
+            .map(_bucket_pair)
+            .reduce_by_key(_sum_two)
+            .map_values(_double_value)
+            .collect())
+
+
+def _double_value(v):
+    return v * 2
+
+
+class TestKillWorkerMidStage:
+    """The supervisor's capstone: the ``chaos-engine`` profile kills
+    workers and wedges tasks mid-stage on every backend, and the output
+    must stay byte-identical to a fault-free serial run."""
+
+    @pytest.fixture(scope="class")
+    def oracle(self):
+        from repro.engine.context import SparkLiteContext
+        with SparkLiteContext(parallelism=2, backend="serial") as sc:
+            yield _engine_pipeline(sc)
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    @pytest.mark.parametrize("seed", _seeds(), ids=lambda s: f"seed{s}")
+    def test_outputs_byte_identical_under_engine_faults(self, oracle,
+                                                        backend, seed):
+        from repro.engine.context import SparkLiteContext
+        faults = FaultSchedule.engine_chaos(intensity=8.0, seed=seed)
+        with SparkLiteContext(parallelism=4, backend=backend,
+                              task_deadline=5.0,
+                              engine_faults=faults) as sc:
+            got = _engine_pipeline(sc)
+            supervised = [m for m in sc.metrics_trace.jobs()]
+            touched = sum(m.lost_executors + m.zombie_tasks
+                          + m.recomputed_partitions for m in supervised)
+        assert got == oracle
+        # the profile must actually have fired at this intensity
+        assert touched >= 1, "engine chaos injected nothing"
+
+    def test_chaos_engine_profile_parses(self):
+        schedule = FaultSchedule.from_profile("chaos-engine", seed=3)
+        assert "kill_worker" in schedule.kinds
+        assert "hang_task" in schedule.kinds
+        assert len(schedule.engine_specs) == 2
+        # the network side of the profile is intact too
+        assert schedule.aggregate_rate >= 0.05

@@ -198,3 +198,70 @@ class TestMidRoundCrashResume:
                              checkpoint=True).run(resume=True)
         assert resumed.resumed
         assert resumed.startups == len(tiny_world.companies)
+
+
+class _ItemServer(SimServer):
+    """Always-healthy server for replaying parked enrichment requests."""
+
+    name = "items"
+
+    def __init__(self, clock):
+        super().__init__(clock=clock)
+        self.route("GET", "/item/:id", lambda r: Response.json(
+            {"item": r.path_params["id"]}))
+
+
+class TestDeadLetterReplayIdempotent:
+    """Replaying the same batch twice must not duplicate landed records.
+
+    The queue deletes a letter only *after* ``on_success`` ran, so a
+    crash between the write and the delete re-delivers the letter on
+    the next pass. Replay therefore keys landed records by
+    ``angellist_id`` and acks re-delivered letters without rewriting.
+    """
+
+    OUT = "/crawl/test/pages"
+
+    def _letters(self, ids):
+        from repro.crawl.deadletter import DeadLetter
+        return [DeadLetter("GET", f"/item/{n}",
+                           tag={"angellist_id": n}) for n in ids]
+
+    def _replay(self, dfs, clock, queue):
+        from repro.crawl.enrich import _replay_into_dataset
+        client = ApiClient(_ItemServer(clock), clock, token="t")
+        return _replay_into_dataset(client, queue, dfs, self.OUT,
+                                    records_per_part=2)
+
+    def test_redelivered_batch_lands_exactly_once(self):
+        from repro.crawl.deadletter import DeadLetterQueue
+        dfs, clock = MiniDfs(), SimClock()
+        queue = DeadLetterQueue(dfs)
+        for letter in self._letters([1, 2, 3]):
+            queue.append(letter)
+        assert self._replay(dfs, clock, queue) == 3
+        assert len(queue) == 0
+        # crash-before-delete: the identical batch is delivered again
+        for letter in self._letters([1, 2, 3]):
+            queue.append(letter)
+        assert self._replay(dfs, clock, queue) == 0
+        assert len(queue) == 0  # re-delivered letters still acked
+        records = read_json_dataset(dfs, self.OUT)
+        ids = [r["angellist_id"] for r in records]
+        assert sorted(ids) == [1, 2, 3]
+        assert len(ids) == len(set(ids))
+
+    def test_fresh_letters_still_recovered_alongside_redelivered(self):
+        from repro.crawl.deadletter import DeadLetterQueue
+        dfs, clock = MiniDfs(), SimClock()
+        queue = DeadLetterQueue(dfs)
+        for letter in self._letters([1, 2]):
+            queue.append(letter)
+        assert self._replay(dfs, clock, queue) == 2
+        # a mixed second batch: one re-delivered, one genuinely new
+        for letter in self._letters([2, 9]):
+            queue.append(letter)
+        assert self._replay(dfs, clock, queue) == 1
+        ids = sorted(r["angellist_id"]
+                     for r in read_json_dataset(dfs, self.OUT))
+        assert ids == [1, 2, 9]

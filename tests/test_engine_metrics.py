@@ -54,7 +54,11 @@ class TestJobMetrics:
                           "shuffle_records_moved", "shuffle_bytes",
                           "shuffle_bytes_raw", "broadcast_joins",
                           "cached_hits", "fallbacks", "task_attempts",
-                          "retried_tasks", "backend", "wall_s"}
+                          "retried_tasks", "lost_executors",
+                          "recomputed_partitions", "speculative_launched",
+                          "speculative_won", "zombie_tasks",
+                          "pool_rebuilds", "checkpoint_hits",
+                          "checkpoint_writes", "backend", "wall_s"}
 
     def test_metrics_reset_per_job(self, sc):
         sc.parallelize(range(50), 2).map(lambda x: (x, 1)) \

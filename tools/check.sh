@@ -5,6 +5,19 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+# dump all thread stacks if any single test exceeds this budget — a
+# wedged pool/supervisor should fail loudly, not hang the gate
+export REPRO_FAULTHANDLER_TIMEOUT="${REPRO_FAULTHANDLER_TIMEOUT:-300}"
+
+# hard wall-clock ceiling on the chaos suite (it kills real worker
+# processes; a supervisor bug could otherwise wedge the whole gate)
+with_timeout() {
+    if command -v timeout >/dev/null 2>&1; then
+        timeout --kill-after=30 "${CHAOS_TIMEOUT:-1200}" "$@"
+    else
+        "$@"
+    fi
+}
 
 echo "== compileall =="
 python -m compileall -q src benchmarks tools examples
@@ -14,10 +27,16 @@ python -m pytest -x -q "$@"
 
 echo "== pytest (chaos suite) =="
 # the deterministic fault-injection harness, on its default seed matrix
-python -m pytest -x -q -m chaos
+with_timeout python -m pytest -x -q -m chaos
 
 echo "== benchmark smoke (engine fast path) =="
 # small-scale A4 run: proves the combine reduction holds and leaves the
 # BENCH_engine.json perf-trajectory artifact for the PR
 python benchmarks/bench_a4_shuffle_combine.py \
     --smoke --json benchmarks/out/BENCH_engine.json
+
+echo "== benchmark smoke (partition recovery) =="
+# small-scale A5 run: proves losing an executor recomputes strictly
+# fewer partitions than a full stage rerun, on every backend
+with_timeout python benchmarks/bench_a5_recovery.py \
+    --smoke --json benchmarks/out/BENCH_recovery.json
