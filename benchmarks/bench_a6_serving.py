@@ -1,0 +1,191 @@
+"""A6 — overload-safe serving: shed at the door, answer what you admit.
+
+The tentpole claim: at 10x the admitted QPS limit, with a forced
+backend brownout mid-run, request-path chaos faults and one slow DFS
+datanode, the query tier
+
+* sheds the excess load deterministically (queue never exceeds its
+  bound),
+* keeps the p99 latency of every admitted class under that class's
+  deadline (deadline propagation refuses work the budget can't cover),
+* still answers >= 99% of finally-admitted requests — fresh, or as a
+  stale/summary fallback flagged as such (graceful degradation), and
+* produces byte-identical metrics on a same-seed rerun.
+
+Run standalone it writes the ``BENCH_serving.json`` perf-trajectory
+file that ``tools/check.sh`` produces for every PR::
+
+    PYTHONPATH=src python benchmarks/bench_a6_serving.py \
+        --smoke --json benchmarks/out/BENCH_serving.json
+"""
+
+import argparse
+import json
+
+import pytest
+
+from repro.core.platform import ExploratoryPlatform
+from repro.net.faults import FAULT_BROWNOUT, FaultSchedule
+from repro.serve.loadgen import LoadProfile, run_bench
+from repro.serve.service import ServeConfig
+from repro.world.config import WorldConfig
+
+QPS_LIMIT = 20.0
+QUEUE_DEPTH = 8
+WORKERS = 2
+OVERLOAD = 10.0
+SCHEDULE_SEED = 42
+CHAOS_SEED = 7
+#: forced brownout window over backend-request indexes [15, 27)
+BROWNOUT_AT, BROWNOUT_SPAN = 15, 12
+SLOW_DATANODE_S = 0.05
+#: hard floors/ceilings the gate fails on
+MIN_ANSWERED_FRACTION = 0.99
+MAX_SHED_FRACTION = 0.97
+MIN_GOODPUT_FRACTION = 0.5   # of the qps limit
+
+
+def _build_platform() -> ExploratoryPlatform:
+    platform = ExploratoryPlatform.over_new_world(WorldConfig.tiny())
+    platform.run_full_crawl()
+    platform.serve_dataset()
+    for index, node_id in enumerate(sorted(platform.dfs.datanodes)):
+        platform.dfs.set_datanode_latency(
+            node_id, SLOW_DATANODE_S if index == 0 else 0.004)
+    return platform
+
+
+def _chaos() -> FaultSchedule:
+    faults = FaultSchedule.serve_chaos(1.0, seed=CHAOS_SEED)
+    faults.force_window(FAULT_BROWNOUT, start=BROWNOUT_AT,
+                        span=BROWNOUT_SPAN, duration=0.4)
+    return faults
+
+
+def _run_once(platform: ExploratoryPlatform, duration_s: float):
+    service = platform.query_service(
+        config=ServeConfig(qps_limit=QPS_LIMIT, queue_depth=QUEUE_DEPTH,
+                           workers=WORKERS),
+        faults=_chaos())
+    profile = LoadProfile(qps=QPS_LIMIT * OVERLOAD, duration_s=duration_s,
+                          seed=SCHEDULE_SEED)
+    return run_bench(service, platform.serve_dataset(), profile), profile
+
+
+def check_contract(report, profile) -> list:
+    """The overload contract; returns human-readable violations."""
+    violations = []
+    if report.shed == 0:
+        violations.append("10x overload shed nothing — admission "
+                          "control is not engaging")
+    if report.max_queue_len > QUEUE_DEPTH:
+        violations.append(f"queue grew to {report.max_queue_len} "
+                          f"(> bound {QUEUE_DEPTH})")
+    for cls, deadline_s in profile.deadlines:
+        p99 = report.per_class_p99_s.get(cls, 0.0)
+        if p99 > deadline_s:
+            violations.append(f"{cls} p99 {p99:.3f}s exceeds its "
+                              f"{deadline_s:.3f}s deadline")
+    if report.answered_fraction < MIN_ANSWERED_FRACTION:
+        violations.append(f"only {report.answered_fraction:.1%} of "
+                          f"admitted requests answered "
+                          f"(floor {MIN_ANSWERED_FRACTION:.0%})")
+    if report.shed_fraction > MAX_SHED_FRACTION:
+        violations.append(f"shed {report.shed_fraction:.1%} of offered "
+                          f"load (ceiling {MAX_SHED_FRACTION:.0%}) — "
+                          f"goodput collapsed")
+    if report.goodput_qps < MIN_GOODPUT_FRACTION * QPS_LIMIT:
+        violations.append(f"goodput {report.goodput_qps:.1f} qps under "
+                          f"{MIN_GOODPUT_FRACTION:.0%} of the "
+                          f"{QPS_LIMIT:.0f} qps limit")
+    degraded_answers = report.stale_served + sum(
+        counters["summary_served"]
+        for counters in report.metrics["per_class"].values())
+    if degraded_answers == 0:
+        violations.append("brownout + chaos produced zero degraded "
+                          "answers — the fallback ladder never engaged")
+    return violations
+
+
+# ------------------------------------------------------------------ pytest
+@pytest.fixture(scope="module")
+def serve_platform():
+    platform = _build_platform()
+    yield platform
+    platform.close()
+
+
+def test_a6_overload_contract(serve_platform):
+    report, profile = _run_once(serve_platform, duration_s=3.0)
+    assert not check_contract(report, profile)
+
+
+def test_a6_same_seed_runs_identical(serve_platform):
+    first, _ = _run_once(serve_platform, duration_s=3.0)
+    second, _ = _run_once(serve_platform, duration_s=3.0)
+    assert first.to_json() == second.to_json()
+
+
+# --------------------------------------------------------------- standalone
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Overload the query tier at 10x its QPS limit with "
+                    "chaos faults; write BENCH_serving.json.")
+    parser.add_argument("--duration", type=float, default=10.0,
+                        help="simulated seconds of offered load")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI scale: short schedule")
+    parser.add_argument("--json", metavar="FILE",
+                        help="write the measurements as JSON")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.duration = min(args.duration, 3.0)
+
+    platform = _build_platform()
+    try:
+        report, profile = _run_once(platform, args.duration)
+        rerun, _ = _run_once(platform, args.duration)
+    finally:
+        platform.close()
+    deterministic = report.to_json() == rerun.to_json()
+
+    print(f"offered {report.offered} at {profile.qps:.0f} qps "
+          f"({OVERLOAD:.0f}x the {QPS_LIMIT:.0f} qps limit): "
+          f"admitted {report.admitted}, shed {report.shed} "
+          f"({report.shed_fraction:.1%})")
+    print(f"answered {report.answered_fraction:.1%} of admitted "
+          f"({report.stale_served} stale), goodput "
+          f"{report.goodput_qps:.1f} qps, p99 "
+          f"{1000 * report.p99_latency_s:.1f} ms, max queue "
+          f"{report.max_queue_len}/{QUEUE_DEPTH}")
+    print(f"hedges {report.hedges_launched}/{report.hedges_won} won, "
+          f"health={report.health_state}, deterministic={deterministic}")
+
+    violations = check_contract(report, profile)
+    if not deterministic:
+        violations.append("same-seed reruns differ — the serving path "
+                          "is nondeterministic")
+    payload = {
+        "benchmark": "serving-overload",
+        "overload": OVERLOAD,
+        "qps_limit": QPS_LIMIT,
+        "queue_depth": QUEUE_DEPTH,
+        "duration_s": args.duration,
+        "deterministic": deterministic,
+        "violations": violations,
+        "report": json.loads(report.to_json()),
+    }
+    if args.json:
+        import os
+        os.makedirs(os.path.dirname(args.json) or ".", exist_ok=True)
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    for violation in violations:
+        print(f"SERVING REGRESSION: {violation}")
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    import sys
+    sys.exit(main())

@@ -9,6 +9,10 @@ Commands:
 * ``snapshot``  — run the longitudinal study for N days and print the
   causality panel.
 * ``select-communities`` — sweep CoDA community counts by held-out AUC.
+* ``serve``     — answer sample queries through the overload-safe online
+  query tier and print per-request outcomes.
+* ``serve-bench`` — replay a seeded open-loop overload schedule against
+  the query tier and report shed/degradation/latency metrics.
 
 Every command accepts ``--scale`` and ``--seed`` (or ``--world FILE`` to
 reuse a saved world), and is fully offline and deterministic.
@@ -285,6 +289,120 @@ def cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_serve_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--qps-limit", type=float, default=50.0,
+                        help="sustained admitted request rate; excess "
+                             "arrivals are shed at the front door")
+    parser.add_argument("--queue-depth", type=int, default=16,
+                        help="bounded request queue depth")
+    parser.add_argument("--default-deadline", type=float, default=0.25,
+                        metavar="SECONDS",
+                        help="latency budget of requests without one")
+    parser.add_argument("--stale-ttl", type=float, default=30.0,
+                        metavar="SECONDS",
+                        help="serve cached answers this old (flagged "
+                             "stale) when the fresh path is unaffordable")
+    parser.add_argument("--serve-workers", type=int, default=2,
+                        help="simulated query worker slots")
+    parser.add_argument("--slow-datanode", type=float, default=0.0,
+                        metavar="SECONDS",
+                        help="make one DFS datanode this slow (exercises "
+                             "hedged replica reads); others get 4 ms")
+
+
+def _serve_config(args: argparse.Namespace):
+    from repro.serve.service import ServeConfig
+    return ServeConfig(qps_limit=args.qps_limit,
+                       queue_depth=args.queue_depth,
+                       workers=args.serve_workers,
+                       default_deadline_s=args.default_deadline,
+                       stale_ttl_s=args.stale_ttl)
+
+
+def _apply_serve_latencies(platform: ExploratoryPlatform,
+                           args: argparse.Namespace) -> None:
+    if args.slow_datanode <= 0:
+        return
+    for index, node_id in enumerate(sorted(platform.dfs.datanodes)):
+        platform.dfs.set_datanode_latency(
+            node_id, args.slow_datanode if index == 0 else 0.004)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.loadgen import LoadProfile, generate_schedule
+
+    platform = _crawled_platform(args)
+    try:
+        dataset = platform.serve_dataset()
+        _apply_serve_latencies(platform, args)
+        service = platform.query_service(config=_serve_config(args))
+        profile = LoadProfile(qps=max(1.0, args.qps_limit / 2),
+                              duration_s=max(1.0,
+                                             args.queries / args.qps_limit),
+                              seed=args.serve_seed)
+        schedule = generate_schedule(profile, dataset)[:args.queries]
+        for request in schedule:
+            result = service.handle(request)
+            flag = " (stale)" if result.stale else ""
+            print(f"{request.kind:<12} key={request.key:<8} "
+                  f"[{request.priority}] -> {result.status}{flag} "
+                  f"{1000 * result.latency_s:.1f} ms")
+        metrics = service.metrics
+        print(f"\n{metrics.offered} offered, {metrics.admitted} admitted, "
+              f"{metrics.shed} shed; p50 {1000 * metrics.p50():.1f} ms, "
+              f"p99 {1000 * metrics.p99():.1f} ms; "
+              f"health={service.health.state}")
+    finally:
+        platform.close()
+    return 0
+
+
+def cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.net.faults import FAULT_BROWNOUT, FaultSchedule
+    from repro.serve.loadgen import LoadProfile, run_bench
+
+    platform = _crawled_platform(args)
+    try:
+        dataset = platform.serve_dataset()
+        _apply_serve_latencies(platform, args)
+        if args.serve_chaos > 0:
+            faults = FaultSchedule.serve_chaos(args.serve_chaos,
+                                               seed=args.chaos_seed)
+        else:
+            faults = FaultSchedule.none()
+        if args.brownout_at is not None:
+            faults.force_window(FAULT_BROWNOUT, start=args.brownout_at,
+                                span=args.brownout_span, duration=0.4)
+        service = platform.query_service(config=_serve_config(args),
+                                         faults=faults)
+        profile = LoadProfile(qps=args.qps_limit * args.overload,
+                              duration_s=args.duration,
+                              seed=args.serve_seed)
+        report = run_bench(service, dataset, profile)
+        print(f"offered {report.offered} at {profile.qps:.0f} qps "
+              f"({args.overload:.0f}x the {args.qps_limit:.0f} qps limit) "
+              f"over {args.duration:.0f}s")
+        print(f"admitted {report.admitted}, shed {report.shed} "
+              f"({100 * report.shed_fraction:.1f}%), "
+              f"answered {report.answered} "
+              f"({100 * report.answered_fraction:.1f}% of admitted, "
+              f"{report.stale_served} stale)")
+        print(f"p50 {1000 * report.p50_latency_s:.1f} ms, "
+              f"p99 {1000 * report.p99_latency_s:.1f} ms, "
+              f"goodput {report.goodput_qps:.1f} qps, "
+              f"max queue {report.max_queue_len}/{args.queue_depth}")
+        print(f"hedges {report.hedges_launched} launched / "
+              f"{report.hedges_won} won; health={report.health_state} "
+              f"after {report.health_transitions} transitions")
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(report.to_json() + "\n")
+            print(f"report written to {args.json}")
+    finally:
+        platform.close()
+    return 0
+
+
 def cmd_select_communities(args: argparse.Namespace) -> int:
     from repro.community.selection import select_num_communities
     platform = _crawled_platform(args)
@@ -349,6 +467,42 @@ def build_parser() -> argparse.ArgumentParser:
     select.add_argument("--candidates", type=int, nargs="+",
                         default=[6, 12, 24, 48])
     select.set_defaults(fn=cmd_select_communities)
+
+    serve = sub.add_parser(
+        "serve", help="answer sample queries via the online query tier")
+    _add_world_args(serve)
+    _add_serve_args(serve)
+    serve.add_argument("--queries", type=int, default=20,
+                       help="number of sample queries to answer")
+    serve.add_argument("--serve-seed", type=int, default=0,
+                       help="seed of the sampled query schedule")
+    serve.set_defaults(fn=cmd_serve)
+
+    bench = sub.add_parser(
+        "serve-bench",
+        help="replay a seeded overload schedule against the query tier")
+    _add_world_args(bench)
+    _add_serve_args(bench)
+    bench.add_argument("--overload", type=float, default=10.0,
+                       help="offered load as a multiple of --qps-limit")
+    bench.add_argument("--duration", type=float, default=10.0,
+                       metavar="SECONDS",
+                       help="simulated length of the arrival schedule")
+    bench.add_argument("--serve-seed", type=int, default=0,
+                       help="seed of the arrival schedule")
+    bench.add_argument("--brownout-at", type=int, default=None,
+                       metavar="INDEX",
+                       help="force a backend brownout window starting at "
+                            "this backend-request index")
+    bench.add_argument("--brownout-span", type=int, default=20,
+                       help="length of the forced brownout window")
+    bench.add_argument("--serve-chaos", type=float, default=0.0,
+                       metavar="INTENSITY",
+                       help="seeded request-path fault intensity "
+                            "(0 disables; 1.0 = the chaos profile)")
+    bench.add_argument("--json", metavar="FILE",
+                       help="write the full BenchReport as JSON")
+    bench.set_defaults(fn=cmd_serve_bench)
     return parser
 
 

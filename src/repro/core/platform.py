@@ -19,6 +19,8 @@ from repro.graph.build import build_investor_graph
 from repro.net.faults import FaultPlan
 from repro.net.latency import LatencyModel
 from repro.core.plugins import PluginRegistry
+from repro.serve.dataset import ServeDataset
+from repro.serve.service import QueryService, ServeConfig
 from repro.sources.hub import SourceHub
 from repro.util.clock import SimClock
 from repro.util.errors import ConfigError
@@ -151,6 +153,7 @@ class ExploratoryPlatform:
         self.plugins = PluginRegistry()
         self.crawl_summary: Optional[CrawlSummary] = None
         self._graph: Optional[BipartiteGraph] = None
+        self._serve_dataset: Optional[ServeDataset] = None
         _register_builtin_plugins(self.plugins)
 
     # ---------------------------------------------------------- construction
@@ -266,6 +269,27 @@ class ExploratoryPlatform:
         if self._graph is None:
             self._graph = build_investor_graph(self.sc, self.dfs)
         return self._graph
+
+    # ---------------------------------------------------------------- serving
+    def serve_dataset(self, community_seed: int = 0) -> ServeDataset:
+        """Indexes + summaries the online query tier serves (memoized)."""
+        self.require_crawled()
+        if self._serve_dataset is None:
+            self._serve_dataset = ServeDataset.build(
+                self.dfs, community_seed=community_seed)
+        return self._serve_dataset
+
+    def query_service(self, config: Optional[ServeConfig] = None,
+                      faults: Any = None) -> QueryService:
+        """A fresh overload-safe query service over this platform's data.
+
+        The service gets its own :class:`SimClock`: serving time is a
+        separate timeline from the crawl that produced the datasets, so
+        benchmarks start at t=0 regardless of how long the crawl took.
+        """
+        return QueryService(self.serve_dataset(), self.dfs,
+                            clock=SimClock(), config=config,
+                            faults=faults)
 
     # --------------------------------------------------------------- plug-ins
     def run_plugin(self, name: str, **kwargs: Any) -> Any:

@@ -44,6 +44,7 @@ class CircuitBreaker:
         self._consecutive_failures = 0
         self._cooldown_s = cooldown_s
         self._open_until = 0.0
+        self._probe_in_flight = False
         #: lifetime counters (surfaced by crawl summaries)
         self.trips = 0
         self.probes = 0
@@ -52,22 +53,56 @@ class CircuitBreaker:
     def acquire(self) -> float:
         """Seconds the caller must wait before sending (0 = go now).
 
-        When the breaker is open, returns the remaining cooldown and
-        moves to half-open — the caller is expected to sleep that long
-        and then send the probe request.
+        When the breaker is open, the *first* caller gets the remaining
+        cooldown and becomes the half-open probe — it is expected to
+        sleep that long and then send the probe request. While that
+        probe is in flight, every other caller keeps waiting (it gets
+        the remaining cooldown too, or a short re-check interval once
+        the cooldown has elapsed) instead of being released as a
+        stampede of concurrent probes.
         """
         if self.state == STATE_OPEN:
             remaining = max(0.0, self._open_until - self.clock.now())
             self.state = STATE_HALF_OPEN
+            self._probe_in_flight = True
             self.probes += 1
             return remaining
+        if self.state == STATE_HALF_OPEN:
+            if self._probe_in_flight:
+                remaining = max(0.0, self._open_until - self.clock.now())
+                return remaining if remaining > 0 else (
+                    self.base_cooldown_s * 0.1)
+            self._probe_in_flight = True
+            self.probes += 1
+            return 0.0
         return 0.0
+
+    def try_acquire(self) -> bool:
+        """Non-blocking acquire for callers that never sleep (the serve
+        tier): True = send now, possibly as the half-open probe; False =
+        still cooling down or another probe is already in flight."""
+        if self.state == STATE_CLOSED:
+            return True
+        if self.state == STATE_OPEN:
+            if self.clock.now() < self._open_until:
+                return False
+            self.state = STATE_HALF_OPEN
+            self._probe_in_flight = True
+            self.probes += 1
+            return True
+        # half-open: exactly one probe at a time
+        if self._probe_in_flight:
+            return False
+        self._probe_in_flight = True
+        self.probes += 1
+        return True
 
     def record_success(self) -> None:
         if self.state == STATE_HALF_OPEN:
             self._cooldown_s = self.base_cooldown_s
         self.state = STATE_CLOSED
         self._consecutive_failures = 0
+        self._probe_in_flight = False
 
     def record_failure(self) -> None:
         if self.state == STATE_HALF_OPEN:
@@ -85,6 +120,7 @@ class CircuitBreaker:
         self.state = STATE_OPEN
         self.trips += 1
         self._consecutive_failures = 0
+        self._probe_in_flight = False
         self._open_until = self.clock.now() + self._cooldown_s
 
     # ------------------------------------------------------------ inspection

@@ -43,6 +43,16 @@ class BlockInfo:
 
 
 @dataclass
+class HedgedRead:
+    """Result of :meth:`MiniDfs.read_hedged`: payload + simulated cost."""
+
+    data: bytes
+    elapsed_s: float
+    hedges_launched: int
+    hedges_won: int
+
+
+@dataclass
 class FileStatus:
     """What ``stat`` returns: path, length, block layout."""
 
@@ -59,6 +69,10 @@ class DataNode:
     def __init__(self, node_id: str):
         self.node_id = node_id
         self.alive = True
+        #: simulated per-read latency of this node, in seconds — the
+        #: serve tier's hedged reads race replicas against it (a node
+        #: can be "slow but alive", the classic tail-latency culprit)
+        self.latency_s = 0.0
         self._blocks: Dict[int, bytes] = {}
 
     def put(self, block_id: int, data: bytes) -> None:
@@ -116,6 +130,9 @@ class MiniDfs:
         #: lifetime integrity counters
         self.checksum_failures = 0
         self.blocks_repaired = 0
+        #: lifetime hedged-read counters (serve tier tail-latency cuts)
+        self.hedges_launched = 0
+        self.hedges_won = 0
 
     # -- write ---------------------------------------------------------------
     def create(self, path: str, data: bytes) -> FileStatus:
@@ -194,6 +211,65 @@ class MiniDfs:
                 f"failed its checksum")
         raise StorageError(
             f"block {block.block_id} unavailable: all replicas down")
+
+    # -- hedged read -----------------------------------------------------------
+    def set_datanode_latency(self, node_id: str, seconds: float) -> None:
+        """Make one datanode slow (chaos injection for hedged reads)."""
+        if seconds < 0:
+            raise StorageError(f"latency must be >= 0, got {seconds}")
+        node = self.datanodes.get(node_id)
+        if node is None:
+            raise NotFoundError(f"no such datanode: {node_id}")
+        node.latency_s = seconds
+
+    def read_hedged(self, path: str, hedge_after_s: float = 0.03,
+                    ) -> HedgedRead:
+        """Read with hedged requests against slow replicas.
+
+        For each block the primary replica (first live holder, as in
+        :meth:`read`) is tried first; when it has not answered within
+        ``hedge_after_s`` a hedge is launched at the next replica and
+        whichever answers first wins — the standard tail-at-scale trick.
+        Timing is simulated from each datanode's ``latency_s``, so the
+        returned ``elapsed_s`` is deterministic and the caller (the
+        serve tier) charges it to its own clock. Checksums still apply:
+        a corrupt winner pays its latency, then falls back to the strict
+        failover/read-repair path of :meth:`read`.
+        """
+        path = _normalize(path)
+        status = self._files.get(path)
+        if status is None:
+            raise NotFoundError(f"no such file: {path}")
+        parts: List[bytes] = []
+        elapsed = 0.0
+        launched = 0
+        won = 0
+        for block in status.blocks:
+            holders = [self.datanodes[nid] for nid in block.locations
+                       if self.datanodes[nid].has(block.block_id)]
+            if not holders:
+                parts.append(self._fetch_block(block))  # raises clearly
+                continue
+            choice = holders[0]
+            cost = choice.latency_s
+            if len(holders) > 1 and choice.latency_s > hedge_after_s:
+                launched += 1
+                hedged_cost = hedge_after_s + holders[1].latency_s
+                if hedged_cost < cost:
+                    choice, cost, won = holders[1], hedged_cost, won + 1
+            data = choice.get(block.block_id)
+            elapsed += cost
+            if zlib.crc32(data) != block.checksum:
+                # pay for the other replicas too, then let the strict
+                # path count the failure and read-repair the damage
+                elapsed += sum(h.latency_s for h in holders
+                               if h is not choice)
+                data = self._fetch_block(block)
+            parts.append(data)
+        self.hedges_launched += launched
+        self.hedges_won += won
+        return HedgedRead(data=b"".join(parts), elapsed_s=elapsed,
+                          hedges_launched=launched, hedges_won=won)
 
     # -- namespace -------------------------------------------------------------
     def exists(self, path: str) -> bool:

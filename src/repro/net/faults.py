@@ -40,9 +40,15 @@ FAULT_STORM = "rate_storm"   # consecutive 429s with Retry-After
 FAULT_KILL_WORKER = "kill_worker"  # the executor running the task dies
 FAULT_HANG_TASK = "hang_task"      # the task wedges for ``duration`` seconds
 
+#: serve faults — injected into the online query path (repro.serve), not
+#: the crawl; a brownout/storm window claims serve requests too (the
+#: backing store browns out for both readers and writers)
+FAULT_SLOW = "slow"                # backend latency spike of ``duration`` s
+
 POINT_FAULTS = (FAULT_ERROR, FAULT_TIMEOUT, FAULT_RESET, FAULT_CORRUPT)
 WINDOW_FAULTS = (FAULT_BROWNOUT, FAULT_STORM)
 ENGINE_FAULTS = (FAULT_KILL_WORKER, FAULT_HANG_TASK)
+SERVE_FAULTS = (FAULT_SLOW,)
 
 
 @dataclass(frozen=True)
@@ -90,13 +96,14 @@ class FaultSpec:
     span: int = 0
 
     def __post_init__(self):
-        if self.kind not in POINT_FAULTS + WINDOW_FAULTS + ENGINE_FAULTS:
+        if self.kind not in (POINT_FAULTS + WINDOW_FAULTS + ENGINE_FAULTS
+                             + SERVE_FAULTS):
             raise ValueError(f"unknown fault kind {self.kind!r}")
         if not 0.0 <= self.rate < 1.0:
             raise ValueError(f"rate must be in [0, 1), got {self.rate}")
         if self.kind in WINDOW_FAULTS and self.span < 1:
             raise ValueError(f"{self.kind} needs span >= 1")
-        if self.kind == FAULT_HANG_TASK and self.duration <= 0:
+        if self.kind in (FAULT_HANG_TASK, FAULT_SLOW) and self.duration <= 0:
             raise ValueError(f"{self.kind} needs duration > 0")
 
 
@@ -119,9 +126,17 @@ class FaultSchedule:
         #: :meth:`engine_fault_at`, never network request indexes
         self.engine_specs: List[FaultSpec] = [
             s for s in specs if s.kind in ENGINE_FAULTS]
+        #: serve-level specs live apart too: consumed by the query tier
+        #: through :meth:`serve_fault_at`, never by SimServer
+        self.serve_specs: List[FaultSpec] = [
+            s for s in specs if s.kind in SERVE_FAULTS]
         self.specs: List[FaultSpec] = [
-            s for s in specs if s.kind not in ENGINE_FAULTS]
+            s for s in specs
+            if s.kind not in ENGINE_FAULTS + SERVE_FAULTS]
         self.seed = seed
+        #: deterministic windows forced by a test/benchmark regardless of
+        #: the probabilistic schedule: (start, end, spec) half-open ranges
+        self.forced_windows: List[tuple] = []
         order = {k: i for i, k in enumerate(WINDOW_FAULTS + POINT_FAULTS)}
         self.specs.sort(key=lambda s: order[s.kind])
 
@@ -169,6 +184,26 @@ class FaultSchedule:
         ], seed)
 
     @classmethod
+    def serve_chaos(cls, intensity: float = 1.0,
+                    seed: int = 0) -> "FaultSchedule":
+        """Request-path faults for the online query tier.
+
+        Brownout windows make the backing store unavailable for a run of
+        consecutive requests (the service must degrade to stale/summary
+        answers), slow points add a latency spike that eats the request's
+        deadline budget. Consumed via :meth:`serve_fault_at`, never by
+        :class:`~repro.net.http.SimServer`.
+        """
+        if intensity < 0:
+            raise ValueError(f"intensity must be >= 0, got {intensity}")
+        s = intensity
+        return cls([
+            FaultSpec(FAULT_BROWNOUT, min(0.999, 0.002 * s),
+                      duration=0.5, span=25),
+            FaultSpec(FAULT_SLOW, min(0.999, 0.05 * s), duration=0.05),
+        ], seed)
+
+    @classmethod
     def from_profile(cls, profile: str, seed: int = 0) -> "FaultSchedule":
         """Resolve a named CLI profile (``--fault-profile``)."""
         if profile == "none":
@@ -181,8 +216,11 @@ class FaultSchedule:
             net = cls.chaos(seed=seed)
             return cls(net.specs + cls.engine_chaos(seed=seed).engine_specs,
                        seed)
+        if profile == "serve-chaos":
+            return cls.serve_chaos(seed=seed)
         raise ValueError(f"unknown fault profile {profile!r}; "
-                         f"expected none/flaky/chaos/chaos-engine")
+                         f"expected none/flaky/chaos/chaos-engine/"
+                         f"serve-chaos")
 
     # -------------------------------------------------------------- decisions
     def _fraction(self, kind: str, request_index: int) -> float:
@@ -196,13 +234,55 @@ class FaultSchedule:
                 return True
         return False
 
+    def force_window(self, kind: str, start: int, span: int,
+                     duration: float = 0.0) -> None:
+        """Deterministically claim ``[start, start + span)`` for ``kind``.
+
+        Benchmarks use this to inject a brownout *mid-run* at an exact
+        request index, independent of the probabilistic schedule, so the
+        robustness contract can be asserted around a known event.
+        """
+        if span < 1:
+            raise ValueError(f"span must be >= 1, got {span}")
+        spec = FaultSpec(kind, 0.0, duration=duration,
+                         span=span if kind in WINDOW_FAULTS else 0)
+        self.forced_windows.append((start, start + span, spec))
+
+    def _forced_at(self, request_index: int) -> Optional[FaultSpec]:
+        for start, end, spec in self.forced_windows:
+            if start <= request_index < end:
+                return spec
+        return None
+
     def fault_at(self, request_index: int) -> Optional[FaultSpec]:
         """Which fault mode (if any) claims this request index."""
+        forced = self._forced_at(request_index)
+        if forced is not None:
+            return forced
         for spec in self.specs:
             if spec.kind in WINDOW_FAULTS:
                 if self._window_active(spec, request_index):
                     return spec
             elif self._fraction(spec.kind, request_index) < spec.rate:
+                return spec
+        return None
+
+    def serve_fault_at(self, request_index: int) -> Optional[FaultSpec]:
+        """Which fault (if any) claims this *serve-path* request.
+
+        Forced windows first, then probabilistic brownout/storm windows
+        (shared with the network schedule: the store browns out for
+        everyone), then the serve-only point faults (latency spikes).
+        """
+        forced = self._forced_at(request_index)
+        if forced is not None:
+            return forced
+        for spec in self.specs:
+            if (spec.kind in WINDOW_FAULTS
+                    and self._window_active(spec, request_index)):
+                return spec
+        for spec in self.serve_specs:
+            if self._fraction(spec.kind, request_index) < spec.rate:
                 return spec
         return None
 
@@ -233,7 +313,8 @@ class FaultSchedule:
     @property
     def kinds(self) -> List[str]:
         return sorted({spec.kind for spec in self.specs}
-                      | {spec.kind for spec in self.engine_specs})
+                      | {spec.kind for spec in self.engine_specs}
+                      | {spec.kind for spec in self.serve_specs})
 
     # ------------------------------------------------------------- injection
     def inject(self, request_index: int) -> Optional["Response"]:

@@ -19,6 +19,12 @@ class LatencyModel:
     jitter: float = 0.0
     seed: int = 0
 
+    def __post_init__(self):
+        if self.base < 0:
+            raise ValueError(f"base latency must be >= 0, got {self.base}")
+        if self.jitter < 0:
+            raise ValueError(f"jitter must be >= 0, got {self.jitter}")
+
     @classmethod
     def zero(cls) -> "LatencyModel":
         return cls(0.0, 0.0)

@@ -1,0 +1,45 @@
+"""Overload-safe online query serving over the crawled datasets.
+
+The serve tier answers company/investor/graph/community/engagement
+queries out of a :class:`~repro.serve.dataset.ServeDataset` while
+staying predictable under load: admission control at the front door,
+deadline propagation before any work starts, and a graceful-degradation
+ladder (stale cache → precomputed summary) when the full answer cannot
+be afforded. Everything runs in simulated time on the shared clock, so
+overload scenarios replay deterministically.
+"""
+
+from repro.serve.admission import AdmissionController, TokenBucket
+from repro.serve.dataset import QUERY_KINDS, QueryAnswer, ServeDataset
+from repro.serve.degrade import ResultCache
+from repro.serve.health import (STATE_DEGRADED, STATE_HEALTHY,
+                                STATE_SHEDDING, HealthMonitor)
+from repro.serve.loadgen import (BenchReport, LoadProfile,
+                                 generate_schedule, replay, run_bench)
+from repro.serve.metrics import PRIORITY_CLASSES, ServeMetrics
+from repro.serve.service import (QueryService, ServeConfig, ServeRequest,
+                                 ServeResult)
+
+__all__ = [
+    "AdmissionController",
+    "TokenBucket",
+    "QUERY_KINDS",
+    "QueryAnswer",
+    "ServeDataset",
+    "ResultCache",
+    "HealthMonitor",
+    "STATE_HEALTHY",
+    "STATE_DEGRADED",
+    "STATE_SHEDDING",
+    "BenchReport",
+    "LoadProfile",
+    "generate_schedule",
+    "replay",
+    "run_bench",
+    "PRIORITY_CLASSES",
+    "ServeMetrics",
+    "QueryService",
+    "ServeConfig",
+    "ServeRequest",
+    "ServeResult",
+]

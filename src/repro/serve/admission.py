@@ -1,0 +1,144 @@
+"""Admission control: token-bucket rate limit + bounded priority queue.
+
+The point of this layer is that *overload is decided at the front door*,
+deterministically, instead of queueing unboundedly and collapsing:
+
+* a token bucket caps the sustained admitted rate at ``qps_limit`` with
+  a small burst allowance — excess arrivals are shed with
+  ``shed_rate`` before they cost anything;
+* a bounded queue (``queue_depth``) absorbs the burst that *was*
+  admitted; when it is full, an arriving higher-priority request evicts
+  the worst queued lower-priority one (the evictee is shed with
+  ``shed_queue``), and an arriving request with nothing to displace is
+  shed itself.
+
+Everything is a pure function of (arrival time, current queue), so a
+replayed schedule sheds the same requests at the same indexes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.serve.metrics import (PRIORITY_CLASSES, STATUS_SHED_QUEUE,
+                                 STATUS_SHED_RATE)
+
+ADMIT = "admit"
+
+_RANK = {cls: rank for rank, cls in enumerate(PRIORITY_CLASSES)}
+
+
+def priority_rank(priority: str) -> int:
+    """Lower rank = more important. Raises on unknown classes."""
+    try:
+        return _RANK[priority]
+    except KeyError:
+        raise ValueError(f"unknown priority class {priority!r}; "
+                         f"expected one of {PRIORITY_CLASSES}") from None
+
+
+class TokenBucket:
+    """Continuous-refill token bucket (rate per second, burst capacity)."""
+
+    def __init__(self, rate: float, burst: float):
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._last_refill = 0.0
+
+    def _refill(self, now: float) -> None:
+        if now > self._last_refill:
+            self._tokens = min(self.burst, self._tokens
+                               + (now - self._last_refill) * self.rate)
+            self._last_refill = now
+
+    def try_take(self, now: float) -> bool:
+        self._refill(now)
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+    def available(self, now: float) -> float:
+        self._refill(now)
+        return self._tokens
+
+
+@dataclass
+class AdmissionDecision:
+    """What happened to one arrival (plus any eviction it caused)."""
+
+    status: str                       # ADMIT / shed_rate / shed_queue
+    evicted: Optional[object] = None  # queued request displaced, if any
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    rank: int
+    seq: int
+    request: object = field(compare=False)
+
+
+class AdmissionController:
+    """Front door of the query service: rate limit, then bounded queue."""
+
+    def __init__(self, qps_limit: float, queue_depth: int,
+                 burst: float = None):
+        if queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
+        self.qps_limit = float(qps_limit)
+        self.queue_depth = int(queue_depth)
+        self.bucket = TokenBucket(qps_limit,
+                                  burst if burst is not None
+                                  else max(1.0, qps_limit * 0.25))
+        self._queue: List[_QueueEntry] = []
+        self._seq = 0
+        #: high-water mark, asserted by the overload contract
+        self.max_queue_len = 0
+
+    # ------------------------------------------------------------------ flow
+    def offer(self, request, now: float) -> AdmissionDecision:
+        """Admit, shed, or admit-by-eviction one arrival at ``now``.
+
+        An admitted request is appended to the internal queue; the
+        caller (the worker loop) pulls it back out with :meth:`pop`.
+        """
+        if not self.bucket.try_take(now):
+            return AdmissionDecision(STATUS_SHED_RATE)
+        rank = priority_rank(request.priority)
+        if len(self._queue) >= self.queue_depth:
+            worst = max(self._queue)
+            if worst.rank <= rank:
+                # nothing less important to displace: shed the arrival
+                return AdmissionDecision(STATUS_SHED_QUEUE)
+            self._queue.remove(worst)
+            self._push(rank, request)
+            return AdmissionDecision(ADMIT, evicted=worst.request)
+        self._push(rank, request)
+        return AdmissionDecision(ADMIT)
+
+    def _push(self, rank: int, request) -> None:
+        self._queue.append(_QueueEntry(rank, self._seq, request))
+        self._seq += 1
+        self.max_queue_len = max(self.max_queue_len, len(self._queue))
+
+    def pop(self):
+        """Next request: highest priority first, FIFO within a class."""
+        if not self._queue:
+            return None
+        entry = min(self._queue)
+        self._queue.remove(entry)
+        return entry.request
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def queue_len(self) -> int:
+        return len(self._queue)
+
+    def queued(self) -> Tuple:
+        return tuple(e.request for e in sorted(self._queue))

@@ -1,0 +1,96 @@
+"""Graceful degradation: stale-while-revalidate cache + cheap summaries.
+
+The degradation ladder the service walks when it cannot (or should not)
+run the full backend query:
+
+1. a **fresh** cache entry (age ≤ ``fresh_ttl_s``) answers outright;
+2. a **stale** entry (age ≤ ``stale_ttl_s``) is served flagged
+   ``stale=True`` when the backend faults or the deadline budget is too
+   tight — last good answer beats no answer;
+3. a **precomputed summary** (tiny, built once from the datasets) is the
+   floor: always available, never wrong about global facts, honest about
+   being degraded.
+
+Entries are keyed by the full query identity ``(kind, key, depth)``; a
+bounded LRU keeps memory flat under adversarial key churn.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+
+@dataclass
+class CacheEntry:
+    value: Any
+    written_at: float
+
+
+@dataclass
+class CacheAnswer:
+    """A cache lookup that produced a servable value."""
+
+    value: Any
+    age_s: float
+    stale: bool
+
+
+class ResultCache:
+    """Bounded LRU with two TTLs: fresh (hit) and stale (fallback)."""
+
+    def __init__(self, fresh_ttl_s: float = 1.0, stale_ttl_s: float = 30.0,
+                 max_entries: int = 4096):
+        if fresh_ttl_s < 0:
+            raise ValueError(f"fresh_ttl_s must be >= 0, got {fresh_ttl_s}")
+        if stale_ttl_s < fresh_ttl_s:
+            raise ValueError("stale_ttl_s must be >= fresh_ttl_s "
+                             f"({stale_ttl_s} < {fresh_ttl_s})")
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.fresh_ttl_s = fresh_ttl_s
+        self.stale_ttl_s = stale_ttl_s
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[Tuple, CacheEntry]" = OrderedDict()
+        #: lifetime counters
+        self.hits_fresh = 0
+        self.hits_stale = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def store(self, key: Tuple, value: Any, now: float) -> None:
+        if key in self._entries:
+            self._entries.pop(key)
+        self._entries[key] = CacheEntry(value=value, written_at=now)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def lookup_fresh(self, key: Tuple, now: float) -> Optional[CacheAnswer]:
+        """A within-fresh-TTL entry, or None. Refreshes LRU position."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        age = now - entry.written_at
+        if age > self.fresh_ttl_s:
+            return None
+        self._entries.move_to_end(key)
+        self.hits_fresh += 1
+        return CacheAnswer(value=entry.value, age_s=age, stale=False)
+
+    def lookup_stale(self, key: Tuple, now: float) -> Optional[CacheAnswer]:
+        """Any entry still within the stale TTL, flagged stale."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        age = now - entry.written_at
+        if age > self.stale_ttl_s:
+            self._entries.pop(key)
+            return None
+        self.hits_stale += 1
+        return CacheAnswer(value=entry.value, age_s=age, stale=True)
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,214 @@
+"""Deterministic open-loop load generation for the query tier.
+
+Open-loop means arrivals come from a schedule, not from completions: a
+slow service does not slow the generator down, which is exactly how
+overload happens in production (users keep clicking). The schedule is a
+pure function of a seed — Poisson-ish exponential inter-arrival gaps,
+Zipf-skewed key popularity, a weighted kind/priority mix — so replaying
+the same profile twice produces identical arrivals, identical admission
+decisions and identical metrics.
+
+``replay`` drives a :class:`~repro.serve.service.QueryService` through a
+simulated worker pool: arrivals are offered to admission in time order
+while ``workers`` slots execute queued requests as they free up, all in
+simulated seconds on the service clock.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.serve.dataset import (KIND_COMMUNITY, KIND_COMPANY,
+                                 KIND_ENGAGEMENT, KIND_INVESTOR,
+                                 KIND_NEIGHBORHOOD, ServeDataset)
+from repro.serve.service import QueryService, ServeRequest, ServeResult
+from repro.util.errors import ConfigError
+from repro.util.rng import RngStream
+from repro.util.stats import weighted_choice_index
+
+
+@dataclass(frozen=True)
+class LoadProfile:
+    """One seeded arrival schedule: rate, duration, and the mixes."""
+
+    qps: float
+    duration_s: float
+    seed: int = 0
+    #: (kind, weight) — the query mix
+    kind_mix: Tuple = ((KIND_COMPANY, 30), (KIND_INVESTOR, 25),
+                       (KIND_NEIGHBORHOOD, 15), (KIND_COMMUNITY, 15),
+                       (KIND_ENGAGEMENT, 15))
+    #: (priority class, weight)
+    class_mix: Tuple = (("interactive", 70), ("analytics", 20),
+                        ("bulk", 10))
+    #: per-class latency budgets (seconds)
+    deadlines: Tuple = (("interactive", 0.25), ("analytics", 0.5),
+                        ("bulk", 1.0))
+    #: key-popularity skew (1.0 = mild, higher = hotter hot keys)
+    zipf_alpha: float = 1.1
+    #: fraction of neighborhood queries that ask for two hops
+    deep_neighborhood_fraction: float = 0.3
+
+    def __post_init__(self):
+        if self.qps <= 0:
+            raise ConfigError(f"qps must be > 0, got {self.qps}")
+        if self.duration_s <= 0:
+            raise ConfigError("duration_s must be > 0")
+
+
+def generate_schedule(profile: LoadProfile,
+                      dataset: ServeDataset) -> List[ServeRequest]:
+    """The full arrival list of one run, sorted by arrival time."""
+    rng = RngStream(profile.seed, "serve-loadgen")
+    kinds = [k for k, _ in profile.kind_mix]
+    kind_weights = [float(w) for _, w in profile.kind_mix]
+    classes = [c for c, _ in profile.class_mix]
+    class_weights = [float(w) for _, w in profile.class_mix]
+    deadline_of = dict(profile.deadlines)
+    key_pools: Dict[str, List[int]] = {
+        kind: dataset.keys_for(kind) for kind in kinds}
+
+    schedule: List[ServeRequest] = []
+    now = 0.0
+    while True:
+        gap = -math.log(1.0 - rng.uniform(0.0, 0.999999)) / profile.qps
+        now += gap
+        if now >= profile.duration_s:
+            break
+        kind = kinds[weighted_choice_index(kind_weights, rng.uniform())]
+        pool = key_pools[kind]
+        if pool:
+            rank = rng.zipf_bounded(profile.zipf_alpha, len(pool))
+            key = pool[rank - 1]
+        else:
+            key = 0  # empty dataset: every query is a miss, still valid
+        priority = classes[weighted_choice_index(class_weights,
+                                                 rng.uniform())]
+        depth = 1
+        if (kind == KIND_NEIGHBORHOOD
+                and rng.bernoulli(profile.deep_neighborhood_fraction)):
+            depth = 2
+        schedule.append(ServeRequest(
+            kind=kind, key=key, priority=priority, arrival_s=round(now, 9),
+            deadline_s=deadline_of.get(priority), depth=depth))
+    return schedule
+
+
+@dataclass
+class BenchReport:
+    """What one replay run measured (JSON-able, seed-stable)."""
+
+    offered: int
+    admitted: int
+    shed: int
+    answered: int
+    stale_served: int
+    deadline_exceeded: int
+    goodput_qps: float
+    p50_latency_s: float
+    p99_latency_s: float
+    per_class_p99_s: Dict[str, float]
+    max_queue_len: int
+    hedges_launched: int
+    hedges_won: int
+    health_state: str
+    health_transitions: int
+    duration_s: float
+    metrics: Dict = field(default_factory=dict)
+
+    @property
+    def answered_fraction(self) -> float:
+        """Answered share of finally-admitted requests."""
+        return self.answered / self.admitted if self.admitted else 1.0
+
+    @property
+    def shed_fraction(self) -> float:
+        return self.shed / self.offered if self.offered else 0.0
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        payload = {
+            "offered": self.offered,
+            "admitted": self.admitted,
+            "shed": self.shed,
+            "answered": self.answered,
+            "answered_fraction": round(self.answered_fraction, 6),
+            "shed_fraction": round(self.shed_fraction, 6),
+            "stale_served": self.stale_served,
+            "deadline_exceeded": self.deadline_exceeded,
+            "goodput_qps": round(self.goodput_qps, 3),
+            "p50_latency_s": round(self.p50_latency_s, 9),
+            "p99_latency_s": round(self.p99_latency_s, 9),
+            "per_class_p99_s": {k: round(v, 9) for k, v
+                                in sorted(self.per_class_p99_s.items())},
+            "max_queue_len": self.max_queue_len,
+            "hedges_launched": self.hedges_launched,
+            "hedges_won": self.hedges_won,
+            "health_state": self.health_state,
+            "health_transitions": self.health_transitions,
+            "duration_s": self.duration_s,
+            "metrics": self.metrics,
+        }
+        return json.dumps(payload, indent=indent, sort_keys=True)
+
+
+def replay(service: QueryService,
+           schedule: List[ServeRequest]) -> BenchReport:
+    """Drive the service through one arrival schedule, open-loop."""
+    workers = [0.0] * service.config.workers
+    heapq.heapify(workers)
+    results: List[ServeResult] = []
+
+    def drain(until: float) -> None:
+        while service.admission.queue_len > 0 and workers[0] <= until:
+            free = heapq.heappop(workers)
+            request = service.admission.pop()
+            start = max(free, request.arrival_s)
+            result = service.execute(request, start)
+            results.append(result)
+            heapq.heappush(workers, start + result.service_s)
+
+    for request in schedule:
+        drain(request.arrival_s)
+        own, evicted = service.submit(request, now=request.arrival_s)
+        if own is not None:
+            results.append(own)
+        if evicted is not None:
+            results.append(evicted)
+        drain(request.arrival_s)
+    drain(math.inf)
+
+    metrics = service.metrics
+    duration = schedule[-1].arrival_s if schedule else 0.0
+    deadline_exceeded = sum(c.deadline_exceeded
+                            for c in metrics.per_class.values())
+    return BenchReport(
+        offered=metrics.offered,
+        admitted=metrics.admitted,
+        shed=metrics.shed,
+        answered=metrics.answered,
+        stale_served=metrics.stale_served,
+        deadline_exceeded=deadline_exceeded,
+        goodput_qps=(metrics.answered / duration) if duration else 0.0,
+        p50_latency_s=metrics.p50(),
+        p99_latency_s=metrics.p99(),
+        per_class_p99_s={cls: metrics.p99(cls)
+                         for cls in metrics.per_class},
+        max_queue_len=service.admission.max_queue_len,
+        hedges_launched=sum(c.hedges_launched
+                            for c in metrics.per_class.values()),
+        hedges_won=metrics.hedges_won,
+        health_state=service.health.state,
+        health_transitions=len(metrics.health_transitions),
+        duration_s=round(duration, 6),
+        metrics=metrics.snapshot(),
+    )
+
+
+def run_bench(service: QueryService, dataset: ServeDataset,
+              profile: LoadProfile) -> BenchReport:
+    """Generate a schedule and replay it — the whole open-loop bench."""
+    return replay(service, generate_schedule(profile, dataset))

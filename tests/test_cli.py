@@ -102,3 +102,34 @@ class TestResilienceFlags:
         assert main(["crawl", *SCALE, "--fault-profile", "flaky",
                      "--chaos-seed", "3"]) == 0
         assert "BFS rounds" in capsys.readouterr().out
+
+
+class TestServeCommands:
+    def test_serve_answers_sample_queries(self, capsys):
+        assert main(["serve", *SCALE, "--queries", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "fresh" in out
+        assert "health=" in out
+
+    def test_serve_bench_reports_and_writes_json(self, tmp_path, capsys):
+        import json
+        path = str(tmp_path / "serving.json")
+        assert main(["serve-bench", *SCALE, "--qps-limit", "20",
+                     "--queue-depth", "8", "--duration", "2",
+                     "--serve-chaos", "1.0", "--brownout-at", "10",
+                     "--slow-datanode", "0.05", "--json", path]) == 0
+        out = capsys.readouterr().out
+        assert "10x the 20 qps limit" in out
+        assert "shed" in out
+        with open(path, encoding="utf-8") as handle:
+            report = json.load(handle)
+        assert report["offered"] > report["admitted"]
+        assert report["max_queue_len"] <= 8
+        assert report["metrics"]["totals"]["answered"] > 0
+
+    def test_serve_bench_custom_deadline_and_ttl_flags(self, capsys):
+        assert main(["serve-bench", *SCALE, "--qps-limit", "10",
+                     "--overload", "3", "--duration", "2",
+                     "--default-deadline", "0.5",
+                     "--stale-ttl", "60"]) == 0
+        assert "goodput" in capsys.readouterr().out

@@ -75,6 +75,56 @@ class TestCircuitBreaker:
         clock.sleep(60.0)
         assert breaker.acquire() == 0.0
 
+    def test_half_open_admits_exactly_one_probe(self, clock):
+        """Regression: concurrent acquire() callers during half-open
+        must keep waiting while the probe is in flight, not stampede
+        the recovering source with simultaneous probes."""
+        breaker = CircuitBreaker(clock, failure_threshold=1, cooldown_s=10.0)
+        breaker.record_failure()
+        clock.sleep(10.0)                      # cooldown elapsed
+        assert breaker.acquire() == 0.0        # first caller = the probe
+        assert breaker.probes == 1
+        # every other worker arriving mid-probe is told to wait again
+        for _ in range(5):
+            assert breaker.acquire() > 0.0
+        assert breaker.probes == 1             # still just the one probe
+        breaker.record_success()
+        assert breaker.state == STATE_CLOSED
+        assert breaker.acquire() == 0.0        # traffic flows again
+
+    def test_waiters_before_cooldown_end_share_the_remaining_wait(
+            self, clock):
+        breaker = CircuitBreaker(clock, failure_threshold=1, cooldown_s=20.0)
+        breaker.record_failure()
+        clock.sleep(5.0)
+        first = breaker.acquire()              # becomes the probe
+        assert first == pytest.approx(15.0)
+        second = breaker.acquire()             # waits, does not probe
+        assert second == pytest.approx(15.0)
+        assert breaker.probes == 1
+
+    def test_failed_probe_releases_the_probe_slot(self, clock):
+        breaker = CircuitBreaker(clock, failure_threshold=1, cooldown_s=10.0)
+        breaker.record_failure()
+        clock.sleep(10.0)
+        assert breaker.acquire() == 0.0
+        breaker.record_failure()               # probe failed -> re-open
+        assert breaker.state == STATE_OPEN
+        clock.sleep(breaker.current_cooldown_s)
+        assert breaker.acquire() == 0.0        # next probe is admitted
+        assert breaker.probes == 2
+
+    def test_try_acquire_is_non_blocking(self, clock):
+        breaker = CircuitBreaker(clock, failure_threshold=1, cooldown_s=10.0)
+        assert breaker.try_acquire()           # closed: go
+        breaker.record_failure()
+        assert not breaker.try_acquire()       # open, cooling down
+        clock.sleep(10.0)
+        assert breaker.try_acquire()           # becomes the probe
+        assert not breaker.try_acquire()       # stampede blocked here too
+        breaker.record_success()
+        assert breaker.try_acquire()
+
     def test_breaker_for_disabled(self, clock):
         assert breaker_for(clock, "x", failure_threshold=0) is None
         assert breaker_for(clock, "x", failure_threshold=2) is not None

@@ -1,0 +1,78 @@
+"""Tests for hedged replica reads on the MiniDfs."""
+
+import pytest
+
+from repro.dfs.filesystem import MiniDfs
+from repro.util.errors import NotFoundError, StorageError
+
+PAYLOAD = bytes(range(256)) * 8  # several 64-byte blocks
+
+
+@pytest.fixture()
+def dfs():
+    fs = MiniDfs(num_datanodes=3, block_size=64, replication=2)
+    fs.create("/serve/part-00000", PAYLOAD)
+    fs.create("/serve/single", b"one-block-of-data")
+    return fs
+
+
+def _primary_and_secondary(fs, path):
+    block = fs.stat(path).blocks[0]
+    return block.locations[0], block.locations[1]
+
+
+class TestHedgedRead:
+    def test_matches_plain_read(self, dfs):
+        hedged = dfs.read_hedged("/serve/part-00000")
+        assert hedged.data == dfs.read("/serve/part-00000")
+        assert hedged.data == PAYLOAD
+
+    def test_fast_primary_never_hedges(self, dfs):
+        for node_id in dfs.datanodes:
+            dfs.set_datanode_latency(node_id, 0.001)
+        hedged = dfs.read_hedged("/serve/single", hedge_after_s=0.03)
+        assert hedged.hedges_launched == 0
+        assert hedged.hedges_won == 0
+        assert hedged.elapsed_s == pytest.approx(0.001)
+
+    def test_slow_primary_hedge_wins(self, dfs):
+        primary, _ = _primary_and_secondary(dfs, "/serve/single")
+        for node_id in dfs.datanodes:
+            dfs.set_datanode_latency(
+                node_id, 0.1 if node_id == primary else 0.001)
+        hedged = dfs.read_hedged("/serve/single", hedge_after_s=0.03)
+        assert hedged.data == b"one-block-of-data"
+        assert hedged.hedges_launched == 1
+        assert hedged.hedges_won == 1
+        # the block paid hedge_after + secondary, not the primary's 100 ms
+        assert hedged.elapsed_s == pytest.approx(0.031)
+        assert dfs.hedges_launched == 1
+        assert dfs.hedges_won == 1
+
+    def test_hedge_launched_but_lost_keeps_primary(self, dfs):
+        # every replica slow: the hedge (hedge_after + secondary) costs
+        # more than just waiting for the primary, so it loses
+        for node_id in dfs.datanodes:
+            dfs.set_datanode_latency(node_id, 0.05)
+        hedged = dfs.read_hedged("/serve/single", hedge_after_s=0.03)
+        assert hedged.hedges_launched == 1
+        assert hedged.hedges_won == 0
+        assert hedged.elapsed_s == pytest.approx(0.05)
+        assert hedged.data == b"one-block-of-data"
+
+    def test_corrupt_winner_falls_back_to_strict_path(self, dfs):
+        primary, _ = _primary_and_secondary(dfs, "/serve/part-00000")
+        dfs.corrupt_block("/serve/part-00000", block_index=0,
+                          node_id=primary)
+        hedged = dfs.read_hedged("/serve/part-00000")
+        assert hedged.data == PAYLOAD  # checksum failover still applies
+
+    def test_latency_validation(self, dfs):
+        with pytest.raises(StorageError):
+            dfs.set_datanode_latency("dn0", -0.1)
+        with pytest.raises(NotFoundError):
+            dfs.set_datanode_latency("dn99", 0.1)
+
+    def test_missing_file(self, dfs):
+        with pytest.raises(NotFoundError):
+            dfs.read_hedged("/serve/absent")

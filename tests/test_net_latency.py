@@ -1,0 +1,41 @@
+"""Tests for the deterministic per-request latency model."""
+
+import pytest
+
+from repro.net.latency import LatencyModel
+
+
+class TestLatencyModel:
+    def test_same_seed_same_sequence(self):
+        first = LatencyModel(base=0.05, jitter=0.1, seed=42)
+        second = LatencyModel(base=0.05, jitter=0.1, seed=42)
+        samples = [first.sample(i) for i in range(200)]
+        assert samples == [second.sample(i) for i in range(200)]
+
+    def test_rerun_of_one_instance_is_stable(self):
+        model = LatencyModel(base=0.01, jitter=0.05, seed=7)
+        assert [model.sample(i) for i in range(100)] == \
+            [model.sample(i) for i in range(100)]
+
+    def test_different_seeds_differ(self):
+        a = LatencyModel(base=0.0, jitter=1.0, seed=1)
+        b = LatencyModel(base=0.0, jitter=1.0, seed=2)
+        assert [a.sample(i) for i in range(50)] != \
+            [b.sample(i) for i in range(50)]
+
+    def test_samples_stay_in_band(self):
+        model = LatencyModel(base=0.02, jitter=0.08, seed=3)
+        for i in range(500):
+            assert 0.02 <= model.sample(i) < 0.1 + 1e-9
+
+    def test_zero_jitter_is_constant(self):
+        model = LatencyModel(base=0.123, jitter=0.0, seed=9)
+        assert {model.sample(i) for i in range(20)} == {0.123}
+
+    def test_negative_base_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyModel(base=-0.01, jitter=0.0)
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyModel(base=0.0, jitter=-0.5)

@@ -1,0 +1,102 @@
+"""Tests for the serve tier's front door: token bucket + bounded queue."""
+
+import pytest
+
+from repro.serve.admission import (ADMIT, AdmissionController, TokenBucket,
+                                   priority_rank)
+from repro.serve.metrics import STATUS_SHED_QUEUE, STATUS_SHED_RATE
+from repro.serve.service import ServeRequest
+
+
+def _req(priority="interactive", key=1, arrival=0.0):
+    return ServeRequest(kind="company", key=key, priority=priority,
+                        arrival_s=arrival)
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        bucket = TokenBucket(rate=10.0, burst=2.0)
+        assert bucket.try_take(0.0)
+        assert bucket.try_take(0.0)
+        assert not bucket.try_take(0.0)       # burst exhausted
+        assert not bucket.try_take(0.05)      # half a token refilled
+        assert bucket.try_take(0.1)           # one full token back
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate=100.0, burst=3.0)
+        for _ in range(3):
+            assert bucket.try_take(0.0)
+        assert bucket.available(1000.0) == pytest.approx(3.0)
+
+    def test_time_moving_backwards_is_ignored(self):
+        bucket = TokenBucket(rate=1.0, burst=1.0)
+        assert bucket.try_take(10.0)
+        assert not bucket.try_take(5.0)   # no refill from the past
+        assert bucket.try_take(11.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.5)
+
+
+class TestPriorityRank:
+    def test_interactive_outranks_bulk(self):
+        assert priority_rank("interactive") < priority_rank("analytics")
+        assert priority_rank("analytics") < priority_rank("bulk")
+
+    def test_unknown_class_raises(self):
+        with pytest.raises(ValueError):
+            priority_rank("vip")
+
+
+class TestAdmissionController:
+    def test_rate_shed_before_queue(self):
+        controller = AdmissionController(qps_limit=4.0, queue_depth=100,
+                                         burst=1.0)
+        assert controller.offer(_req(), 0.0).status == ADMIT
+        assert controller.offer(_req(), 0.0).status == STATUS_SHED_RATE
+
+    def test_queue_never_exceeds_depth(self):
+        controller = AdmissionController(qps_limit=1000.0, queue_depth=3,
+                                         burst=1000.0)
+        outcomes = [controller.offer(_req(key=i), 0.0).status
+                    for i in range(10)]
+        assert outcomes[:3] == [ADMIT] * 3
+        assert set(outcomes[3:]) == {STATUS_SHED_QUEUE}
+        assert controller.queue_len == 3
+        assert controller.max_queue_len == 3
+
+    def test_higher_priority_evicts_lower(self):
+        controller = AdmissionController(qps_limit=1000.0, queue_depth=2,
+                                         burst=1000.0)
+        controller.offer(_req("bulk", key=1), 0.0)
+        controller.offer(_req("analytics", key=2), 0.0)
+        decision = controller.offer(_req("interactive", key=3), 0.0)
+        assert decision.status == ADMIT
+        assert decision.evicted is not None
+        assert decision.evicted.priority == "bulk"   # worst goes first
+        assert controller.queue_len == 2
+
+    def test_equal_priority_never_evicts(self):
+        controller = AdmissionController(qps_limit=1000.0, queue_depth=1,
+                                         burst=1000.0)
+        controller.offer(_req("analytics", key=1), 0.0)
+        decision = controller.offer(_req("analytics", key=2), 0.0)
+        assert decision.status == STATUS_SHED_QUEUE
+        assert decision.evicted is None
+
+    def test_pop_is_priority_then_fifo(self):
+        controller = AdmissionController(qps_limit=1000.0, queue_depth=10,
+                                         burst=1000.0)
+        controller.offer(_req("bulk", key=1), 0.0)
+        controller.offer(_req("interactive", key=2), 0.0)
+        controller.offer(_req("interactive", key=3), 0.0)
+        controller.offer(_req("analytics", key=4), 0.0)
+        assert [controller.pop().key for _ in range(4)] == [2, 3, 4, 1]
+        assert controller.pop() is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionController(qps_limit=10.0, queue_depth=0)

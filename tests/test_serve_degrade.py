@@ -1,0 +1,116 @@
+"""Tests for the stale-while-revalidate cache and the health FSM."""
+
+import pytest
+
+from repro.serve.degrade import ResultCache
+from repro.serve.health import (EVENT_DEGRADED, EVENT_OK, EVENT_SHED,
+                                STATE_DEGRADED, STATE_HEALTHY,
+                                STATE_SHEDDING, HealthMonitor)
+from repro.serve.metrics import ServeMetrics
+
+KEY = ("company", 7, 1)
+
+
+class TestResultCache:
+    def test_fresh_hit_within_ttl(self):
+        cache = ResultCache(fresh_ttl_s=1.0, stale_ttl_s=30.0)
+        cache.store(KEY, {"name": "acme"}, now=10.0)
+        answer = cache.lookup_fresh(KEY, now=10.5)
+        assert answer is not None and not answer.stale
+        assert answer.value == {"name": "acme"}
+        assert cache.hits_fresh == 1
+
+    def test_fresh_lookup_expires_into_stale(self):
+        cache = ResultCache(fresh_ttl_s=1.0, stale_ttl_s=30.0)
+        cache.store(KEY, "v", now=0.0)
+        assert cache.lookup_fresh(KEY, now=5.0) is None
+        answer = cache.lookup_stale(KEY, now=5.0)
+        assert answer is not None and answer.stale
+        assert answer.age_s == pytest.approx(5.0)
+
+    def test_stale_ttl_is_the_end(self):
+        cache = ResultCache(fresh_ttl_s=1.0, stale_ttl_s=10.0)
+        cache.store(KEY, "v", now=0.0)
+        assert cache.lookup_stale(KEY, now=11.0) is None
+        assert len(cache) == 0  # expired entries are dropped
+
+    def test_lru_bound(self):
+        cache = ResultCache(fresh_ttl_s=1.0, stale_ttl_s=2.0, max_entries=2)
+        cache.store(("k", 1, 1), 1, now=0.0)
+        cache.store(("k", 2, 1), 2, now=0.0)
+        cache.lookup_fresh(("k", 1, 1), now=0.1)  # refresh 1's position
+        cache.store(("k", 3, 1), 3, now=0.2)      # evicts 2
+        assert cache.lookup_fresh(("k", 2, 1), now=0.3) is None
+        assert cache.lookup_fresh(("k", 1, 1), now=0.3).value == 1
+        assert cache.evictions == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResultCache(fresh_ttl_s=5.0, stale_ttl_s=1.0)
+        with pytest.raises(ValueError):
+            ResultCache(max_entries=0)
+
+
+class TestHealthMonitor:
+    def _monitor(self, **kwargs):
+        kwargs.setdefault("window", 20)
+        kwargs.setdefault("min_events", 10)
+        monitor = HealthMonitor(**kwargs)
+        metrics = ServeMetrics()
+        monitor.attach_metrics(metrics)
+        return monitor, metrics
+
+    def test_starts_healthy_and_stays_on_ok(self):
+        monitor, metrics = self._monitor()
+        for i in range(30):
+            assert monitor.record(EVENT_OK, float(i)) == STATE_HEALTHY
+        assert metrics.health_transitions == []
+
+    def test_shedding_on_rejections(self):
+        monitor, metrics = self._monitor()
+        for i in range(10):
+            monitor.record(EVENT_OK, float(i))
+        for i in range(10):
+            monitor.record(EVENT_SHED, 10.0 + i)
+        assert monitor.state == STATE_SHEDDING
+        assert metrics.health_transitions[-1][2] == STATE_SHEDDING
+
+    def test_degraded_on_fallback_answers(self):
+        monitor, _ = self._monitor()
+        events = [EVENT_OK] * 15 + [EVENT_DEGRADED] * 5
+        for i, event in enumerate(events):
+            monitor.record(event, float(i))
+        assert monitor.state == STATE_DEGRADED
+
+    def test_hysteresis_recovery_needs_clean_window(self):
+        monitor, metrics = self._monitor()
+        for i in range(20):
+            monitor.record(EVENT_SHED, float(i))
+        assert monitor.state == STATE_SHEDDING
+        # a few OK events are not enough: the window still shows sheds
+        for i in range(5):
+            monitor.record(EVENT_OK, 20.0 + i)
+        assert monitor.state == STATE_SHEDDING
+        # a full clean window recovers
+        for i in range(20):
+            monitor.record(EVENT_OK, 30.0 + i)
+        assert monitor.state == STATE_HEALTHY
+        states = [t[2] for t in metrics.health_transitions]
+        assert states == [STATE_SHEDDING, STATE_HEALTHY]
+
+    def test_no_flapping_below_min_events(self):
+        monitor, _ = self._monitor(min_events=10)
+        for i in range(5):
+            monitor.record(EVENT_SHED, float(i))
+        assert monitor.state == STATE_HEALTHY  # not enough evidence yet
+
+    def test_unknown_event_raises(self):
+        monitor, _ = self._monitor()
+        with pytest.raises(ValueError):
+            monitor.record("on-fire", 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HealthMonitor(window=0)
+        with pytest.raises(ValueError):
+            HealthMonitor(shed_enter=0.1, shed_exit=0.5)

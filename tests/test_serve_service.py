@@ -1,0 +1,157 @@
+"""Tests for the overload-safe query service (single-request paths)."""
+
+import pytest
+
+from repro.net.faults import FAULT_BROWNOUT, FaultSchedule
+from repro.serve.metrics import (STATUS_CACHED, STATUS_DEADLINE,
+                                 STATUS_FRESH, STATUS_SHED_QUEUE,
+                                 STATUS_STALE, STATUS_SUMMARY)
+from repro.serve.service import ServeConfig, ServeRequest
+from repro.util.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def dataset(crawled_platform):
+    return crawled_platform.serve_dataset()
+
+
+def _service(platform, faults=None, **overrides):
+    return platform.query_service(config=ServeConfig(**overrides),
+                                  faults=faults)
+
+
+def _company_key(dataset):
+    return dataset.keys_for("company")[0]
+
+
+class TestQueryPaths:
+    def test_company_lookup_reads_the_real_record(self, crawled_platform,
+                                                  dataset):
+        service = _service(crawled_platform)
+        key = _company_key(dataset)
+        result = service.handle(ServeRequest(kind="company", key=key))
+        assert result.status == STATUS_FRESH
+        assert not result.stale
+        assert result.value["known"]
+        assert int(result.value["record"]["id"]) == key
+        assert "funding_rounds" in result.value
+        assert result.latency_s > 0
+
+    def test_repeat_is_a_cache_hit(self, crawled_platform, dataset):
+        service = _service(crawled_platform)
+        key = _company_key(dataset)
+        first = service.handle(ServeRequest(kind="company", key=key))
+        second = service.handle(ServeRequest(kind="company", key=key))
+        assert second.status == STATUS_CACHED
+        assert second.value == first.value
+        assert second.latency_s < first.latency_s
+
+    def test_investor_and_traversal_answers(self, crawled_platform,
+                                            dataset):
+        service = _service(crawled_platform)
+        investor = dataset.keys_for("investor")[0]
+        result = service.handle(ServeRequest(kind="investor", key=investor))
+        assert result.status == STATUS_FRESH
+        assert result.value["investments"] >= 1
+        user = dataset.keys_for("neighborhood")[0]
+        hood = service.handle(ServeRequest(kind="neighborhood", key=user,
+                                           depth=2))
+        assert hood.status == STATUS_FRESH
+        assert hood.value["depth"] == 2
+        assert hood.value["users_reached"] >= 0
+
+    def test_unknown_kind_rejected_at_construction(self):
+        with pytest.raises(ConfigError):
+            ServeRequest(kind="weather", key=1)
+
+
+class TestDegradation:
+    def test_stale_answer_during_brownout(self, crawled_platform, dataset):
+        faults = FaultSchedule.none()
+        # backend request index 1 (the revalidation) browns out
+        faults.force_window(FAULT_BROWNOUT, start=1, span=5, duration=0.4)
+        service = _service(crawled_platform, faults=faults,
+                           fresh_ttl_s=0.5, stale_ttl_s=60.0)
+        key = _company_key(dataset)
+        first = service.handle(ServeRequest(kind="company", key=key))
+        assert first.status == STATUS_FRESH
+        service.clock.sleep(2.0)  # past the fresh TTL, within stale
+        second = service.handle(ServeRequest(kind="company", key=key))
+        assert second.status == STATUS_STALE
+        assert second.stale
+        assert second.value == first.value  # last good answer
+        assert service.metrics.stale_served == 1
+
+    def test_summary_floor_when_nothing_cached(self, crawled_platform,
+                                               dataset):
+        faults = FaultSchedule.none()
+        faults.force_window(FAULT_BROWNOUT, start=0, span=5, duration=0.4)
+        service = _service(crawled_platform, faults=faults)
+        result = service.handle(ServeRequest(
+            kind="company", key=_company_key(dataset)))
+        assert result.status == STATUS_SUMMARY
+        assert result.stale
+        assert result.value["degraded"]
+        assert result.value["total_companies"] > 0
+        assert result.answered
+
+    def test_tight_deadline_degrades_instead_of_starting(
+            self, crawled_platform, dataset):
+        service = _service(crawled_platform)
+        result = service.handle(ServeRequest(
+            kind="company", key=_company_key(dataset), deadline_s=0.001))
+        # the planner refused the read: a summary fits the 1 ms budget
+        assert result.status == STATUS_SUMMARY
+        assert result.latency_s <= 0.001
+
+    def test_hopeless_deadline_is_reported_honestly(self, crawled_platform,
+                                                    dataset):
+        service = _service(crawled_platform)
+        result = service.handle(ServeRequest(
+            kind="company", key=_company_key(dataset), deadline_s=1e-5))
+        assert result.status == STATUS_DEADLINE
+        assert not result.answered
+
+    def test_breaker_short_circuits_a_browned_out_backend(
+            self, crawled_platform, dataset):
+        faults = FaultSchedule.none()
+        faults.force_window(FAULT_BROWNOUT, start=0, span=50, duration=0.4)
+        service = _service(crawled_platform, faults=faults,
+                           breaker_failure_threshold=3)
+        keys = dataset.keys_for("company")[:8]
+        for key in keys:
+            result = service.handle(ServeRequest(kind="company", key=key))
+            assert result.status == STATUS_SUMMARY  # degraded, not dead
+        counters = service.metrics.counters("interactive")
+        # only the first three requests paid fault detection; the rest
+        # were short-circuited by the open breaker
+        assert counters.backend_faults == 3
+        assert counters.breaker_short_circuits == len(keys) - 3
+
+
+class TestAdmissionAccounting:
+    def test_evicted_request_is_reclassified_as_shed(self, crawled_platform,
+                                                     dataset):
+        service = _service(crawled_platform, qps_limit=1000.0,
+                           queue_depth=1)
+        key = _company_key(dataset)
+        own, evicted = service.submit(
+            ServeRequest(kind="company", key=key, priority="bulk"))
+        assert own is None and evicted is None
+        own, evicted = service.submit(
+            ServeRequest(kind="company", key=key, priority="interactive"))
+        assert own is None
+        assert evicted is not None
+        assert evicted.status == STATUS_SHED_QUEUE
+        metrics = service.metrics
+        assert metrics.counters("bulk").admitted == 0
+        assert metrics.counters("bulk").shed_queue == 1
+        assert metrics.counters("interactive").admitted == 1
+
+    def test_config_validation(self, crawled_platform):
+        with pytest.raises(ConfigError):
+            ServeConfig(qps_limit=0.0)
+        with pytest.raises(ConfigError):
+            ServeConfig(queue_depth=0)
+        with pytest.raises(ConfigError):
+            ServeConfig(fresh_ttl_s=10.0, stale_ttl_s=1.0)

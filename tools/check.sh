@@ -40,3 +40,10 @@ echo "== benchmark smoke (partition recovery) =="
 # fewer partitions than a full stage rerun, on every backend
 with_timeout python benchmarks/bench_a5_recovery.py \
     --smoke --json benchmarks/out/BENCH_recovery.json
+
+echo "== benchmark smoke (serving overload) =="
+# A6: 10x overload with a forced mid-run brownout and chaos faults —
+# queue stays bounded, per-class p99 under deadline, >= 99% of admitted
+# answered, same-seed reruns byte-identical
+with_timeout python benchmarks/bench_a6_serving.py \
+    --smoke --json benchmarks/out/BENCH_serving.json
