@@ -1,0 +1,268 @@
+"""A7 ablation — the columnar core: record batches + shared-memory shuffle.
+
+The tentpole claims, each pinned here and in the standalone
+``BENCH_columnar.json`` writer:
+
+* **invisible**: for reduceByKey / join / range-sort workloads the
+  columnar engine (batched narrow ops, per-batch combiners, BatchBlock
+  exchange) is byte-identical to the row engine on the serial oracle;
+* **faster in parallel**: on a 4+-core host the columnar process
+  backend beats the serial row engine by ≥2× wall clock (the gate is
+  skipped on smaller hosts, where there is no parallelism to win);
+* **clean**: a chaos run over the shm exchange leaves zero segments in
+  ``/dev/shm``.
+
+Standalone::
+
+    PYTHONPATH=src python benchmarks/bench_a7_columnar.py \
+        --smoke --json benchmarks/out/BENCH_columnar.json
+
+All workload functions are module-level so the process backend actually
+ships them (and shm block descriptors) to pool workers.
+"""
+
+import argparse
+import json
+import operator
+import os
+import time
+
+import pytest
+
+from repro.engine.columnar import (SHM_BASE_PREFIX, list_segments,
+                                   shm_available)
+from repro.engine.context import SparkLiteContext
+
+ROWS = 60_000
+PARTITIONS = 8
+BATCH_ROWS = 4096
+#: the ≥2× process-vs-serial gate needs real parallelism to exist
+MIN_CORES_FOR_SPEEDUP_GATE = 4
+
+_HOT_KEYS = 8
+
+
+# ---------------------------------------------------------------- workloads
+def _skewed_pair(x: int):
+    if x % 4:
+        return (x % _HOT_KEYS, 1)
+    return (_HOT_KEYS + x % 24, 1)
+
+
+def _wide_pair(x: int):
+    """Pairs with a string payload: the columnar win is largest when
+    rows carry varlen data the batch heap stores contiguously."""
+    return (x % 64, f"record-{x % 7}-" + "payload" * 4)
+
+
+def _join_left(x: int):
+    return (x % 128, x)
+
+
+def _join_right(x: int):
+    return (x % 128, -x)
+
+
+def _sort_key(pair):
+    return pair[0]
+
+
+def _reduce_job(sc, rows):
+    return (sc.parallelize(range(rows), PARTITIONS)
+            .map(_skewed_pair).reduce_by_key(operator.add).collect())
+
+
+def _wide_reduce_job(sc, rows):
+    return (sc.parallelize(range(rows), PARTITIONS)
+            .map(_wide_pair).group_by_key().collect())
+
+
+def _join_job(sc, rows):
+    left = sc.parallelize(range(rows), PARTITIONS).map(_join_left)
+    right = sc.parallelize(range(rows // 2), PARTITIONS).map(_join_right)
+    return left.join(right).collect()
+
+
+def _sort_job(sc, rows):
+    return (sc.parallelize(range(rows), PARTITIONS)
+            .map(_wide_pair).sort_by(_sort_key).collect())
+
+
+WORKLOADS = {
+    "reduce_by_key": _reduce_job,
+    "group_by_key_wide": _wide_reduce_job,
+    "join": _join_job,
+    "range_sort": _sort_job,
+}
+
+
+def _run(workload: str, rows: int, backend: str, columnar: bool,
+         rounds: int = 1, **kwargs):
+    """One configuration → (result, metrics dict, best wall seconds)."""
+    job = WORKLOADS[workload]
+    times = []
+    with SparkLiteContext(parallelism=4, backend=backend,
+                          engine_columnar=columnar,
+                          batch_rows=BATCH_ROWS, **kwargs) as sc:
+        result = job(sc, rows)  # warm-up
+        for _ in range(rounds):
+            start = time.perf_counter()
+            result = job(sc, rows)
+            times.append(time.perf_counter() - start)
+        metrics = sc.last_job_metrics.as_dict()
+    return result, metrics, min(times)
+
+
+# ------------------------------------------------------------------ pytest
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_a7_columnar_identical_on_serial_oracle(benchmark, workload):
+    """The acceptance gate: columnar on vs. off on the serial backend,
+    byte-identical output for every workload kind."""
+    def both():
+        row, _m, _t = _run(workload, 12_000, "serial", columnar=False)
+        col, _m2, _t2 = _run(workload, 12_000, "serial", columnar=True)
+        return row, col
+    row, col = benchmark.pedantic(both, rounds=1, iterations=1)
+    assert repr(col) == repr(row)
+
+
+@pytest.mark.parametrize("workload", ["reduce_by_key", "join"])
+def test_a7_process_columnar_matches_row_oracle(workload):
+    row, _m, _t = _run(workload, 8_000, "serial", columnar=False)
+    col, metrics, _t2 = _run(workload, 8_000, "process", columnar=True)
+    assert repr(col) == repr(row)
+    assert metrics["fallbacks"] == 0
+    assert metrics["shuffle_bytes"] == \
+        metrics["shuffle_bytes_shm"] + metrics["shuffle_bytes_pickled"]
+
+
+def test_a7_shm_exchange_moves_the_data():
+    if not shm_available():
+        pytest.skip("no shared memory on this platform")
+    _result, metrics, _t = _run("group_by_key_wide", 8_000, "serial",
+                                columnar=True, shuffle_shm=True)
+    assert metrics["shuffle_bytes_shm"] > 0
+    assert metrics["shuffle_bytes_shm"] > metrics["shuffle_bytes_pickled"]
+    assert list_segments(SHM_BASE_PREFIX) == []
+
+
+@pytest.mark.skipif((os.cpu_count() or 1) < MIN_CORES_FOR_SPEEDUP_GATE,
+                    reason="speedup gate needs >= 4 cores")
+def test_a7_parallel_speedup_gate(benchmark):
+    """On real hardware the columnar process backend must beat the
+    serial row engine ≥2× on the reduce workload."""
+    def measure():
+        _r, _m, serial_s = _run("reduce_by_key", ROWS, "serial",
+                                columnar=False, rounds=2)
+        _r2, _m2, process_s = _run("reduce_by_key", ROWS, "process",
+                                   columnar=True, rounds=2)
+        return serial_s / process_s
+    speedup = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert speedup >= 2.0, f"columnar process speedup {speedup:.2f}x < 2x"
+
+
+def test_a7_chaos_run_leaks_no_segments():
+    if not shm_available():
+        pytest.skip("no shared memory on this platform")
+    from repro.net.faults import FaultSchedule
+    faults = FaultSchedule.engine_chaos(intensity=8.0, seed=11)
+    with SparkLiteContext(parallelism=4, backend="thread",
+                          task_deadline=5.0, engine_faults=faults,
+                          engine_columnar=True, batch_rows=64,
+                          shuffle_shm=True) as sc:
+        got = _reduce_job(sc, 4_000)
+    with SparkLiteContext(parallelism=2, backend="serial") as oracle:
+        assert repr(sorted(got)) == repr(sorted(_reduce_job(oracle, 4_000)))
+    assert list_segments(SHM_BASE_PREFIX) == []
+
+
+# --------------------------------------------------------------- standalone
+def _bench_payload(rows: int, rounds: int) -> dict:
+    cores = os.cpu_count() or 1
+    gate_active = cores >= MIN_CORES_FOR_SPEEDUP_GATE
+    workloads = {}
+    for name in sorted(WORKLOADS):
+        row_result, row_metrics, row_s = _run(
+            name, rows, "serial", columnar=False, rounds=rounds)
+        col_result, col_metrics, col_s = _run(
+            name, rows, "serial", columnar=True, rounds=rounds)
+        assert repr(col_result) == repr(row_result), \
+            f"columnar changed results on {name}"
+        proc_result, proc_metrics, proc_s = _run(
+            name, rows, "process", columnar=True, rounds=rounds)
+        assert repr(proc_result) == repr(row_result), \
+            f"columnar process diverged on {name}"
+        workloads[name] = {
+            "rows": rows,
+            "wall_s_serial_rows": round(row_s, 4),
+            "wall_s_serial_columnar": round(col_s, 4),
+            "wall_s_process_columnar": round(proc_s, 4),
+            "speedup_process_vs_serial": round(row_s / proc_s, 3),
+            "shuffle_bytes": proc_metrics["shuffle_bytes"],
+            "shuffle_bytes_shm": proc_metrics["shuffle_bytes_shm"],
+            "shuffle_bytes_pickled": proc_metrics["shuffle_bytes_pickled"],
+            "fallbacks": proc_metrics["fallbacks"],
+        }
+    leaked = list_segments(SHM_BASE_PREFIX)
+    return {
+        "benchmark": "columnar-core",
+        "cores": cores,
+        "shm_available": shm_available(),
+        "speedup_gate_active": gate_active,
+        "speedup_gate_x": 2.0,
+        "leaked_segments": leaked,
+        "workloads": workloads,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Measure the columnar core: row vs. batch engine on "
+                    "reduce/join/sort, shm exchange accounting; write "
+                    "BENCH_columnar.json.")
+    parser.add_argument("--rows", type=int, default=ROWS)
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI scale: few rows, one round")
+    parser.add_argument("--json", metavar="FILE",
+                        help="write the measurements as JSON")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.rows, args.rounds = min(args.rows, 10_000), 1
+    if args.rows < 1 or args.rounds < 1:
+        parser.error("--rows/--rounds must be >= 1")
+
+    payload = _bench_payload(args.rows, args.rounds)
+    for name, row in payload["workloads"].items():
+        shm_share = (row["shuffle_bytes_shm"]
+                     / max(1, row["shuffle_bytes"]))
+        print(f"{name:>18}: serial-rows {row['wall_s_serial_rows']:.3f}s, "
+              f"serial-columnar {row['wall_s_serial_columnar']:.3f}s, "
+              f"process-columnar {row['wall_s_process_columnar']:.3f}s "
+              f"({row['speedup_process_vs_serial']}x), "
+              f"{shm_share:.0%} of shuffle bytes via shm")
+
+    if payload["leaked_segments"]:
+        print(f"SHM LEAK: {payload['leaked_segments']}")
+        return 1
+    if payload["speedup_gate_active"]:
+        gate = min(payload["workloads"][w]["speedup_process_vs_serial"]
+                   for w in ("reduce_by_key", "join", "range_sort"))
+        if gate < payload["speedup_gate_x"]:
+            print(f"COLUMNAR REGRESSION: process speedup {gate}x < "
+                  f"{payload['speedup_gate_x']}x on {payload['cores']} cores")
+            return 1
+    else:
+        print(f"speedup gate skipped: {payload['cores']} core(s) < "
+              f"{MIN_CORES_FOR_SPEEDUP_GATE}")
+    if args.json:
+        os.makedirs(os.path.dirname(args.json) or ".", exist_ok=True)
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+    sys.exit(main())

@@ -55,6 +55,16 @@ def _add_world_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--shuffle-compress", action="store_true",
                         help="zlib-compress shuffle blocks above the "
                              "engine's size threshold")
+    parser.add_argument("--engine-columnar", action="store_true",
+                        help="run the engine's columnar hot path: "
+                             "batch-at-a-time narrow ops, per-batch "
+                             "combiners, typed batch shuffle blocks "
+                             "(shared-memory backed on the process "
+                             "backend); results are byte-identical")
+    parser.add_argument("--batch-rows", type=int, default=4096,
+                        metavar="ROWS",
+                        help="rows per record batch for the columnar "
+                             "engine")
     parser.add_argument("--broadcast-join-threshold", type=int,
                         default=256 * 1024, metavar="BYTES",
                         help="broadcast one join side when its serialized "
@@ -91,6 +101,8 @@ def _platform_config(args: argparse.Namespace) -> PlatformConfig:
         engine_backend=getattr(args, "engine_backend", "thread"),
         task_retries=getattr(args, "task_retries", 1),
         shuffle_compress=getattr(args, "shuffle_compress", False),
+        engine_columnar=getattr(args, "engine_columnar", False),
+        batch_rows=getattr(args, "batch_rows", 4096),
         broadcast_join_threshold=getattr(
             args, "broadcast_join_threshold", 256 * 1024),
         cache_budget=getattr(args, "cache_budget", 64 * 1024 * 1024),

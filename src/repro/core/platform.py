@@ -43,6 +43,13 @@ class PlatformConfig:
     # ---- shuffle fast path (see DESIGN.md "Shuffle fast path") ----
     #: zlib-compress shuffle blocks above the engine's size threshold
     shuffle_compress: bool = False
+    # ---- columnar core (see DESIGN.md "Columnar core") ----
+    #: run elementwise ops and shuffles over columnar record batches
+    #: (byte-identical results; shm-backed exchange on the process
+    #: backend where the platform supports it)
+    engine_columnar: bool = False
+    #: rows per record batch when the columnar engine is on
+    batch_rows: int = 4096
     #: broadcast one join side when its serialized size fits under this
     #: many bytes (0 disables; raw contexts default to off, the platform
     #: opts in because its dimension tables are small)
@@ -126,6 +133,8 @@ class ExploratoryPlatform:
             backend=self.config.engine_backend,
             task_retries=self.config.task_retries,
             shuffle_compress=self.config.shuffle_compress,
+            engine_columnar=self.config.engine_columnar,
+            batch_rows=self.config.batch_rows,
             broadcast_join_threshold=self.config.broadcast_join_threshold,
             cache_budget=self.config.cache_budget,
             cache_dfs=self.dfs,

@@ -117,3 +117,36 @@ def iter_json_dataset(dfs: MiniDfs, directory: str) -> Iterator[Dict]:
 def read_json_dataset(dfs: MiniDfs, directory: str) -> List[Dict]:
     """Materialize a dataset as a list of records."""
     return list(iter_json_dataset(dfs, directory))
+
+
+# ----------------------------------------------------- batch-native scans
+def read_part_batches(dfs: MiniDfs, path: str, batch_rows: int) -> List:
+    """One part file as :class:`~repro.engine.columnar.RecordBatch`es.
+
+    Records decode straight into batches of at most ``batch_rows`` rows
+    — the columnar engine's scan entry point
+    (``SparkLiteContext.json_batches``). Imported lazily so the storage
+    layer stays importable without the engine package.
+    """
+    from repro.engine.columnar import RecordBatch
+    if batch_rows < 1:
+        raise StorageError("batch_rows must be >= 1")
+    records = [json.loads(line)
+               for line in dfs.read_text(path).splitlines() if line]
+    return [RecordBatch.from_records(records[start:start + batch_rows])
+            for start in range(0, len(records), batch_rows)] or \
+        [RecordBatch.from_records([])]
+
+
+def iter_json_batches(dfs: MiniDfs, directory: str,
+                      batch_rows: int = 4096) -> Iterator:
+    """Stream a dataset as record batches, partition order preserved."""
+    for path in list_partitions(dfs, directory):
+        for batch in read_part_batches(dfs, path, batch_rows):
+            yield batch
+
+
+def read_json_batches(dfs: MiniDfs, directory: str,
+                      batch_rows: int = 4096) -> List:
+    """Materialize a dataset as a list of record batches."""
+    return list(iter_json_batches(dfs, directory, batch_rows))

@@ -16,6 +16,12 @@ map-side combiners for ``reduce_by_key`` / ``aggregate_by_key`` /
 :class:`~repro.engine.shuffle.ShuffleBlock` payloads on the process
 backend, sampled range partitioning for ``sort_by``, and an adaptive
 broadcast-hash ``join`` when one side fits under a size threshold.
+With ``engine_columnar=True`` the hot path goes columnar: elementwise
+narrow ops run batch-at-a-time, combiners fold per
+:class:`~repro.engine.columnar.RecordBatch`, exchanges seal typed
+:class:`~repro.engine.columnar.BatchBlock`s, and on the process backend
+the blocks ride ``multiprocessing.shared_memory`` so only descriptors
+cross the pickle walls — with byte-identical results either way.
 Every action leaves a per-stage
 :class:`~repro.engine.metrics.JobMetrics` on
 ``context.last_job_metrics``, including records/bytes shuffled both
@@ -35,6 +41,8 @@ from repro.engine.backends import (BACKENDS, ExecutionBackend,
                                    ThreadBackend, resolve_backend)
 from repro.engine.cache import CacheManager
 from repro.engine.checkpoint import CheckpointManager
+from repro.engine.columnar import (BatchBlock, RecordBatch, ShmRegistry,
+                                   batch_to_rows, shm_available)
 from repro.engine.context import SparkLiteContext
 from repro.engine.dataframe import DataFrame, Row
 from repro.engine.metrics import JobMetrics, MetricsTrace, StageMetrics
@@ -49,6 +57,7 @@ __all__ = ["SparkLiteContext", "RDD", "DataFrame", "Row",
            "ProcessBackend", "BACKENDS", "resolve_backend",
            "JobMetrics", "StageMetrics", "MetricsTrace",
            "CacheManager", "CheckpointManager", "ShuffleBlock",
-           "HashPartitioner", "RangePartitioner",
+           "RecordBatch", "BatchBlock", "ShmRegistry", "batch_to_rows",
+           "shm_available", "HashPartitioner", "RangePartitioner",
            "ExecutorLostError", "RunResult", "SupervisePolicy",
            "TaskSupervisor"]

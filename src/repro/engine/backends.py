@@ -66,6 +66,12 @@ class ExecutionBackend:
     #: payloads should be sealed into ShuffleBlocks (serialize-once)
     #: instead of re-pickled as raw record lists on every hop.
     shuffle_blocks = False
+    #: True when tasks run in other processes on the same machine, so a
+    #: columnar exchange can move sealed batches through
+    #: ``multiprocessing.shared_memory`` instead of pickling the bytes.
+    #: Serial/thread backends share the driver heap — shm would only
+    #: add copies there.
+    supports_shm = False
 
     def __init__(self, parallelism: Optional[int] = None,
                  task_retries: Optional[int] = None):
@@ -188,6 +194,7 @@ class ProcessBackend(ExecutionBackend):
 
     name = "process"
     shuffle_blocks = True
+    supports_shm = True
 
     def __init__(self, parallelism: Optional[int] = None,
                  task_retries: Optional[int] = None,

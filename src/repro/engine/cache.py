@@ -94,9 +94,12 @@ class CacheManager:
         self._shrink()
 
     def _write_parts(self, rdd_id: int, partitions: List[List[Any]]) -> None:
+        # tagged row codec: columnar-packable partitions spill as one
+        # RecordBatch buffer, irregular ones as a pickle — the decoder
+        # dispatches on the tag byte, so old readers never see this
+        from repro.engine.columnar import encode_rows
         for index, part in enumerate(partitions):
-            blob = zlib.compress(
-                pickle.dumps(part, protocol=pickle.HIGHEST_PROTOCOL), 6)
+            blob = zlib.compress(encode_rows(part), 6)
             self.dfs.write_atomic(self._part_path(rdd_id, index), blob)
 
     def _part_path(self, rdd_id: int, index: int) -> str:
@@ -144,8 +147,9 @@ class CacheManager:
                     part_count: int) -> Optional[List[List[Any]]]:
         if self.dfs is None:
             return None
+        from repro.engine.columnar import decode_rows
         try:
-            return [pickle.loads(zlib.decompress(
+            return [decode_rows(zlib.decompress(
                 self.dfs.read(self._part_path(rdd_id, index))))
                 for index in range(part_count)]
         except Exception:

@@ -10,6 +10,7 @@ from repro.engine.backends import (ExecutionBackend, SupervisePolicy,
 from repro.engine.cache import CacheManager
 from repro.engine.checkpoint import CheckpointManager
 from repro.engine.metrics import MetricsTrace
+from repro.engine.columnar import DEFAULT_BATCH_ROWS, shm_available
 from repro.engine.rdd import RDD, JobRunner
 from repro.engine.shuffle import DEFAULT_COMPRESS_THRESHOLD
 from repro.util.errors import EngineError
@@ -59,6 +60,23 @@ class SparkLiteContext:
             ``None`` leaves checkpointing unconfigured.
         checkpoint_dfs: the MiniDfs holding checkpoints (defaults to
             ``cache_dfs``).
+        engine_columnar: run the columnar hot path — elementwise narrow
+            ops execute batch-at-a-time, shuffle buckets combine per
+            batch and seal into
+            :class:`~repro.engine.columnar.BatchBlock`s. Results are
+            byte-identical to the row engine (differential-tested);
+            only the execution strategy changes.
+        batch_rows: rows per record batch for the columnar engine
+            (narrow-op slices, per-batch combiner chunks, batch-native
+            dataset scans).
+        shuffle_shm: move sealed columnar blocks through
+            ``multiprocessing.shared_memory`` instead of pickling their
+            bytes. ``None`` (default) auto-enables exactly when it
+            helps: columnar engine on, a backend whose tasks live in
+            other processes, and a platform that can create segments.
+            ``False`` forces the pickle path; ``True`` requests shm but
+            still degrades cleanly to pickled payloads when the
+            platform refuses.
 
     Note:
         Whatever the backend, the execution *model* is Spark's —
@@ -79,9 +97,14 @@ class SparkLiteContext:
                  speculation: bool = False,
                  engine_faults: Any = None,
                  checkpoint_dir: Optional[str] = None,
-                 checkpoint_dfs: Any = None):
+                 checkpoint_dfs: Any = None,
+                 engine_columnar: bool = False,
+                 batch_rows: int = DEFAULT_BATCH_ROWS,
+                 shuffle_shm: Optional[bool] = None):
         if parallelism < 1:
             raise EngineError("parallelism must be >= 1")
+        if batch_rows < 1:
+            raise EngineError("batch_rows must be >= 1")
         if task_retries < 0:
             raise EngineError("task_retries must be >= 0")
         if broadcast_join_threshold < 0:
@@ -102,6 +125,9 @@ class SparkLiteContext:
         self.shuffle_compress = shuffle_compress
         self.shuffle_compress_threshold = shuffle_compress_threshold
         self.broadcast_join_threshold = broadcast_join_threshold
+        self.engine_columnar = engine_columnar
+        self.batch_rows = batch_rows
+        self.shuffle_shm = shuffle_shm
         #: cross-job partition store backing RDD.persist()/cache()
         self.cache_manager = CacheManager(budget_bytes=cache_budget,
                                           dfs=cache_dfs)
@@ -119,6 +145,23 @@ class SparkLiteContext:
         #: dataset-scan RDDs keyed by (dfs, dir, part files) so repeated
         #: reads of one directory share a lineage node — and its cache
         self._datasets = {}
+
+    @property
+    def shm_enabled(self) -> bool:
+        """Should exchanges back their sealed blocks with shared memory?
+
+        Tri-state resolution of ``shuffle_shm``: an explicit ``False``
+        wins outright; otherwise shm needs the columnar engine, a
+        working ``multiprocessing.shared_memory``, and — when left on
+        auto (``None``) — a backend whose tasks actually live in other
+        processes (shm buys nothing on serial/thread).
+        """
+        if not self.engine_columnar or self.shuffle_shm is False:
+            return False
+        if self.shuffle_shm is None \
+                and not getattr(self.backend, "supports_shm", False):
+            return False
+        return shm_available()
 
     def set_checkpoint_dir(self, directory: str, dfs: Any) -> None:
         """Configure where :meth:`RDD.checkpoint` persists partitions."""
@@ -165,6 +208,33 @@ class SparkLiteContext:
         self._datasets[key] = rdd
         return rdd
 
+    def json_batches(self, dfs, directory: str,
+                     batch_rows: Optional[int] = None) -> RDD:
+        """Batch-native scan: one partition per part file, each a list
+        of :class:`~repro.engine.columnar.RecordBatch`es of at most
+        ``batch_rows`` records (defaults to the context's).
+
+        ``flat_map(batch_to_rows)`` recovers the row view; pipelines
+        that aggregate per batch skip the per-row object churn
+        entirely.
+        """
+        from repro.dfs.jsonlines import read_part_batches
+        paths = dfs.glob_parts(directory)
+        if not paths:
+            raise EngineError(f"no part files under {directory}")
+        rows = batch_rows or self.batch_rows
+        key = (id(dfs), directory, tuple(paths), "batches", rows)
+        rdd = self._datasets.get(key)
+        if rdd is not None:
+            return rdd
+
+        def compute(runner: JobRunner, index: int) -> List[Any]:
+            return read_part_batches(dfs, paths[index], rows)
+        rdd = RDD(self, len(paths), (), compute,
+                  name=f"jsonb:{directory}")
+        self._datasets[key] = rdd
+        return rdd
+
     def empty(self) -> RDD:
         return self.parallelize([])
 
@@ -183,7 +253,12 @@ class SparkLiteContext:
         self._check_alive()
         self.jobs_run += 1
         runner = JobRunner(self)
-        result = runner.all_partitions(rdd)
+        try:
+            result = runner.all_partitions(rdd)
+        finally:
+            # shm segments must not outlive the job, even a failed one —
+            # decoded results are plain row lists with no references in
+            runner.release_shuffle_segments()
         self.last_job_metrics = runner.metrics
         self.metrics_trace.append(runner.metrics)
         return result
@@ -196,7 +271,10 @@ class SparkLiteContext:
         self._check_alive()
         self.jobs_run += 1
         runner = JobRunner(self)
-        result = runner.take(rdd, n)
+        try:
+            result = runner.take(rdd, n)
+        finally:
+            runner.release_shuffle_segments()
         self.last_job_metrics = runner.metrics
         self.metrics_trace.append(runner.metrics)
         return result

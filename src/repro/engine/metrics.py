@@ -39,8 +39,11 @@ class StageMetrics:
     records_out: int = 0
     shuffle_records: int = 0        # records entering the exchange (pre-combine)
     shuffle_records_moved: int = 0  # records actually shipped (post-combine)
-    shuffle_bytes: int = 0          # bytes actually moved (post-compress)
+    shuffle_bytes: int = 0          # bytes actually moved (post-compress),
+    #                                 including sealed-block envelopes
     shuffle_bytes_raw: int = 0      # serialized size before compression
+    shuffle_bytes_shm: int = 0      # moved by shared-memory reference
+    shuffle_bytes_pickled: int = 0  # moved through a pickle wall
     wall_s: float = 0.0
     cache_hit: bool = False
     fallback: bool = False
@@ -83,6 +86,8 @@ class StageMetrics:
             "shuffle_records_moved": self.shuffle_records_moved,
             "shuffle_bytes": self.shuffle_bytes,
             "shuffle_bytes_raw": self.shuffle_bytes_raw,
+            "shuffle_bytes_shm": self.shuffle_bytes_shm,
+            "shuffle_bytes_pickled": self.shuffle_bytes_pickled,
             "wall_s": round(self.wall_s, 6),
             "cache_hit": self.cache_hit,
             "fallback": self.fallback,
@@ -118,6 +123,8 @@ class JobMetrics:
         self.shuffle_records_moved = 0
         self.shuffle_bytes = 0
         self.shuffle_bytes_raw = 0
+        self.shuffle_bytes_shm = 0
+        self.shuffle_bytes_pickled = 0
         self.broadcast_joins = 0
         self.cached_hits = 0
         self.fallbacks = 0
@@ -166,17 +173,25 @@ class JobMetrics:
 
     def record_shuffle(self, records: int, nbytes: int,
                        records_moved: int = None,
-                       raw_bytes: int = None) -> None:
+                       raw_bytes: int = None,
+                       shm_bytes: int = 0,
+                       pickled_bytes: int = None) -> None:
         """One exchange: ``records`` entered it (pre-combine) and
         ``records_moved`` actually crossed it (defaults to ``records``
         when no combiner ran); ``nbytes`` moved on the wire against a
-        ``raw_bytes`` uncompressed size."""
+        ``raw_bytes`` uncompressed size. ``shm_bytes`` of that moved by
+        shared-memory reference, the rest — ``pickled_bytes``, which
+        defaults to all of ``nbytes`` — through a pickle wall."""
         self.shuffles += 1
         self.shuffle_records += records
         self.shuffle_records_moved += (records if records_moved is None
                                        else records_moved)
         self.shuffle_bytes += nbytes
         self.shuffle_bytes_raw += nbytes if raw_bytes is None else raw_bytes
+        self.shuffle_bytes_shm += shm_bytes
+        self.shuffle_bytes_pickled += (nbytes - shm_bytes
+                                       if pickled_bytes is None
+                                       else pickled_bytes)
 
     def record_broadcast_join(self) -> None:
         self.broadcast_joins += 1
@@ -194,6 +209,8 @@ class JobMetrics:
             "shuffle_records_moved": self.shuffle_records_moved,
             "shuffle_bytes": self.shuffle_bytes,
             "shuffle_bytes_raw": self.shuffle_bytes_raw,
+            "shuffle_bytes_shm": self.shuffle_bytes_shm,
+            "shuffle_bytes_pickled": self.shuffle_bytes_pickled,
             "broadcast_joins": self.broadcast_joins,
             "cached_hits": self.cached_hits,
             "fallbacks": self.fallbacks,

@@ -38,6 +38,7 @@ from repro.engine.metrics import (STAGE_CACHED, STAGE_CHECKPOINT,
 # the canonical key hashing lives in shuffle.py now; re-exported here
 # unchanged because CRC32 bucket placement is pinned by regression tests
 # that import these names from this module.
+from repro.engine.columnar import BatchBlock
 from repro.engine.shuffle import (BroadcastHashJoinOp, CogroupJoinTask,
                                   HashPartitioner, MapShuffleTask,
                                   ReduceShuffleTask, ShuffleBlock,
@@ -59,10 +60,16 @@ _rdd_ids = itertools.count()
 
 # ----------------------------------------------------------- partition operators
 # Callable objects instead of closures so narrow/shuffle tasks pickle to a
-# process pool whenever the *user's* function does.
+# process pool whenever the *user's* function does. ``elementwise`` marks
+# ops whose output for a partition is the concatenation of their outputs
+# for any split of it — the columnar engine may legally run those
+# batch-at-a-time. Whole-partition ops (mapPartitions sees the full
+# list; sample seeds its RNG with the partition length) must not be
+# batched or their results would change.
 
 class _MapOp:
     __slots__ = ("fn",)
+    elementwise = True
 
     def __init__(self, fn):
         self.fn = fn
@@ -74,6 +81,7 @@ class _MapOp:
 
 class _FilterOp:
     __slots__ = ("fn",)
+    elementwise = True
 
     def __init__(self, fn):
         self.fn = fn
@@ -85,6 +93,7 @@ class _FilterOp:
 
 class _FlatMapOp:
     __slots__ = ("fn",)
+    elementwise = True
 
     def __init__(self, fn):
         self.fn = fn
@@ -96,6 +105,7 @@ class _FlatMapOp:
 
 class _MapPartitionsOp:
     __slots__ = ("fn",)
+    elementwise = False
 
     def __init__(self, fn):
         self.fn = fn
@@ -106,6 +116,7 @@ class _MapPartitionsOp:
 
 class _KeyByOp:
     __slots__ = ("fn",)
+    elementwise = True
 
     def __init__(self, fn):
         self.fn = fn
@@ -117,6 +128,7 @@ class _KeyByOp:
 
 class _MapValuesOp:
     __slots__ = ("fn",)
+    elementwise = True
 
     def __init__(self, fn):
         self.fn = fn
@@ -128,6 +140,7 @@ class _MapValuesOp:
 
 class _FlatMapValuesOp:
     __slots__ = ("fn",)
+    elementwise = True
 
     def __init__(self, fn):
         self.fn = fn
@@ -137,8 +150,35 @@ class _FlatMapValuesOp:
         return [(k, u) for k, v in part for u in fn(v)]
 
 
+class _BatchedOp:
+    """Run an elementwise partition op in ``batch_rows`` slices.
+
+    The columnar engine's narrow-stage wrapper: output order matches
+    the unbatched op exactly (slices concatenate in order), memory per
+    call is bounded by the batch size instead of the partition size.
+    """
+
+    __slots__ = ("op", "batch_rows")
+    elementwise = True
+
+    def __init__(self, op, batch_rows):
+        self.op = op
+        self.batch_rows = batch_rows
+
+    def __call__(self, part):
+        size = self.batch_rows
+        if len(part) <= size:
+            return self.op(part)
+        op = self.op
+        out = []
+        for start in range(0, len(part), size):
+            out.extend(op(part[start:start + size]))
+        return out
+
+
 class _SampleOp:
     __slots__ = ("fraction", "seed")
+    elementwise = False
 
     def __init__(self, fraction, seed):
         self.fraction = fraction
@@ -682,6 +722,24 @@ class JobRunner:
         #: (RDD ids are process-global, so they would not be), which is
         #: what keeps injected engine faults seed-deterministic.
         self.job_serial = getattr(context, "jobs_run", 0)
+        #: shared-memory exchange: a job-scoped segment registry when the
+        #: context's columnar engine decided shm is on, else None (all
+        #: sealed payloads then travel inline through pickle walls)
+        self.shm_registry = None
+        if getattr(context, "shm_enabled", False):
+            from repro.engine.columnar import ShmRegistry
+            self.shm_registry = ShmRegistry()
+
+    def release_shuffle_segments(self) -> int:
+        """Unlink every shm segment this job created (idempotent).
+
+        Called from the context in a ``finally`` around each action —
+        segments must survive until then because retried or speculative
+        reduce tasks may re-read any block, but they must never outlive
+        the job."""
+        if self.shm_registry is None:
+            return 0
+        return self.shm_registry.release()
 
     def _stage_key(self, role: str) -> str:
         return f"j{self.job_serial}s{self.metrics.next_stage_id()}{role}"
@@ -773,27 +831,28 @@ class JobRunner:
         backend = self.context.backend
         start = time.perf_counter()
         broadcast = False
-        rec_in = rec_moved = b_moved = b_raw = 0
+        rec_in = rec_moved = b_moved = b_raw = b_shm = b_pick = 0
         runs: List[Any] = []
         if rdd.part_fn is not None:
             inputs = self.all_partitions(rdd.parents[0])
-            run = backend.run(rdd.part_fn, inputs,
+            run = backend.run(self._narrow_op(rdd.part_fn), inputs,
                               stage_key=self._stage_key("n"))
             runs.append(run)
             results = run.results
             kind = STAGE_NARROW
         elif rdd.shuffle is not None:
             pieces, stats, exchange = self._exchange(rdd)
-            rec_in, rec_moved, b_moved, b_raw = stats
+            rec_in, rec_moved, b_moved, b_raw, b_shm, b_pick = stats
             post = backend.run(ReduceShuffleTask(rdd.shuffle.post), pieces,
                                stage_key=self._stage_key("r"))
             runs.extend([exchange, post])
             results = post.results
             kind = STAGE_SHUFFLE
-            self.metrics.record_shuffle(rec_in, b_moved, rec_moved, b_raw)
+            self.metrics.record_shuffle(rec_in, b_moved, rec_moved, b_raw,
+                                        b_shm, b_pick)
         elif rdd.join_how is not None:
             results, stats, runs, broadcast = self._join(rdd)
-            rec_in, rec_moved, b_moved, b_raw = stats
+            rec_in, rec_moved, b_moved, b_raw, b_shm, b_pick = stats
             kind = STAGE_NARROW if broadcast else STAGE_SHUFFLE
         else:
             compute = rdd._compute
@@ -803,7 +862,9 @@ class JobRunner:
             before = (self.metrics.shuffle_records,
                       self.metrics.shuffle_records_moved,
                       self.metrics.shuffle_bytes,
-                      self.metrics.shuffle_bytes_raw)
+                      self.metrics.shuffle_bytes_raw,
+                      self.metrics.shuffle_bytes_shm,
+                      self.metrics.shuffle_bytes_pickled)
             results = backend.run_local(
                 lambda i: compute(self, i), rdd.num_partitions)
             kind = STAGE_TASK
@@ -812,6 +873,8 @@ class JobRunner:
             rec_moved = self.metrics.shuffle_records_moved - before[1]
             b_moved = self.metrics.shuffle_bytes - before[2]
             b_raw = self.metrics.shuffle_bytes_raw - before[3]
+            b_shm = self.metrics.shuffle_bytes_shm - before[4]
+            b_pick = self.metrics.shuffle_bytes_pickled - before[5]
         self._partitions[rdd.rdd_id] = results
         if rdd._cache_requested:
             self._store_cache(rdd, results)
@@ -823,6 +886,7 @@ class JobRunner:
             records_out=sum(len(p) for p in results),
             shuffle_records=rec_in, shuffle_records_moved=rec_moved,
             shuffle_bytes=b_moved, shuffle_bytes_raw=b_raw,
+            shuffle_bytes_shm=b_shm, shuffle_bytes_pickled=b_pick,
             wall_s=time.perf_counter() - start, broadcast=broadcast)
         for run in runs:
             stage.add_run(run)
@@ -875,13 +939,27 @@ class JobRunner:
                     break
         return [x for part in gathered for x in part][:n]
 
+    # ------------------------------------------------------------ narrow ops
+    def _narrow_op(self, op):
+        """Wrap an elementwise partition op for batch-at-a-time execution
+        when the context runs columnar; whole-partition ops pass through
+        untouched (batching them would change their results)."""
+        context = self.context
+        if (getattr(context, "engine_columnar", False)
+                and getattr(op, "elementwise", False)):
+            batch_rows = getattr(context, "batch_rows", 0)
+            if batch_rows and batch_rows > 0:
+                return _BatchedOp(op, batch_rows)
+        return op
+
     # ---------------------------------------------------------------- shuffles
     def _exchange(self, rdd: RDD):
         """Map-side exchange for a structured wide node.
 
         Resolves the partitioner (data-dependent range plan, round-robin,
         or CRC32 hash — unchanged placement), then delegates to
-        :meth:`_exchange_parts`.
+        :meth:`_exchange_parts`. The stage's reduce-side ``post`` op is
+        handed along as the per-batch combiner's partial-merge function.
         """
         parts = self.all_partitions(rdd.parents[0])
         spec = rdd.shuffle
@@ -894,27 +972,38 @@ class JobRunner:
             partitioner = HashPartitioner(spec.bucket_fn, num_buckets)
         return self._exchange_parts(parts, num_buckets, partitioner,
                                     spec.combiner,
-                                    stage_key=self._stage_key("m"))
+                                    stage_key=self._stage_key("m"),
+                                    merge=spec.post)
 
     def _exchange_parts(self, parts, num_buckets, partitioner,
-                        combiner=None, stage_key=None):
+                        combiner=None, stage_key=None, merge=None):
         """Bucket (+combine, +seal) every parent partition on the backend.
 
         Returns ``(pieces, (records_in, records_moved, bytes_moved,
-        bytes_raw), run)`` where ``pieces[b]`` lists bucket ``b``'s
-        payload from each map chunk in partition order — deterministic
-        on every backend. Payloads are :class:`ShuffleBlock`s when the
-        backend crosses a process boundary or compression is on;
-        otherwise plain lists (and byte volume falls back to one pickle
-        of the whole exchange, as before).
+        bytes_raw, bytes_shm, bytes_pickled), run)`` where ``pieces[b]``
+        lists bucket ``b``'s payload from each map chunk in partition
+        order — deterministic on every backend. Payloads are sealed
+        blocks when the backend crosses a process boundary, compression
+        is on, or the columnar engine runs (``BatchBlock``s then, shm-
+        backed when the context enabled shared memory); otherwise plain
+        lists (and byte volume falls back to one pickle of the whole
+        exchange, as before).
         """
         context = self.context
         backend = context.backend
         compress = getattr(context, "shuffle_compress", False)
-        seal = bool(getattr(backend, "shuffle_blocks", False) or compress)
+        columnar = bool(getattr(context, "engine_columnar", False))
+        shm_prefix = (self.shm_registry.prefix
+                      if self.shm_registry is not None else None)
+        seal = bool(getattr(backend, "shuffle_blocks", False) or compress
+                    or shm_prefix)
         op = MapShuffleTask(
             partitioner, num_buckets, combiner, seal, compress,
-            getattr(context, "shuffle_compress_threshold", 4096))
+            getattr(context, "shuffle_compress_threshold", 4096),
+            columnar=columnar,
+            batch_rows=getattr(context, "batch_rows", 0) if columnar else 0,
+            merge=merge if columnar else None,
+            shm_prefix=shm_prefix)
         offsets = []
         offset = 0
         for part in parts:
@@ -923,18 +1012,24 @@ class JobRunner:
         run = backend.run(op, list(zip(offsets, parts)),
                           stage_key=stage_key)
         pieces: List[List[Any]] = [[] for _ in range(num_buckets)]
-        rec_in = rec_moved = b_moved = b_raw = 0
+        rec_in = rec_moved = b_moved = b_raw = b_shm = b_pick = 0
         for out in run.results:
             rec_in += out.records_in
             rec_moved += out.records_out
             for b, payload in enumerate(out.buckets):
                 pieces[b].append(payload)
-                if isinstance(payload, ShuffleBlock):
+                if isinstance(payload, (ShuffleBlock, BatchBlock)):
                     b_moved += payload.nbytes
                     b_raw += payload.raw_bytes
+                    b_shm += payload.shm_bytes
+                    b_pick += payload.pickled_nbytes
+                    if self.shm_registry is not None:
+                        self.shm_registry.track(
+                            getattr(payload, "shm_name", None))
         if not seal:
-            b_moved = b_raw = payload_bytes(pieces)
-        return pieces, (rec_in, rec_moved, b_moved, b_raw), run
+            b_moved = b_raw = b_pick = payload_bytes(pieces)
+        return pieces, (rec_in, rec_moved, b_moved, b_raw, b_shm,
+                        b_pick), run
 
     # ------------------------------------------------------------------- joins
     def _join(self, rdd: RDD):
@@ -963,18 +1058,20 @@ class JobRunner:
                     list(big_parts), stage_key=self._stage_key("b"))
                 self.metrics.record_broadcast_join()
                 results = _reshape(run.results, num_buckets)
-                return results, (0, 0, 0, 0), [run], True
+                return results, (0, 0, 0, 0, 0, 0), [run], True
         partitioner = HashPartitioner(_pair_key, num_buckets)
         pieces_l, stats_l, run_l = self._exchange_parts(
             left_parts, num_buckets, partitioner,
             stage_key=self._stage_key("l"))
         self.metrics.record_shuffle(stats_l[0], stats_l[2],
-                                    stats_l[1], stats_l[3])
+                                    stats_l[1], stats_l[3],
+                                    stats_l[4], stats_l[5])
         pieces_r, stats_r, run_r = self._exchange_parts(
             right_parts, num_buckets, partitioner,
             stage_key=self._stage_key("r"))
         self.metrics.record_shuffle(stats_r[0], stats_r[2],
-                                    stats_r[1], stats_r[3])
+                                    stats_r[1], stats_r[3],
+                                    stats_r[4], stats_r[5])
         post = backend.run(CogroupJoinTask(how),
                            list(zip(pieces_l, pieces_r)),
                            stage_key=self._stage_key("p"))

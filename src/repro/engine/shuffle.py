@@ -31,6 +31,8 @@ import pickle
 import zlib
 from typing import Any, Callable, List, Optional
 
+from repro.engine.columnar import BatchBlock
+
 #: compress a block only when its pickle is at least this large (bytes)
 DEFAULT_COMPRESS_THRESHOLD = 4096
 
@@ -154,14 +156,15 @@ class ShuffleBlock:
     CODEC_PICKLE = 0
     CODEC_ZLIB = 1
 
-    __slots__ = ("payload", "count", "raw_bytes", "codec")
+    __slots__ = ("payload", "count", "raw_bytes", "codec", "header_bytes")
 
     def __init__(self, payload: bytes, count: int, raw_bytes: int,
-                 codec: int):
+                 codec: int, header_bytes: int = 0):
         self.payload = payload
         self.count = count
         self.raw_bytes = raw_bytes
         self.codec = codec
+        self.header_bytes = header_bytes
 
     @classmethod
     def seal(cls, items: List[Any], compress: bool = False,
@@ -173,7 +176,20 @@ class ShuffleBlock:
             squeezed = zlib.compress(payload, 6)
             if len(squeezed) < raw_bytes:
                 payload, codec = squeezed, cls.CODEC_ZLIB
-        return cls(payload, len(items), raw_bytes, codec)
+        block = cls(payload, len(items), raw_bytes, codec)
+        block.header_bytes = block._measure_header()
+        return block
+
+    def _measure_header(self) -> int:
+        """Pickled envelope size beyond the payload itself — sealed
+        blocks used to report ``len(payload)`` as bytes moved, silently
+        under-counting what actually crosses each pickle wall."""
+        payload, self.payload = self.payload, b""
+        try:
+            return len(pickle.dumps(self,
+                                    protocol=pickle.HIGHEST_PROTOCOL))
+        finally:
+            self.payload = payload
 
     def decode(self) -> List[Any]:
         payload = self.payload
@@ -183,7 +199,17 @@ class ShuffleBlock:
 
     @property
     def nbytes(self) -> int:
-        return len(self.payload)
+        return len(self.payload) + self.header_bytes
+
+    @property
+    def shm_bytes(self) -> int:
+        """Uniform accounting with :class:`BatchBlock`: a classic
+        pickled block never moves bytes through shared memory."""
+        return 0
+
+    @property
+    def pickled_nbytes(self) -> int:
+        return self.nbytes
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         codec = "zlib" if self.codec == self.CODEC_ZLIB else "pickle"
@@ -213,22 +239,52 @@ class MapShuffleTask:
     ``combiner`` (when the stage has one) collapses each bucket list
     before anything is shipped; combined buckets hold partial
     aggregates the reduce-side post operator knows how to merge.
+
+    Columnar mode changes two things. Buckets seal into
+    :class:`~repro.engine.columnar.BatchBlock`s (batch-encoded, and
+    shm-backed when ``shm_prefix`` is set) instead of pickled
+    :class:`ShuffleBlock`s. And the combiner runs *per batch*: a bucket
+    larger than ``batch_rows`` is combined in batch-sized slices whose
+    partials are folded left-to-right with ``merge`` — the stage's
+    reduce-side post operator, the one contract-bound to merge partial
+    aggregates — so the result is byte-identical to combining the
+    bucket in one pass.
     """
 
     __slots__ = ("partitioner", "num_buckets", "combiner", "seal",
-                 "compress", "threshold")
+                 "compress", "threshold", "columnar", "batch_rows",
+                 "merge", "shm_prefix")
 
     def __init__(self, partitioner: Optional[Callable[[Any], int]],
                  num_buckets: int,
                  combiner: Optional[Callable[[List[Any]], List[Any]]] = None,
                  seal: bool = False, compress: bool = False,
-                 threshold: int = DEFAULT_COMPRESS_THRESHOLD):
+                 threshold: int = DEFAULT_COMPRESS_THRESHOLD,
+                 columnar: bool = False, batch_rows: int = 0,
+                 merge: Optional[Callable[[List[Any]], List[Any]]] = None,
+                 shm_prefix: Optional[str] = None):
         self.partitioner = partitioner
         self.num_buckets = num_buckets
         self.combiner = combiner
         self.seal = seal
         self.compress = compress
         self.threshold = threshold
+        self.columnar = columnar
+        self.batch_rows = batch_rows
+        self.merge = merge
+        self.shm_prefix = shm_prefix
+
+    def _combine_batched(self, bucket: List[Any]) -> List[Any]:
+        size = self.batch_rows
+        combine = self.combiner
+        if len(bucket) <= size:
+            return combine(bucket)
+        merge = self.merge
+        partial: Optional[List[Any]] = None
+        for start in range(0, len(bucket), size):
+            piece = combine(bucket[start:start + size])
+            partial = piece if partial is None else merge(partial + piece)
+        return partial
 
     def __call__(self, chunk) -> MapShuffleOutput:
         offset, items = chunk
@@ -244,14 +300,25 @@ class MapShuffleTask:
         records_in = len(items)
         combine = self.combiner
         if combine is not None:
-            buckets = [combine(bucket) if bucket else bucket
-                       for bucket in buckets]
+            if self.columnar and self.batch_rows and self.merge is not None:
+                buckets = [self._combine_batched(bucket) if bucket
+                           else bucket for bucket in buckets]
+            else:
+                buckets = [combine(bucket) if bucket else bucket
+                           for bucket in buckets]
         records_out = sum(len(bucket) for bucket in buckets)
         if self.seal:
-            sealed: List[Optional[ShuffleBlock]] = [
-                ShuffleBlock.seal(bucket, self.compress, self.threshold)
-                if bucket else None
-                for bucket in buckets]
+            if self.columnar:
+                sealed: List[Any] = [
+                    BatchBlock.seal(bucket, self.compress, self.threshold,
+                                    self.shm_prefix)
+                    if bucket else None
+                    for bucket in buckets]
+            else:
+                sealed = [
+                    ShuffleBlock.seal(bucket, self.compress, self.threshold)
+                    if bucket else None
+                    for bucket in buckets]
             return MapShuffleOutput(sealed, records_in, records_out)
         return MapShuffleOutput(buckets, records_in, records_out)
 
@@ -262,7 +329,7 @@ def merge_pieces(pieces: List[Any]) -> List[Any]:
     for piece in pieces:
         if piece is None:
             continue
-        if isinstance(piece, ShuffleBlock):
+        if isinstance(piece, (ShuffleBlock, BatchBlock)):
             merged.extend(piece.decode())
         else:
             merged.extend(piece)

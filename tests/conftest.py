@@ -31,6 +31,26 @@ def pytest_unconfigure(config):
     faulthandler.cancel_dump_traceback_later()
 
 
+@pytest.fixture(autouse=True)
+def _no_leaked_shm_segments():
+    """Every test must leave ``/dev/shm`` as it found it.
+
+    The columnar shuffle creates engine-owned shared-memory segments
+    (names prefixed ``rpshm``); the driver unlinks them at job end even
+    when the job fails. A segment that survives a test is a leak — the
+    guard unlinks it so one bad test cannot poison the rest of the
+    suite, then fails loudly.
+    """
+    from repro.engine import columnar
+    before = set(columnar.list_segments(columnar.SHM_BASE_PREFIX))
+    yield
+    after = set(columnar.list_segments(columnar.SHM_BASE_PREFIX))
+    leaked = sorted(after - before)
+    for name in leaked:
+        columnar.release_segments(names=[name])
+    assert not leaked, f"leaked shared-memory segments: {leaked}"
+
+
 @pytest.fixture(scope="session")
 def tiny_world() -> World:
     """A ~2k-company world; read-only for all tests."""

@@ -207,6 +207,32 @@ class TestKillWorkerMidStage:
         # the profile must actually have fired at this intensity
         assert touched >= 1, "engine chaos injected nothing"
 
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    @pytest.mark.parametrize("seed", _seeds(), ids=lambda s: f"seed{s}")
+    def test_columnar_shm_byte_identical_under_engine_faults(
+            self, oracle, backend, seed):
+        """The same chaos, on the columnar engine with the exchange
+        forced through shared memory: killed workers and wedged tasks
+        recompute through the shm blocks (a block may be decoded by a
+        retried and a speculative attempt), the output stays
+        byte-identical, and the job-end sweep reclaims every segment —
+        including orphans from attempts that died after sealing."""
+        from repro.engine.columnar import (SHM_BASE_PREFIX, list_segments,
+                                           shm_available)
+        from repro.engine.context import SparkLiteContext
+        faults = FaultSchedule.engine_chaos(intensity=8.0, seed=seed)
+        with SparkLiteContext(parallelism=4, backend=backend,
+                              task_deadline=5.0, engine_faults=faults,
+                              engine_columnar=True, batch_rows=32,
+                              shuffle_shm=shm_available() or None) as sc:
+            got = _engine_pipeline(sc)
+            touched = sum(m.lost_executors + m.zombie_tasks
+                          + m.recomputed_partitions
+                          for m in sc.metrics_trace.jobs())
+        assert got == oracle
+        assert touched >= 1, "engine chaos injected nothing"
+        assert list_segments(SHM_BASE_PREFIX) == []
+
     def test_chaos_engine_profile_parses(self):
         schedule = FaultSchedule.from_profile("chaos-engine", seed=3)
         assert "kill_worker" in schedule.kinds

@@ -291,6 +291,78 @@ class TestShuffleFastPathDifferential:
                 sorted(map(repr, hash_out))
 
 
+class TestColumnarDifferential:
+    """The columnar engine must also be invisible: for every scenario,
+    every backend, the batch-at-a-time path (tiny batches on purpose,
+    so real jobs span many) produces output identical to the row-oracle
+    serial run — same elements, same order, same reprs."""
+
+    @pytest.fixture(scope="class")
+    def columnar_contexts(self):
+        ctxs = {name: SparkLiteContext(parallelism=3, backend=name,
+                                       engine_columnar=True,
+                                       batch_rows=16)
+                for name in ALL_BACKENDS}
+        yield ctxs
+        for ctx in ctxs.values():
+            ctx.stop()
+
+    @pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_columnar_matches_row_oracle(self, contexts, columnar_contexts,
+                                         backend, scenario):
+        fn = SCENARIOS[scenario]
+        expected = fn(contexts["serial"])  # row engine, serial oracle
+        actual = fn(columnar_contexts[backend])
+        assert repr(actual) == repr(expected), \
+            f"columnar {backend} diverged on {scenario}"
+
+    @pytest.mark.parametrize("scenario", ["reduce_by_key", "join",
+                                          "sort_by_range_partitioned"])
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_columnar_compressed_identical(self, contexts, backend,
+                                           scenario):
+        fn = SCENARIOS[scenario]
+        expected = fn(contexts["serial"])
+        with SparkLiteContext(parallelism=3, backend=backend,
+                              engine_columnar=True, batch_rows=16,
+                              shuffle_compress=True,
+                              shuffle_compress_threshold=1) as squeezed:
+            assert repr(fn(squeezed)) == repr(expected)
+
+    @pytest.mark.parametrize("scenario",
+                             ["reduce_by_key", "group_by_key", "join"])
+    def test_columnar_shm_forced_identical(self, contexts, scenario):
+        from repro.engine.columnar import (SHM_BASE_PREFIX, list_segments,
+                                           shm_available)
+        if not shm_available():
+            pytest.skip("no shared memory on this platform")
+        fn = SCENARIOS[scenario]
+        expected = fn(contexts["serial"])
+        with SparkLiteContext(parallelism=3, backend="serial",
+                              engine_columnar=True, batch_rows=16,
+                              shuffle_shm=True) as shm:
+            assert repr(fn(shm)) == repr(expected)
+            assert shm.last_job_metrics.shuffle_bytes_shm > 0
+        assert list_segments(SHM_BASE_PREFIX) == []
+
+    def test_columnar_process_pipeline_stays_on_the_pool(self):
+        from repro.engine.columnar import shm_available
+        with SparkLiteContext(parallelism=3, backend="process",
+                              engine_columnar=True, batch_rows=16) as sc:
+            result = scenario_reduce_by_key(sc)
+            metrics = sc.last_job_metrics
+        with SparkLiteContext(parallelism=3, backend="serial") as oracle:
+            assert repr(result) == repr(scenario_reduce_by_key(oracle))
+        assert metrics.fallbacks == 0
+        if shm_available():
+            # the exchange rode shared memory, and the split accounts
+            # for every byte moved
+            assert metrics.shuffle_bytes_shm > 0
+            assert metrics.shuffle_bytes == \
+                metrics.shuffle_bytes_shm + metrics.shuffle_bytes_pickled
+
+
 class TestBackendResolution:
     def test_resolve_by_name(self):
         assert isinstance(resolve_backend("serial", 2), SerialBackend)

@@ -52,7 +52,8 @@ class TestJobMetrics:
         assert set(d) == {"rdds_materialized", "partitions_computed",
                           "shuffles", "shuffle_records",
                           "shuffle_records_moved", "shuffle_bytes",
-                          "shuffle_bytes_raw", "broadcast_joins",
+                          "shuffle_bytes_raw", "shuffle_bytes_shm",
+                          "shuffle_bytes_pickled", "broadcast_joins",
                           "cached_hits", "fallbacks", "task_attempts",
                           "retried_tasks", "lost_executors",
                           "recomputed_partitions", "speculative_launched",
@@ -67,6 +68,89 @@ class TestJobMetrics:
         sc.parallelize([1, 2]).collect()
         assert sc.last_job_metrics.shuffle_records == 0
         assert first == 50
+
+
+def _pair_mod5(x):
+    return (x % 5, x)
+
+
+def _add(a, b):
+    return a + b
+
+
+class TestShuffleByteDecomposition:
+    """``shuffle_bytes`` splits into what rode shared memory and what
+    actually crossed a pickle wall; the two must always sum back."""
+
+    def test_row_engine_is_all_pickled(self):
+        with SparkLiteContext(parallelism=2, backend="serial") as sc:
+            (sc.parallelize(range(60), 3)
+             .map(_pair_mod5).reduce_by_key(_add).collect())
+            metrics = sc.last_job_metrics
+        assert metrics.shuffle_bytes > 0
+        assert metrics.shuffle_bytes_shm == 0
+        assert metrics.shuffle_bytes_pickled == metrics.shuffle_bytes
+
+    def test_columnar_without_shm_is_all_pickled(self):
+        with SparkLiteContext(parallelism=2, backend="serial",
+                              engine_columnar=True, batch_rows=8,
+                              shuffle_shm=False) as sc:
+            (sc.parallelize(range(60), 3)
+             .map(_pair_mod5).reduce_by_key(_add).collect())
+            metrics = sc.last_job_metrics
+        assert metrics.shuffle_bytes_shm == 0
+        assert metrics.shuffle_bytes_pickled == metrics.shuffle_bytes
+
+    def test_shm_moves_the_data_leaves_the_headers(self):
+        from repro.engine.columnar import shm_available
+        if not shm_available():
+            pytest.skip("no shared memory on this platform")
+        with SparkLiteContext(parallelism=2, backend="serial",
+                              engine_columnar=True, batch_rows=8,
+                              shuffle_shm=True) as sc:
+            (sc.parallelize(range(60), 3)
+             .map(_pair_mod5).reduce_by_key(_add).collect())
+            metrics = sc.last_job_metrics
+        assert metrics.shuffle_bytes_shm > 0
+        # descriptors still cross the wall: pickled never hits zero
+        assert metrics.shuffle_bytes_pickled > 0
+        assert metrics.shuffle_bytes == \
+            metrics.shuffle_bytes_shm + metrics.shuffle_bytes_pickled
+        # the same split is visible per stage
+        stage = next(s for s in metrics.stages if s.kind == "shuffle")
+        assert stage.shuffle_bytes_shm > 0
+        assert stage.shuffle_bytes == \
+            stage.shuffle_bytes_shm + stage.shuffle_bytes_pickled
+        assert {"shuffle_bytes_shm", "shuffle_bytes_pickled"} \
+            <= set(stage.as_dict())
+
+    def test_process_backend_decomposes_too(self):
+        from repro.engine.columnar import shm_available
+        with SparkLiteContext(parallelism=2, backend="process",
+                              engine_columnar=True, batch_rows=8) as sc:
+            (sc.parallelize(range(60), 3)
+             .map(_pair_mod5).reduce_by_key(_add).collect())
+            metrics = sc.last_job_metrics
+        assert metrics.shuffle_bytes == \
+            metrics.shuffle_bytes_shm + metrics.shuffle_bytes_pickled
+        if shm_available():
+            assert metrics.shuffle_bytes_shm > 0
+
+    def test_headers_counted_in_sealed_bytes(self):
+        # the old accounting reported payload bytes only; a sealed
+        # exchange now also counts each block's pickled envelope
+        with SparkLiteContext(parallelism=2, backend="serial",
+                              shuffle_compress=True,
+                              shuffle_compress_threshold=1 << 30) as sc:
+            (sc.parallelize(range(60), 3)
+             .map(_pair_mod5).reduce_by_key(_add).collect())
+            sealed = sc.last_job_metrics
+        with SparkLiteContext(parallelism=2, backend="serial") as sc:
+            (sc.parallelize(range(60), 3)
+             .map(_pair_mod5).reduce_by_key(_add).collect())
+            unsealed = sc.last_job_metrics
+        # same payloads; the sealed run additionally counts headers
+        assert sealed.shuffle_bytes > unsealed.shuffle_bytes
 
 
 class TestStageMetrics:

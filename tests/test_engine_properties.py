@@ -164,6 +164,75 @@ def test_take_agrees_with_prefix(data, parts, n):
         assert sc.parallelize(data, parts).take(n) == data[:n]
 
 
+# ------------------------------------------------------- columnar engine
+#: the columnar matrix spawns two contexts per example; a leaner example
+#: budget keeps the process-backend legs affordable
+MATRIX_SETTINGS = settings(max_examples=12, deadline=None)
+
+
+def _add(a, b):
+    return a + b
+
+
+def _repr_key(kv):
+    return repr(kv[0])
+
+
+def _shuffle_battery(sc, data, parts, width):
+    """Every wide-stage kind in one pass, reprs compared verbatim.
+
+    Module-level functions on purpose: the process-backend legs must
+    genuinely ship the stages to pool workers, not fall back."""
+    rdd = sc.parallelize(data, parts)
+    return [
+        rdd.reduce_by_key(_add, num_partitions=width).collect(),
+        rdd.group_by_key(num_partitions=width).collect(),
+        rdd.count_by_key_rdd(num_partitions=width).collect(),
+        rdd.distinct(num_partitions=width).collect(),
+        rdd.join(rdd, num_partitions=width).collect(),
+        rdd.sort_by(_repr_key, num_partitions=width).collect(),
+    ]
+
+
+@pytest.mark.parametrize("backend,compress", [
+    ("serial", False), ("serial", True),
+    ("thread", False), ("thread", True),
+    ("process", False), ("process", True),
+])
+@given(data=pairs, parts=partitions, width=partitions)
+@MATRIX_SETTINGS
+def test_columnar_matches_row_oracle(backend, compress, data, parts, width):
+    """The columnar×backend×compression matrix: batch-at-a-time narrow
+    ops, per-batch combiners and BatchBlock exchanges must be
+    byte-identical to the row engine's serial oracle for arbitrary
+    datasets — including cross-type-equal keys (1 == 1.0 == True)."""
+    with _sc(parallelism=3) as oracle:
+        expected = repr(_shuffle_battery(oracle, data, parts, width))
+    with _sc(parallelism=3, backend=backend, engine_columnar=True,
+             batch_rows=7, shuffle_compress=compress,
+             shuffle_compress_threshold=1) as columnar:
+        got = repr(_shuffle_battery(columnar, data, parts, width))
+    assert got == expected
+
+
+@given(data=pairs, parts=partitions, width=partitions)
+@MATRIX_SETTINGS
+def test_columnar_shm_matches_row_oracle(data, parts, width):
+    """Shared-memory exchange (forced on, any backend) is invisible in
+    results and leaves no segment behind."""
+    from repro.engine.columnar import (SHM_BASE_PREFIX, list_segments,
+                                       shm_available)
+    if not shm_available():
+        pytest.skip("no shared memory on this platform")
+    with _sc(parallelism=3) as oracle:
+        expected = repr(_shuffle_battery(oracle, data, parts, width))
+    with _sc(parallelism=3, engine_columnar=True, batch_rows=7,
+             shuffle_shm=True) as shm:
+        got = repr(_shuffle_battery(shm, data, parts, width))
+    assert got == expected
+    assert list_segments(SHM_BASE_PREFIX) == []
+
+
 def _retry_shuffle_job(sc, data, parts, width, flaky_map):
     return (sc.parallelize(data, parts)
             .map(flaky_map)
@@ -199,3 +268,69 @@ def test_combined_shuffle_survives_task_retries(data, parts, width):
                           task_retries=2) as sc:
         got = _retry_shuffle_job(sc, data, parts, width, flaky)
     assert sorted(got) == sorted(expected)
+
+
+@given(data=st.lists(st.integers(0, 200), min_size=1, max_size=40),
+       parts=partitions, width=partitions)
+@MATRIX_SETTINGS
+def test_columnar_shuffle_survives_task_retries(data, parts, width):
+    """Re-executed map tasks re-bucket and re-combine per batch; the
+    per-batch partials must not double-count — and when the exchange is
+    shm-backed, the retried attempt's orphaned segments must still be
+    reclaimed at job end."""
+    import threading
+
+    from repro.engine.columnar import SHM_BASE_PREFIX, list_segments
+    lock = threading.Lock()
+    state = {"tripped": False}
+
+    def flaky(x):
+        with lock:
+            if not state["tripped"]:
+                state["tripped"] = True
+                raise RuntimeError("transient")
+        return (x % 5, x)
+
+    with _sc(parallelism=3, backend="thread") as oracle:
+        expected = _retry_shuffle_job(oracle, data, parts, width,
+                                      lambda x: (x % 5, x))
+    with SparkLiteContext(parallelism=3, backend="thread",
+                          task_retries=2, engine_columnar=True,
+                          batch_rows=7, shuffle_shm=True) as sc:
+        got = _retry_shuffle_job(sc, data, parts, width, flaky)
+    assert sorted(got) == sorted(expected)
+    assert list_segments(SHM_BASE_PREFIX) == []
+
+
+def test_columnar_outputs_identical_under_speculation():
+    """A speculative backup may decode the same shm-backed block as the
+    straggler it raced; both must see the data and the job must stay
+    byte-identical to the serial row oracle."""
+    import time
+
+    from repro.engine.columnar import (SHM_BASE_PREFIX, list_segments,
+                                       shm_available)
+    seen = set()
+    lock = __import__("threading").Lock()
+
+    def slow_once(x):
+        with lock:
+            first = x not in seen
+            seen.add(x)
+        if x == 7 and first:
+            time.sleep(0.3)
+        return (x % 5, x)
+
+    with _sc(parallelism=2) as oracle:
+        expected = (oracle.parallelize(range(40), 8)
+                    .map(lambda x: (x % 5, x))
+                    .reduce_by_key(lambda a, b: a + b).collect())
+    with SparkLiteContext(parallelism=4, backend="thread",
+                          speculation=True, engine_columnar=True,
+                          batch_rows=7,
+                          shuffle_shm=shm_available() or None) as sc:
+        got = (sc.parallelize(range(40), 8)
+               .map(slow_once)
+               .reduce_by_key(lambda a, b: a + b).collect())
+    assert got == expected
+    assert list_segments(SHM_BASE_PREFIX) == []

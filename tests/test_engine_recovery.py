@@ -189,6 +189,62 @@ class TestPartitionLevelRecovery:
             assert sc.last_job_metrics.lost_executors >= 1
 
 
+def _pair_mod5(x):
+    return (x % 5, x)
+
+
+def _sum(a, b):
+    return a + b
+
+
+class TestColumnarShmRecovery:
+    """Worker loss during a shared-memory exchange: only the lost
+    partitions recompute, re-sealed segments replace the orphans, and
+    the job-end sweep leaves ``/dev/shm`` clean."""
+
+    @pytest.fixture(autouse=True)
+    def _shm_or_skip(self):
+        from repro.engine.columnar import shm_available
+        if not shm_available():
+            pytest.skip("no shared memory on this platform")
+
+    def test_lost_worker_recomputes_only_lost_partitions(self, tmp_path,
+                                                         monkeypatch):
+        from repro.engine.columnar import SHM_BASE_PREFIX, list_segments
+        monkeypatch.setenv("REPRO_RECOVERY_MARKER_DIR", str(tmp_path))
+        with SparkLiteContext(parallelism=4, backend="process",
+                              engine_columnar=True, batch_rows=2) as sc:
+            out = (sc.parallelize([1, 2, 3, 4], 4)
+                   .map(_die_once_after_siblings)
+                   .map(_pair_mod5)
+                   .reduce_by_key(_sum)
+                   .collect())
+            metrics = sc.last_job_metrics
+        assert sorted(out) == [(1, 6), (2, 2), (3, 8), (4, 4)]
+        assert metrics.lost_executors >= 1
+        assert 1 <= metrics.recomputed_partitions < 4
+        assert metrics.shuffle_bytes_shm > 0
+        assert metrics.shuffle_bytes == \
+            metrics.shuffle_bytes_shm + metrics.shuffle_bytes_pickled
+        assert list_segments(SHM_BASE_PREFIX) == []
+
+    def test_injected_loss_with_forced_shm_in_process(self):
+        from repro.engine.columnar import SHM_BASE_PREFIX, list_segments
+        faults = FaultSchedule([FaultSpec(FAULT_KILL_WORKER, 0.999)],
+                               seed=5)
+        with SparkLiteContext(parallelism=2, backend="serial",
+                              engine_columnar=True, batch_rows=2,
+                              shuffle_shm=True,
+                              engine_faults=faults) as sc:
+            out = (sc.parallelize([1, 2, 3, 4], 4)
+                   .map(_pair_mod5).reduce_by_key(_sum).collect())
+            metrics = sc.last_job_metrics
+        assert sorted(out) == [(1, 1), (2, 2), (3, 3), (4, 4)]
+        assert metrics.lost_executors >= 1
+        assert metrics.recomputed_partitions >= 1
+        assert list_segments(SHM_BASE_PREFIX) == []
+
+
 class TestSpeculativeExecution:
     def test_straggler_gets_a_backup_that_wins(self):
         backend = ThreadBackend(parallelism=4)

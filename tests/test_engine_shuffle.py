@@ -32,7 +32,12 @@ class TestShuffleBlock:
         assert block.decode() == items
         assert block.count == 50
         assert block.codec == ShuffleBlock.CODEC_PICKLE
-        assert block.raw_bytes == block.nbytes
+        # bytes moved = payload + the pickled envelope around it (the
+        # old ``raw_bytes == nbytes`` identity under-counted headers)
+        assert block.nbytes == block.raw_bytes + block.header_bytes
+        assert block.header_bytes > 0
+        assert block.pickled_nbytes == block.nbytes
+        assert block.shm_bytes == 0
 
     def test_empty_block(self):
         block = ShuffleBlock.seal([])

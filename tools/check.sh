@@ -47,3 +47,10 @@ echo "== benchmark smoke (serving overload) =="
 # answered, same-seed reruns byte-identical
 with_timeout python benchmarks/bench_a6_serving.py \
     --smoke --json benchmarks/out/BENCH_serving.json
+
+echo "== benchmark smoke (columnar core) =="
+# A7: row vs columnar engine on reduce/join/sort — byte-identical
+# output, shm exchange accounting, zero leaked segments; the >= 2x
+# process-vs-serial gate arms itself only on 4+-core hosts
+with_timeout python benchmarks/bench_a7_columnar.py \
+    --smoke --json benchmarks/out/BENCH_columnar.json
