@@ -87,6 +87,17 @@ class PlatformConfig:
     dead_letters: bool = True
     #: replay passes attempted before leaving letters parked
     replay_passes: int = 5
+    #: poison letters are quarantined after this many failed replays
+    dead_letter_max_attempts: int = 5
+    # ---- continuous ingest (see DESIGN.md "Durable continuous ingest") --
+    #: simulated seconds between scheduler beats
+    beat_interval_s: float = 60.0
+    #: lease time-to-live for ingest work units
+    ingest_lease_ttl_s: float = 150.0
+    #: frontier entities expanded per ingest work unit
+    frontier_batch: int = 16
+    #: compact the upsert datasets every N completed days (0 = never)
+    compact_every_days: int = 0
 
 
 @dataclass
@@ -156,10 +167,14 @@ class ExploratoryPlatform:
         self.dead_letter_queues: Dict[str, DeadLetterQueue] = {}
         if self.config.dead_letters:
             self.dead_letter_queues = {
-                name: DeadLetterQueue(self.dfs,
-                                      root=f"/crawl/deadletters/{name}")
+                name: DeadLetterQueue(
+                    self.dfs, root=f"/crawl/deadletters/{name}",
+                    max_attempts=self.config.dead_letter_max_attempts)
                 for name in ("facebook", "twitter")}
         self.plugins = PluginRegistry()
+        #: one dynamics timeline per platform: the world's evolution is
+        #: external state that survives ingest-scheduler crashes
+        self._ingest_dynamics: Optional[Any] = None
         self.crawl_summary: Optional[CrawlSummary] = None
         self._graph: Optional[BipartiteGraph] = None
         self._serve_dataset: Optional[ServeDataset] = None
@@ -278,6 +293,36 @@ class ExploratoryPlatform:
         if self._graph is None:
             self._graph = build_investor_graph(self.sc, self.dfs)
         return self._graph
+
+    # ------------------------------------------------------------- ingestion
+    def ingest_pipeline(self, root: str = "/ingest",
+                        owner: Optional[str] = None) -> Any:
+        """A continuous-ingest scheduler over this platform's world.
+
+        Unlike :meth:`run_full_crawl` this tier never "finishes": it
+        advances the world's dynamics beat by beat and lands every
+        observation through the write-ahead ledger, so a killed
+        scheduler resumes by constructing a new one over the same
+        platform (same ``dfs``/``hub``) and calling ``run`` again.
+        """
+        from repro.crawl.scheduler import ContinuousScheduler
+        from repro.world.dynamics import WorldDynamics
+
+        cfg = self.config
+        if self._ingest_dynamics is None:
+            self._ingest_dynamics = WorldDynamics(self.world)
+        faults = cfg.faults if hasattr(cfg.faults, "ingest_fault_at") \
+            else None
+        return ContinuousScheduler(
+            self.hub, self._ingest_dynamics, self.dfs, sc=self.sc,
+            root=root,
+            beat_interval_s=cfg.beat_interval_s,
+            lease_ttl_s=cfg.ingest_lease_ttl_s,
+            owner=owner,
+            faults=faults,
+            frontier_batch=cfg.frontier_batch,
+            records_per_part=cfg.records_per_part,
+            compact_every_days=cfg.compact_every_days)
 
     # ---------------------------------------------------------------- serving
     def serve_dataset(self, community_seed: int = 0) -> ServeDataset:

@@ -31,11 +31,16 @@ class DeadLetter:
     tag: Dict[str, Any] = field(default_factory=dict)
     error: str = ""
     attempts: int = 0
+    #: failed :meth:`DeadLetterQueue.replay` passes this letter survived
+    #: (distinct from ``attempts``, which counts the client's original
+    #: in-request retries); the quarantine cap applies to this counter
+    replays: int = 0
 
     def to_json(self) -> str:
         return json.dumps({
             "method": self.method, "path": self.path, "params": self.params,
             "tag": self.tag, "error": self.error, "attempts": self.attempts,
+            "replays": self.replays,
         }, sort_keys=True)
 
     @classmethod
@@ -43,15 +48,17 @@ class DeadLetter:
         doc = json.loads(text)
         return cls(method=doc["method"], path=doc["path"],
                    params=dict(doc["params"]), tag=dict(doc["tag"]),
-                   error=doc["error"], attempts=int(doc["attempts"]))
+                   error=doc["error"], attempts=int(doc["attempts"]),
+                   replays=int(doc.get("replays", 0)))
 
 
 @dataclass
 class ReplayReport:
     """Outcome of one :meth:`DeadLetterQueue.replay` pass."""
 
-    replayed: int = 0    # letters whose request finally succeeded
-    requeued: int = 0    # letters that failed again and stay parked
+    replayed: int = 0     # letters whose request finally succeeded
+    requeued: int = 0     # letters that failed again and stay parked
+    quarantined: int = 0  # poison letters moved aside this pass
 
     @property
     def drained(self) -> bool:
@@ -59,16 +66,31 @@ class ReplayReport:
 
 
 class DeadLetterQueue:
-    """Append/replay queue of failed requests on the DFS."""
+    """Append/replay queue of failed requests on the DFS.
 
-    def __init__(self, dfs: MiniDfs, root: str = "/crawl/deadletters"):
+    ``max_attempts`` caps how many failed replay passes one letter may
+    survive; an exceeder is a *poison letter* and is moved to
+    ``<root>/quarantine/`` instead of looping through every future
+    replay pass forever. Quarantined letters keep their full JSON for
+    post-mortem, but no longer count as pending.
+    """
+
+    def __init__(self, dfs: MiniDfs, root: str = "/crawl/deadletters",
+                 max_attempts: int = 5):
+        if max_attempts < 1:
+            raise CrawlError("max_attempts must be >= 1")
         self.dfs = dfs
         self.root = root.rstrip("/")
+        self.max_attempts = max_attempts
         self._seq = self._next_sequence()
+
+    @property
+    def quarantine_root(self) -> str:
+        return f"{self.root}/quarantine"
 
     def _next_sequence(self) -> int:
         highest = -1
-        for path in self.pending():
+        for path in self.pending() + self.quarantined():
             stem = posixpath.basename(path)
             try:
                 highest = max(highest, int(stem[len("letter-"):-len(".json")]))
@@ -86,8 +108,19 @@ class DeadLetterQueue:
 
     # --------------------------------------------------------------- queries
     def pending(self) -> List[str]:
-        """Paths of parked letters, in enqueue order."""
+        """Paths of parked letters, in enqueue order.
+
+        Only letters directly under the queue root count; quarantined
+        poison letters live one level down and stay out of the loop.
+        """
         return [p for p in self.dfs.listdir(self.root)
+                if posixpath.dirname(p) == self.root
+                and posixpath.basename(p).startswith("letter-")
+                and p.endswith(".json")]
+
+    def quarantined(self) -> List[str]:
+        """Paths of poison letters moved aside by the replay cap."""
+        return [p for p in self.dfs.listdir(self.quarantine_root)
                 if posixpath.basename(p).startswith("letter-")
                 and p.endswith(".json")]
 
@@ -105,9 +138,13 @@ class DeadLetterQueue:
 
         Letters that succeed are removed (after ``on_success`` ran, so a
         crash mid-replay re-delivers rather than drops); letters that
-        fail again stay parked for the next pass. ``client`` must not
-        itself dead-letter into this queue, or a permanently broken
-        request would loop — the client guards against that.
+        fail again have their ``replays`` counter bumped (persisted, so
+        the count survives restarts) and stay parked — until the counter
+        reaches ``max_attempts``, at which point the letter is poison
+        and moves to ``<root>/quarantine/`` instead of looping forever.
+        ``client`` must not itself dead-letter into this queue, or a
+        permanently broken request would loop — the client guards
+        against that.
         """
         report = ReplayReport()
         for path in self.pending():
@@ -115,8 +152,20 @@ class DeadLetterQueue:
             try:
                 body = client.request(letter.method, letter.path,
                                       letter.params, _replaying=True)
-            except CrawlError:
-                report.requeued += 1
+            except CrawlError as error:
+                letter.replays += 1
+                letter.attempts += 1
+                letter.error = str(error)
+                if letter.replays >= self.max_attempts:
+                    quarantine_path = posixpath.join(
+                        self.quarantine_root, posixpath.basename(path))
+                    self.dfs.write_atomic_text(quarantine_path,
+                                               letter.to_json() + "\n")
+                    self.dfs.delete(path)
+                    report.quarantined += 1
+                else:
+                    self.dfs.write_atomic_text(path, letter.to_json() + "\n")
+                    report.requeued += 1
                 continue
             if on_success is not None:
                 on_success(letter, body)

@@ -30,6 +30,42 @@ class SnapshotStats:
     engagement_events: int
 
 
+def snapshot_record(al_client: ApiClient, fb_client: ApiClient,
+                    tw_client: ApiClient, sid: int,
+                    day: int) -> Optional[Dict]:
+    """One startup's panel row for one day (profile + social metrics).
+
+    Shared by the batch :class:`SnapshotScheduler` and the continuous
+    ingest scheduler, so both tiers land byte-identical panel records.
+    """
+    profile = al_client.get(f"/1/startups/{sid}", allow_not_found=True)
+    if profile is None:
+        return None
+    record = {
+        "day": day,
+        "startup_id": sid,
+        "currently_raising": profile["currently_raising"],
+        "follower_count": profile["follower_count"],
+    }
+    fb_url = profile.get("facebook_url")
+    if fb_url:
+        slug = fb_url.rstrip("/").rsplit("/", 1)[-1]
+        page = fb_client.get(f"/pg/{slug}", allow_not_found=True)
+        if page is not None:
+            record["fb_likes"] = page["fan_count"]
+            record["fb_posts"] = page["posts_count"]
+    tw_url = profile.get("twitter_url")
+    if tw_url:
+        name = TwitterCrawler.screen_name_from_url(tw_url)
+        prof = tw_client.get("/1.1/users/show.json",
+                             {"screen_name": name},
+                             allow_not_found=True)
+        if prof is not None:
+            record["tw_statuses"] = prof["statuses_count"]
+            record["tw_followers"] = prof["followers_count"]
+    return record
+
+
 class SnapshotScheduler:
     """Runs the daily longitudinal crawl over an evolving world."""
 
@@ -80,30 +116,5 @@ class SnapshotScheduler:
         return [self.capture_day() for _ in range(days)]
 
     def _snapshot_record(self, sid: int, day: int) -> Optional[Dict]:
-        profile = self.al_client.get(f"/1/startups/{sid}",
-                                     allow_not_found=True)
-        if profile is None:
-            return None
-        record = {
-            "day": day,
-            "startup_id": sid,
-            "currently_raising": profile["currently_raising"],
-            "follower_count": profile["follower_count"],
-        }
-        fb_url = profile.get("facebook_url")
-        if fb_url:
-            slug = fb_url.rstrip("/").rsplit("/", 1)[-1]
-            page = self.fb_client.get(f"/pg/{slug}", allow_not_found=True)
-            if page is not None:
-                record["fb_likes"] = page["fan_count"]
-                record["fb_posts"] = page["posts_count"]
-        tw_url = profile.get("twitter_url")
-        if tw_url:
-            name = TwitterCrawler.screen_name_from_url(tw_url)
-            prof = self.tw_client.get("/1.1/users/show.json",
-                                      {"screen_name": name},
-                                      allow_not_found=True)
-            if prof is not None:
-                record["tw_statuses"] = prof["statuses_count"]
-                record["tw_followers"] = prof["followers_count"]
-        return record
+        return snapshot_record(self.al_client, self.fb_client,
+                               self.tw_client, sid, day)

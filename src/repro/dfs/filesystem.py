@@ -336,6 +336,27 @@ class MiniDfs:
     def write_atomic_text(self, path: str, text: str) -> FileStatus:
         return self.write_atomic(path, text.encode("utf-8"))
 
+    def sweep_temps(self, prefix: str) -> List[str]:
+        """Delete orphaned ``.{name}.tmp-N`` files under ``prefix``.
+
+        A crash between ``create(tmp)`` and ``rename`` in
+        :meth:`write_atomic` leaks a hidden temp file: invisible to
+        :meth:`glob_parts` (so readers never see it) but holding blocks
+        forever. Recovery paths — the ingest ledger on open, a resumed
+        crawl — call this scan to reclaim them. Returns the swept
+        paths, sorted, so callers can log what a crash left behind.
+        """
+        prefix = _normalize(prefix)
+        prefix = "/" if prefix == "/" else prefix + "/"
+        orphans = sorted(
+            p for p in self._files
+            if p.startswith(prefix)
+            and posixpath.basename(p).startswith(".")
+            and ".tmp-" in posixpath.basename(p))
+        for path in orphans:
+            self.delete(path)
+        return orphans
+
     def copy(self, src: str, dst: str) -> FileStatus:
         """Copy a file (new blocks, fresh placement)."""
         return self.create(dst, self.read(src))

@@ -235,6 +235,31 @@ class SparkLiteContext:
         self._datasets[key] = rdd
         return rdd
 
+    def json_files(self, dfs, paths: Sequence[str],
+                   name: str = "files") -> RDD:
+        """Scan an explicit list of JSON-lines files, one partition each.
+
+        Unlike :meth:`json_dataset` this takes the exact file list, not
+        a directory — the delta-aware incremental pipeline uses it to
+        read only the delta parts an upsert dataset gained since a
+        watermark (its deltas are not ``part-*`` files, and a directory
+        scan would drag the whole base back in).
+        """
+        paths = list(paths)
+        if not paths:
+            raise EngineError("json_files needs at least one path")
+        key = (id(dfs), "files", tuple(paths))
+        rdd = self._datasets.get(key)
+        if rdd is not None:
+            return rdd
+
+        def compute(runner: JobRunner, index: int) -> List[Any]:
+            text = dfs.read_text(paths[index])
+            return [json.loads(line) for line in text.splitlines() if line]
+        rdd = RDD(self, len(paths), (), compute, name=f"jsonf:{name}")
+        self._datasets[key] = rdd
+        return rdd
+
     def empty(self) -> RDD:
         return self.parallelize([])
 

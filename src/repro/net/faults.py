@@ -45,10 +45,16 @@ FAULT_HANG_TASK = "hang_task"      # the task wedges for ``duration`` seconds
 #: backing store browns out for both readers and writers)
 FAULT_SLOW = "slow"                # backend latency spike of ``duration`` s
 
+#: ingest faults — injected into the continuous-ingest tier's ledger
+#: protocol (repro.crawl.scheduler), never into network requests
+FAULT_KILL_INGEST = "kill_ingest"    # SIGKILL-equivalent at a ledger state
+FAULT_LEASE_EXPIRY = "lease_expiry"  # heartbeats lost; the lease lapses
+
 POINT_FAULTS = (FAULT_ERROR, FAULT_TIMEOUT, FAULT_RESET, FAULT_CORRUPT)
 WINDOW_FAULTS = (FAULT_BROWNOUT, FAULT_STORM)
 ENGINE_FAULTS = (FAULT_KILL_WORKER, FAULT_HANG_TASK)
 SERVE_FAULTS = (FAULT_SLOW,)
+INGEST_FAULTS = (FAULT_KILL_INGEST, FAULT_LEASE_EXPIRY)
 
 
 @dataclass(frozen=True)
@@ -97,7 +103,7 @@ class FaultSpec:
 
     def __post_init__(self):
         if self.kind not in (POINT_FAULTS + WINDOW_FAULTS + ENGINE_FAULTS
-                             + SERVE_FAULTS):
+                             + SERVE_FAULTS + INGEST_FAULTS):
             raise ValueError(f"unknown fault kind {self.kind!r}")
         if not 0.0 <= self.rate < 1.0:
             raise ValueError(f"rate must be in [0, 1), got {self.rate}")
@@ -130,13 +136,22 @@ class FaultSchedule:
         #: through :meth:`serve_fault_at`, never by SimServer
         self.serve_specs: List[FaultSpec] = [
             s for s in specs if s.kind in SERVE_FAULTS]
+        #: ingest-level specs: consumed by the continuous scheduler
+        #: through :meth:`ingest_fault_at` at ledger protocol steps
+        self.ingest_specs: List[FaultSpec] = [
+            s for s in specs if s.kind in INGEST_FAULTS]
         self.specs: List[FaultSpec] = [
             s for s in specs
-            if s.kind not in ENGINE_FAULTS + SERVE_FAULTS]
+            if s.kind not in ENGINE_FAULTS + SERVE_FAULTS + INGEST_FAULTS]
         self.seed = seed
         #: deterministic windows forced by a test/benchmark regardless of
         #: the probabilistic schedule: (start, end, spec) half-open ranges
         self.forced_windows: List[tuple] = []
+        #: one-shot forced ingest kills: (unit_id, state) pairs armed by
+        #: the chaos drill; consumed the first time the scheduler reaches
+        #: that exact ledger state (a resumed run sails past it, the way
+        #: a real SIGKILL doesn't repeat after a restart)
+        self.forced_ingest_kills: List[tuple] = []
         order = {k: i for i, k in enumerate(WINDOW_FAULTS + POINT_FAULTS)}
         self.specs.sort(key=lambda s: order[s.kind])
 
@@ -204,6 +219,26 @@ class FaultSchedule:
         ], seed)
 
     @classmethod
+    def ingest_chaos(cls, intensity: float = 1.0,
+                     seed: int = 0) -> "FaultSchedule":
+        """Continuous-ingest faults: process kills and lease expiries.
+
+        ``kill_ingest`` SIGKILL-equivalents the pipeline at a ledger
+        protocol step (the driver loses all in-memory state and must
+        resume from the write-ahead ledger); ``lease_expiry`` simulates
+        a lost heartbeat run — the worker's lease lapses mid-unit, its
+        commit is fenced off, and the supervisor redelivers the unit.
+        Consumed via :meth:`ingest_fault_at`, never by SimServer.
+        """
+        if intensity < 0:
+            raise ValueError(f"intensity must be >= 0, got {intensity}")
+        s = intensity
+        return cls([
+            FaultSpec(FAULT_KILL_INGEST, min(0.999, 0.05 * s)),
+            FaultSpec(FAULT_LEASE_EXPIRY, min(0.999, 0.05 * s)),
+        ], seed)
+
+    @classmethod
     def from_profile(cls, profile: str, seed: int = 0) -> "FaultSchedule":
         """Resolve a named CLI profile (``--fault-profile``)."""
         if profile == "none":
@@ -218,9 +253,11 @@ class FaultSchedule:
                        seed)
         if profile == "serve-chaos":
             return cls.serve_chaos(seed=seed)
+        if profile == "chaos-ingest":
+            return cls.ingest_chaos(seed=seed)
         raise ValueError(f"unknown fault profile {profile!r}; "
                          f"expected none/flaky/chaos/chaos-engine/"
-                         f"serve-chaos")
+                         f"serve-chaos/chaos-ingest")
 
     # -------------------------------------------------------------- decisions
     def _fraction(self, kind: str, request_index: int) -> float:
@@ -286,6 +323,39 @@ class FaultSchedule:
                 return spec
         return None
 
+    def force_ingest_kill(self, unit_id: str, state: str) -> None:
+        """Arm a one-shot kill at an exact ledger state of one unit.
+
+        ``state`` is one of the scheduler's crash points (``pre-intent``
+        / ``post-intent`` / ``mid-land`` / ``pre-commit`` /
+        ``post-commit``). The chaos drill uses this to hit every ledger
+        state deterministically, then resumes and asserts the landed
+        bytes match an uninterrupted run.
+        """
+        self.forced_ingest_kills.append((unit_id, state))
+
+    def take_forced_ingest_kill(self, unit_id: str, state: str) -> bool:
+        """Consume (once) a forced kill armed for this unit and state."""
+        key = (unit_id, state)
+        if key in self.forced_ingest_kills:
+            self.forced_ingest_kills.remove(key)
+            return True
+        return False
+
+    def ingest_fault_at(self, step_key: str) -> Optional[FaultSpec]:
+        """Which ingest fault (if any) claims this ledger protocol step.
+
+        ``step_key`` is a stable identifier of one protocol step of one
+        delivery attempt (unit id + crash point + lease epoch), so a
+        redelivered unit rolls new dice — a probabilistic kill cannot
+        pin one unit forever. First matching spec wins, in declaration
+        order.
+        """
+        for spec in self.ingest_specs:
+            if self._fraction(spec.kind, step_key) < spec.rate:
+                return spec
+        return None
+
     def engine_fault_at(self, task_key: str) -> Optional[FaultSpec]:
         """Which engine fault (if any) claims this partition task.
 
@@ -314,7 +384,8 @@ class FaultSchedule:
     def kinds(self) -> List[str]:
         return sorted({spec.kind for spec in self.specs}
                       | {spec.kind for spec in self.engine_specs}
-                      | {spec.kind for spec in self.serve_specs})
+                      | {spec.kind for spec in self.serve_specs}
+                      | {spec.kind for spec in self.ingest_specs})
 
     # ------------------------------------------------------------- injection
     def inject(self, request_index: int) -> Optional["Response"]:

@@ -57,3 +57,29 @@ class StorageError(ReproError):
 
 class EngineError(ReproError):
     """The dataflow engine failed to plan or execute a job."""
+
+
+class IngestError(ReproError):
+    """The continuous-ingest tier hit an unrecoverable protocol error."""
+
+
+class LeaseExpired(IngestError):
+    """A worker's lease on a work unit lapsed or was fenced off.
+
+    Raised by the ingest ledger when a heartbeat or commit arrives from
+    an owner whose lease has expired or been reassigned (stale epoch).
+    The worker must abandon the unit; the landing protocol guarantees
+    whatever it already wrote is idempotent under redelivery.
+    """
+
+
+class IngestKilled(IngestError):
+    """A simulated SIGKILL hit the ingest pipeline at a ledger state.
+
+    Carries where the kill landed so chaos drills can assert coverage.
+    """
+
+    def __init__(self, unit: str, state: str):
+        super().__init__(f"ingest killed at {unit} [{state}]")
+        self.unit = unit
+        self.state = state

@@ -265,3 +265,84 @@ class TestDeadLetterReplayIdempotent:
         ids = sorted(r["angellist_id"]
                      for r in read_json_dataset(dfs, self.OUT))
         assert ids == [1, 2, 9]
+
+
+class _PoisonClient:
+    """Every replayed request fails — the letter can never succeed."""
+
+    def request(self, method, path, params, _replaying=True):
+        from repro.util.errors import CrawlError
+        raise CrawlError(f"permanently broken: {path}")
+
+
+class TestDeadLetterQuarantine:
+    """Poison letters stop looping after ``max_attempts`` replays."""
+
+    def _queue(self, dfs, max_attempts=3):
+        from repro.crawl.deadletter import DeadLetterQueue
+        return DeadLetterQueue(dfs, root="/dlq", max_attempts=max_attempts)
+
+    def test_poison_letter_moves_to_quarantine(self):
+        from repro.crawl.deadletter import DeadLetter
+        dfs = MiniDfs()
+        queue = self._queue(dfs, max_attempts=3)
+        queue.append(DeadLetter("GET", "/broken", attempts=4))
+        for expected_pending in (1, 1, 0):
+            report = queue.replay(_PoisonClient())
+            assert len(queue) == expected_pending
+        assert report.quarantined == 1
+        assert report.requeued == 0 and report.drained
+        paths = queue.quarantined()
+        assert len(paths) == 1
+        letter = queue.load(paths[0])
+        assert letter.replays == 3
+        assert "permanently broken" in letter.error
+        # the original attempts counter (client retries) is preserved
+        # evidence, not what the cap keys on
+        assert letter.attempts == 4 + 3
+
+    def test_quarantined_letters_never_replayed_again(self):
+        from repro.crawl.deadletter import DeadLetter
+        dfs = MiniDfs()
+        queue = self._queue(dfs, max_attempts=1)
+        queue.append(DeadLetter("GET", "/broken"))
+        assert queue.replay(_PoisonClient()).quarantined == 1
+
+        class Counting:
+            calls = 0
+
+            def request(self, method, path, params, _replaying=True):
+                Counting.calls += 1
+                return {}
+
+        report = queue.replay(Counting())
+        assert Counting.calls == 0
+        assert report.replayed == 0
+
+    def test_replay_counter_survives_restart(self):
+        from repro.crawl.deadletter import DeadLetter
+        dfs = MiniDfs()
+        queue = self._queue(dfs, max_attempts=3)
+        queue.append(DeadLetter("GET", "/broken"))
+        queue.replay(_PoisonClient())
+        # a new queue instance over the same DFS sees the bumped counter
+        reopened = self._queue(dfs, max_attempts=3)
+        assert reopened.load(reopened.pending()[0]).replays == 1
+        reopened.replay(_PoisonClient())
+        assert reopened.replay(_PoisonClient()).quarantined == 1
+
+    def test_sequence_numbers_never_collide_with_quarantine(self):
+        from repro.crawl.deadletter import DeadLetter
+        dfs = MiniDfs()
+        queue = self._queue(dfs, max_attempts=1)
+        queue.append(DeadLetter("GET", "/a"))
+        queue.replay(_PoisonClient())  # letter-000000 now quarantined
+        reopened = self._queue(dfs, max_attempts=1)
+        path = reopened.append(DeadLetter("GET", "/b"))
+        assert path.endswith("letter-000001.json")
+        # healthy letters still replay fine alongside the quarantined one
+        class Ok:
+            def request(self, method, path, params, _replaying=True):
+                return {}
+
+        assert reopened.replay(Ok()).replayed == 1

@@ -144,3 +144,71 @@ class TestFailures:
     def test_need_at_least_one_datanode(self):
         with pytest.raises(StorageError):
             MiniDfs(num_datanodes=0)
+
+
+class TestAtomicWriteCrashSemantics:
+    """The temp-write + rename(overwrite) protocol under crashes."""
+
+    def test_rename_overwrite_replaces_in_one_step(self, dfs):
+        dfs.create("/d/target", b"old")
+        dfs.create("/d/.target.tmp-1", b"new")
+        dfs.rename("/d/.target.tmp-1", "/d/target", overwrite=True)
+        assert dfs.read("/d/target") == b"new"
+        assert not dfs.exists("/d/.target.tmp-1")
+
+    def test_rename_without_overwrite_refuses_existing(self, dfs):
+        dfs.create("/d/target", b"old")
+        dfs.create("/d/src", b"new")
+        with pytest.raises(StorageError):
+            dfs.rename("/d/src", "/d/target")
+        assert dfs.read("/d/target") == b"old"  # untouched on refusal
+
+    def test_dotted_temps_invisible_to_glob_parts(self, dfs):
+        dfs.create("/ds/part-00000.jsonl", b"{}")
+        dfs.create("/ds/.part-00001.jsonl.tmp-3", b"torn")
+        assert dfs.glob_parts("/ds") == ["/ds/part-00000.jsonl"]
+
+    def test_crash_before_rename_keeps_previous_version(self, dfs,
+                                                        monkeypatch):
+        dfs.write_atomic_text("/d/state.json", "v1")
+        real_rename = dfs.rename
+        calls = {"n": 0}
+
+        def crashy(src, dst, overwrite=False):
+            calls["n"] += 1
+            raise StorageError("simulated crash before publish")
+
+        monkeypatch.setattr(dfs, "rename", crashy)
+        with pytest.raises(StorageError):
+            dfs.write_atomic_text("/d/state.json", "v2")
+        monkeypatch.setattr(dfs, "rename", real_rename)
+        # previous version intact, orphan temp left behind
+        assert dfs.read_text("/d/state.json") == "v1"
+        assert calls["n"] == 1
+        leaked = [p for p in dfs.listdir("/d") if ".tmp-" in p]
+        assert len(leaked) == 1
+
+    def test_sweep_temps_reclaims_only_orphans_under_prefix(self, dfs):
+        dfs.create("/a/.x.tmp-1", b"orphan")
+        dfs.create("/a/sub/.y.tmp-2", b"orphan")
+        dfs.create("/a/real", b"keep")
+        dfs.create("/b/.z.tmp-3", b"other tree")
+        swept = dfs.sweep_temps("/a")
+        assert swept == ["/a/.x.tmp-1", "/a/sub/.y.tmp-2"]
+        assert dfs.exists("/a/real")
+        assert dfs.exists("/b/.z.tmp-3")
+
+    def test_sweep_after_crash_window_frees_blocks(self, dfs, monkeypatch):
+        """The full crash window: leak a temp mid-write, then recover."""
+        def crashy(src, dst, overwrite=False):
+            raise StorageError("crash")
+
+        monkeypatch.setattr(dfs, "rename", crashy)
+        with pytest.raises(StorageError):
+            dfs.write_atomic("/led/records/rec-1.json", b"x" * 100)
+        monkeypatch.undo()
+        blocks_before = sum(n.block_count for n in dfs.datanodes.values())
+        assert len(dfs.sweep_temps("/led")) == 1
+        assert sum(n.block_count
+                   for n in dfs.datanodes.values()) < blocks_before
+        assert dfs.sweep_temps("/led") == []  # idempotent

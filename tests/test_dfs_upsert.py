@@ -1,0 +1,123 @@
+"""Keyed upsert datasets: exactly-once apply, crash windows, compaction."""
+
+import pytest
+
+from repro.dfs.filesystem import MiniDfs
+from repro.dfs.upsert import UpsertDataset
+from repro.util.errors import StorageError
+
+
+@pytest.fixture()
+def dfs():
+    return MiniDfs(num_datanodes=3)
+
+
+def _rows(*ids, **extra):
+    return [dict({"id": i, "v": extra.get("v", 0)}, **{}) for i in ids]
+
+
+class TestApply:
+    def test_records_land_and_merge_by_key(self, dfs):
+        ds = UpsertDataset(dfs, "/ds")
+        ds.apply("u1", [{"id": 1, "v": 1}, {"id": 2, "v": 1}])
+        ds.apply("u2", [{"id": 2, "v": 2}, {"id": 3, "v": 2}])
+        assert ds.key_count() == 3
+        by_id = {r["id"]: r["v"] for r in ds.read()}
+        assert by_id == {1: 1, 2: 2, 3: 2}  # newest delta wins per key
+
+    def test_reapplied_unit_is_a_noop(self, dfs):
+        ds = UpsertDataset(dfs, "/ds")
+        first = ds.apply("u1", [{"id": 1, "v": 1}])
+        files_after = sorted(dfs.listdir("/ds"))
+        again = ds.apply("u1", [{"id": 1, "v": 999}])
+        assert first.applied and not again.applied
+        assert again.delta_seq == first.delta_seq
+        assert sorted(dfs.listdir("/ds")) == files_after
+        assert ds.read() == [{"id": 1, "v": 1}]
+
+    def test_composite_key(self, dfs):
+        ds = UpsertDataset(dfs, "/edges", key=("a", "b"))
+        ds.apply("u1", [{"a": 1, "b": 2}, {"a": 1, "b": 3}])
+        ds.apply("u2", [{"a": 1, "b": 2}])  # same edge again
+        assert ds.key_count() == 2
+
+    def test_missing_key_field_rejected(self, dfs):
+        ds = UpsertDataset(dfs, "/ds")
+        with pytest.raises(StorageError):
+            ds.apply("u1", [{"no_id": 1}])
+
+    def test_empty_unit_still_remembered(self, dfs):
+        ds = UpsertDataset(dfs, "/ds")
+        assert ds.apply("u1", []).applied
+        assert not ds.apply("u1", []).applied
+        assert ds.key_count() == 0
+
+
+class TestCrashWindows:
+    def test_crash_between_delta_and_manifest_leaves_old_view(self, dfs):
+        ds = UpsertDataset(dfs, "/ds")
+        ds.apply("u1", [{"id": 1, "v": 1}])
+
+        class Boom(RuntimeError):
+            pass
+
+        with pytest.raises(Boom):
+            ds.apply("u2", [{"id": 2, "v": 2}],
+                     on_delta_written=lambda: (_ for _ in ()).throw(Boom()))
+        # the unreferenced delta exists but the view is unchanged
+        assert ds.key_count() == 1
+        assert "u2" not in ds.applied_units()
+        orphans = ds.vacuum()
+        assert len(orphans) == 1
+        # the unit re-applies cleanly after the vacuum
+        assert ds.apply("u2", [{"id": 2, "v": 2}]).applied
+        assert ds.key_count() == 2
+
+    def test_canonical_bytes_ignore_layout(self, dfs):
+        one = UpsertDataset(dfs, "/one")
+        two = UpsertDataset(dfs, "/two", records_per_part=1)
+        one.apply("a", [{"id": 1, "v": 1}, {"id": 2, "v": 2}])
+        two.apply("x", [{"id": 2, "v": 2}])
+        two.apply("y", [{"id": 1, "v": 1}])
+        two.compact()
+        assert one.canonical_bytes() == two.canonical_bytes()
+
+
+class TestCompaction:
+    def test_compact_preserves_view_and_applied_units(self, dfs):
+        ds = UpsertDataset(dfs, "/ds", records_per_part=2)
+        ds.apply("u1", [{"id": i, "v": 1} for i in range(5)])
+        ds.apply("u2", [{"id": 2, "v": 2}])
+        before = ds.canonical_bytes()
+        stats = ds.compact()
+        assert stats.deltas_folded == 2
+        assert stats.records_after == 5
+        assert ds.canonical_bytes() == before
+        # exactly-once survives compaction: a late redelivery of u2
+        # must still be recognized
+        assert not ds.apply("u2", [{"id": 2, "v": 99}]).applied
+        assert ds.read()[2]["v"] == 2
+
+    def test_watermark_does_not_rewind_on_compact(self, dfs):
+        ds = UpsertDataset(dfs, "/ds")
+        ds.apply("u1", [{"id": 1}])
+        ds.apply("u2", [{"id": 2}])
+        high = ds.max_delta_seq()
+        ds.compact()
+        assert ds.max_delta_seq() == high
+        assert ds.delta_files_since(0) == []  # folded into base
+        ds.apply("u3", [{"id": 3}])
+        assert [seq for seq, _ in ds.delta_files_since(high)] == [high + 1]
+
+    def test_duplicate_key_groups_counts_cross_file_dupes(self, dfs):
+        ds = UpsertDataset(dfs, "/ds")
+        ds.apply("u1", [{"id": 1, "v": 1}])
+        ds.apply("u2", [{"id": 1, "v": 2}])
+        assert ds.duplicate_key_groups() == 1
+        ds.compact()
+        assert ds.duplicate_key_groups() == 0
+
+    def test_key_mismatch_rejected(self, dfs):
+        UpsertDataset(dfs, "/ds", key="id").apply("u", [{"id": 1}])
+        with pytest.raises(StorageError):
+            UpsertDataset(dfs, "/ds", key="other").read()

@@ -54,3 +54,11 @@ echo "== benchmark smoke (columnar core) =="
 # process-vs-serial gate arms itself only on 4+-core hosts
 with_timeout python benchmarks/bench_a7_columnar.py \
     --smoke --json benchmarks/out/BENCH_columnar.json
+
+echo "== benchmark smoke (ingest kill-anywhere resume) =="
+# A8: SIGKILL the continuous-ingest scheduler at every ledger state,
+# resume from the write-ahead ledger — eventual datasets byte-identical
+# to an uninterrupted run, zero duplicate lands, all leases reclaimed,
+# incremental recompute bounded (each source record scanned once)
+with_timeout python benchmarks/bench_a8_ingest.py \
+    --smoke --json benchmarks/out/BENCH_ingest.json
