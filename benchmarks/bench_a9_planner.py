@@ -1,0 +1,349 @@
+"""A9 ablation — adaptive query planning from observed runtime stats.
+
+The tentpole claims, each pinned here and in the standalone
+``BENCH_planner.json`` writer:
+
+* **skewed join**: with the static broadcast threshold off, the naive
+  plan hash-exchanges both join sides; the adaptive plan observes the
+  dimension side's size and broadcasts it — ≥2× fewer shuffled bytes
+  (in practice zero) with byte-identical sorted output on all three
+  backends;
+* **skew split**: a hot ``group_by_key`` bucket is split across reduce
+  tasks and merged post-hoc, raw-repr identical to the naive single
+  task;
+* **coalesce**: undersized post-shuffle partitions merge toward the
+  byte target — strictly fewer reduce tasks, identical output, declared
+  partition count preserved;
+* **multi-join**: a two-dimension star join broadcasts both small
+  sides, shuffling nothing;
+* **scan pushdown**: a filter-heavy scan evaluates its predicate inside
+  the DFS read — ``scan_bytes_skipped > 0`` and exact output identity.
+
+Standalone::
+
+    PYTHONPATH=src python benchmarks/bench_a9_planner.py \
+        --smoke --json benchmarks/out/BENCH_planner.json
+
+Workload functions are module-level so the process backend ships them.
+"""
+
+import argparse
+import json
+import operator
+import os
+import time
+
+import pytest
+
+from repro.dfs.filesystem import MiniDfs
+from repro.dfs.jsonlines import write_json_dataset
+from repro.engine.context import SparkLiteContext
+
+ROWS = 40_000
+PARTITIONS = 8
+BACKENDS = ("serial", "thread", "process")
+#: the headline gate: naive must shuffle at least this multiple of the
+#: adaptive plan's bytes on the skewed-join workload
+SHUFFLE_GATE_X = 2.0
+
+_DIM_KEYS = 32
+_SCAN_DFS = MiniDfs()
+_SCAN_DIR = "/bench/planner"
+_SCAN_ROWS = 0
+
+
+def _ensure_scan_dataset(rows: int) -> None:
+    global _SCAN_ROWS
+    if _SCAN_ROWS == rows:
+        return
+    records = [{"id": i, "k": i % 50, "score": i * 7 % 997,
+                "pad": "x" * 60} for i in range(rows)]
+    write_json_dataset(_SCAN_DFS, _SCAN_DIR, records,
+                       partitions=PARTITIONS)
+    _SCAN_ROWS = rows
+
+
+# ---------------------------------------------------------------- workloads
+def _fact_pair(x: int):
+    # zipfian-ish: most rows hit a handful of dimension keys
+    return (x % 3 if x % 4 else x % _DIM_KEYS, x)
+
+
+def _dim_pair(k: int):
+    return (k, f"dim-{k}-" + "meta" * 3)
+
+
+def _dim2_pair(k: int):
+    return (k, (-k, f"region-{k % 5}"))
+
+
+def _hot_pair(x: int):
+    return ("hot", x) if x % 10 < 7 else (f"k{x % 10}", x)
+
+
+def _rekey_first(kv):
+    return (kv[0], 1)
+
+
+def _keep_rare(record):
+    return record["score"] < 40  # ~4% of rows survive
+
+
+def _project_small(record):
+    return {"id": record["id"], "k": record["k"]}
+
+
+def skewed_join(sc, rows):
+    facts = sc.parallelize(range(rows), PARTITIONS).map(_fact_pair)
+    dims = sc.parallelize(range(_DIM_KEYS), 2).map(_dim_pair)
+    return sorted(facts.join(dims, num_partitions=PARTITIONS).collect())
+
+
+def multi_join(sc, rows):
+    facts = sc.parallelize(range(rows), PARTITIONS).map(_fact_pair)
+    dims = sc.parallelize(range(_DIM_KEYS), 2).map(_dim_pair)
+    regions = sc.parallelize(range(_DIM_KEYS), 2).map(_dim2_pair)
+    return sorted(facts.join(dims, num_partitions=PARTITIONS)
+                  .map(_rejoin_key).join(regions).collect())
+
+
+def _rejoin_key(kv):
+    return kv
+
+
+def skew_split_group(sc, rows):
+    return (sc.parallelize(range(rows), PARTITIONS)
+            .map(_hot_pair).group_by_key(num_partitions=4)
+            .map(_len_group).collect())
+
+
+def _len_group(kv):
+    return (kv[0], len(kv[1]), sum(kv[1]))
+
+
+def coalesce_reduce(sc, rows):
+    return (sc.parallelize(range(rows), PARTITIONS)
+            .map(_mod_pair)
+            .reduce_by_key(operator.add, num_partitions=64)
+            .collect())
+
+
+def _mod_pair(x: int):
+    return (x % 40, x)
+
+
+def filter_scan(sc, _rows):
+    return (sc.json_dataset(_SCAN_DFS, _SCAN_DIR)
+            .filter(_keep_rare).map(_project_small).collect())
+
+
+def _run(job, rows, backend, adaptive, target=1 << 20, **kwargs):
+    """One configuration → (result, metrics dict, wall seconds)."""
+    with SparkLiteContext(parallelism=4, backend=backend,
+                          engine_adaptive=adaptive,
+                          target_partition_bytes=target,
+                          **kwargs) as sc:
+        start = time.perf_counter()
+        result = job(sc, rows)
+        wall = time.perf_counter() - start
+        metrics = sc.last_job_metrics.as_dict()
+    return result, metrics, wall
+
+
+# ------------------------------------------------------------------ pytest
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_a9_skewed_join_gate(benchmark, backend):
+    """The acceptance gate: ≥2× fewer shuffled bytes, identical rows,
+    on every backend."""
+    def both():
+        naive = _run(skewed_join, 6_000, backend, adaptive=False)
+        adap = _run(skewed_join, 6_000, backend, adaptive=True)
+        return naive, adap
+    (naive, adap) = benchmark.pedantic(both, rounds=1, iterations=1)
+    n_result, n_metrics, _ = naive
+    a_result, a_metrics, _ = adap
+    assert repr(a_result) == repr(n_result)
+    assert a_metrics["broadcast_joins"] >= 1
+    assert a_metrics["broadcast_bytes"] > 0
+    assert n_metrics["shuffle_bytes"] >= \
+        SHUFFLE_GATE_X * max(1, a_metrics["shuffle_bytes"])
+
+
+def test_a9_skew_split_identity():
+    naive = _run(skew_split_group, 8_000, "serial", adaptive=False)
+    adap = _run(skew_split_group, 8_000, "serial", adaptive=True,
+                target=2048)
+    assert repr(adap[0]) == repr(naive[0])
+    assert adap[1]["skew_splits"] >= 1
+    assert adap[1]["skew_split_tasks"] > adap[1]["skew_splits"]
+
+
+def test_a9_coalesce_runs_fewer_reduce_tasks():
+    naive = _run(coalesce_reduce, 8_000, "serial", adaptive=False)
+    adap = _run(coalesce_reduce, 8_000, "serial", adaptive=True)
+    assert repr(adap[0]) == repr(naive[0])
+    assert adap[1]["adaptive_partitions_merged"] > 0
+    # task_attempts counts tasks actually launched; declared partition
+    # counts are unchanged (the tail pads with empties)
+    assert adap[1]["task_attempts"] < naive[1]["task_attempts"]
+
+
+def test_a9_multi_join_broadcasts_both_dims():
+    naive = _run(multi_join, 6_000, "serial", adaptive=False)
+    adap = _run(multi_join, 6_000, "serial", adaptive=True)
+    assert repr(adap[0]) == repr(naive[0])
+    assert adap[1]["broadcast_joins"] == 2
+    assert adap[1]["shuffle_bytes"] < naive[1]["shuffle_bytes"]
+
+
+def test_a9_scan_pushdown_gate():
+    _ensure_scan_dataset(8_000)
+    naive = _run(filter_scan, 8_000, "serial", adaptive=False)
+    adap = _run(filter_scan, 8_000, "serial", adaptive=True)
+    assert repr(adap[0]) == repr(naive[0])
+    assert adap[1]["scan_bytes_skipped"] > 0
+    assert adap[1]["scan_fields_pruned"] > 0
+
+
+# --------------------------------------------------------------- standalone
+def _bench_payload(rows: int) -> dict:
+    _ensure_scan_dataset(rows)
+    gates = []
+    arms = {}
+
+    # skewed join across all three backends
+    join_rows = {}
+    for backend in BACKENDS:
+        n_res, n_m, n_s = _run(skewed_join, rows, backend, adaptive=False)
+        a_res, a_m, a_s = _run(skewed_join, rows, backend, adaptive=True)
+        identical = repr(a_res) == repr(n_res)
+        ratio = n_m["shuffle_bytes"] / max(1, a_m["shuffle_bytes"])
+        join_rows[backend] = {
+            "identical": identical,
+            "naive_shuffle_bytes": n_m["shuffle_bytes"],
+            "adaptive_shuffle_bytes": a_m["shuffle_bytes"],
+            "shuffle_ratio": round(ratio, 2),
+            "broadcast_bytes": a_m["broadcast_bytes"],
+            "wall_s_naive": round(n_s, 4),
+            "wall_s_adaptive": round(a_s, 4),
+        }
+        gates.append(("skewed_join_identity_" + backend, identical))
+        gates.append(("skewed_join_bytes_" + backend,
+                      ratio >= SHUFFLE_GATE_X))
+    arms["skewed_join"] = join_rows
+
+    n_res, n_m, n_s = _run(skew_split_group, rows, "serial",
+                           adaptive=False)
+    a_res, a_m, a_s = _run(skew_split_group, rows, "serial",
+                           adaptive=True, target=4096)
+    arms["skew_split_group"] = {
+        "identical": repr(a_res) == repr(n_res),
+        "skew_splits": a_m["skew_splits"],
+        "skew_split_tasks": a_m["skew_split_tasks"],
+        "wall_s_naive": round(n_s, 4),
+        "wall_s_adaptive": round(a_s, 4),
+    }
+    gates.append(("skew_split_identity", arms["skew_split_group"]["identical"]))
+    gates.append(("skew_split_fired", a_m["skew_splits"] >= 1))
+
+    n_res, n_m, n_s = _run(coalesce_reduce, rows, "serial",
+                           adaptive=False)
+    a_res, a_m, a_s = _run(coalesce_reduce, rows, "serial", adaptive=True)
+    arms["coalesce_reduce"] = {
+        "identical": repr(a_res) == repr(n_res),
+        "partitions_merged": a_m["adaptive_partitions_merged"],
+        "tasks_naive": n_m["task_attempts"],
+        "tasks_adaptive": a_m["task_attempts"],
+        "wall_s_naive": round(n_s, 4),
+        "wall_s_adaptive": round(a_s, 4),
+    }
+    gates.append(("coalesce_identity", arms["coalesce_reduce"]["identical"]))
+    gates.append(("coalesce_fired",
+                  a_m["adaptive_partitions_merged"] > 0))
+    gates.append(("coalesce_fewer_tasks",
+                  a_m["task_attempts"] < n_m["task_attempts"]))
+
+    n_res, n_m, n_s = _run(multi_join, rows, "serial", adaptive=False)
+    a_res, a_m, a_s = _run(multi_join, rows, "serial", adaptive=True)
+    arms["multi_join"] = {
+        "identical": repr(a_res) == repr(n_res),
+        "broadcast_joins": a_m["broadcast_joins"],
+        "naive_shuffle_bytes": n_m["shuffle_bytes"],
+        "adaptive_shuffle_bytes": a_m["shuffle_bytes"],
+        "wall_s_naive": round(n_s, 4),
+        "wall_s_adaptive": round(a_s, 4),
+    }
+    gates.append(("multi_join_identity", arms["multi_join"]["identical"]))
+
+    n_res, n_m, n_s = _run(filter_scan, rows, "serial", adaptive=False)
+    a_res, a_m, a_s = _run(filter_scan, rows, "serial", adaptive=True)
+    arms["filter_scan"] = {
+        "identical": repr(a_res) == repr(n_res),
+        "scan_bytes_skipped": a_m["scan_bytes_skipped"],
+        "scan_fields_pruned": a_m["scan_fields_pruned"],
+        "rows_kept": len(a_res),
+        "wall_s_naive": round(n_s, 4),
+        "wall_s_adaptive": round(a_s, 4),
+    }
+    gates.append(("scan_identity", arms["filter_scan"]["identical"]))
+    gates.append(("scan_skipped_bytes", a_m["scan_bytes_skipped"] > 0))
+
+    return {
+        "benchmark": "adaptive-planner",
+        "rows": rows,
+        "shuffle_gate_x": SHUFFLE_GATE_X,
+        "gates": {name: bool(ok) for name, ok in gates},
+        "arms": arms,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Measure adaptive planning: skewed join broadcast, "
+                    "skew split, coalescing, multi-join, scan pushdown; "
+                    "write BENCH_planner.json.")
+    parser.add_argument("--rows", type=int, default=ROWS)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI scale: few rows")
+    parser.add_argument("--json", metavar="FILE",
+                        help="write the measurements as JSON")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.rows = min(args.rows, 8_000)
+    if args.rows < 1:
+        parser.error("--rows must be >= 1")
+
+    payload = _bench_payload(args.rows)
+    for backend, row in payload["arms"]["skewed_join"].items():
+        print(f"skewed_join[{backend:>7}]: naive "
+              f"{row['naive_shuffle_bytes']}B -> adaptive "
+              f"{row['adaptive_shuffle_bytes']}B "
+              f"({row['shuffle_ratio']}x), identical={row['identical']}")
+    split = payload["arms"]["skew_split_group"]
+    print(f"skew_split: {split['skew_splits']} splits over "
+          f"{split['skew_split_tasks']} tasks, "
+          f"identical={split['identical']}")
+    merged = payload["arms"]["coalesce_reduce"]
+    print(f"coalesce: {merged['partitions_merged']} partitions merged, "
+          f"{merged['tasks_naive']} -> {merged['tasks_adaptive']} tasks")
+    scan = payload["arms"]["filter_scan"]
+    print(f"scan pushdown: {scan['scan_bytes_skipped']}B skipped, "
+          f"{scan['scan_fields_pruned']} fields pruned, "
+          f"identical={scan['identical']}")
+
+    failed = sorted(name for name, ok in payload["gates"].items()
+                    if not ok)
+    if args.json:
+        os.makedirs(os.path.dirname(args.json) or ".", exist_ok=True)
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    if failed:
+        print(f"PLANNER REGRESSION: gates failed: {', '.join(failed)}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+    sys.exit(main())

@@ -76,6 +76,19 @@ def _add_world_args(parser: argparse.ArgumentParser) -> None:
                         default=256 * 1024, metavar="BYTES",
                         help="broadcast one join side when its serialized "
                              "size fits under this (0 disables)")
+    parser.add_argument("--engine-adaptive", action="store_true",
+                        help="adaptive query planning: sample stage "
+                             "cardinalities at runtime, coalesce "
+                             "undersized post-shuffle partitions, split "
+                             "skewed buckets, choose broadcast joins from "
+                             "observed sizes and push filters/projections "
+                             "into dataset scans; results are "
+                             "byte-identical to the static plans")
+    parser.add_argument("--target-partition-bytes", type=int,
+                        default=1 << 20, metavar="BYTES",
+                        help="adaptive planner's post-shuffle partition "
+                             "size target (coalesce up / split down "
+                             "toward it)")
     parser.add_argument("--cache-budget", type=int,
                         default=64 * 1024 * 1024, metavar="BYTES",
                         help="LRU byte budget for persisted partitions; "
@@ -112,6 +125,9 @@ def _platform_config(args: argparse.Namespace) -> PlatformConfig:
         batch_rows=getattr(args, "batch_rows", 4096),
         broadcast_join_threshold=getattr(
             args, "broadcast_join_threshold", 256 * 1024),
+        engine_adaptive=getattr(args, "engine_adaptive", False),
+        target_partition_bytes=getattr(
+            args, "target_partition_bytes", 1 << 20),
         cache_budget=getattr(args, "cache_budget", 64 * 1024 * 1024),
         checkpoint_dir=getattr(args, "checkpoint_dir",
                                "/engine/checkpoints"),

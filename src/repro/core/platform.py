@@ -54,6 +54,13 @@ class PlatformConfig:
     #: many bytes (0 disables; raw contexts default to off, the platform
     #: opts in because its dimension tables are small)
     broadcast_join_threshold: int = 256 * 1024
+    # ---- adaptive planning (see DESIGN.md "Adaptive planning") ----
+    #: runtime stats sampling + partition coalescing, skew splitting,
+    #: observed-size broadcast decisions and scan pushdown (results
+    #: byte-identical to the static plans)
+    engine_adaptive: bool = False
+    #: the adaptive planner's post-shuffle partition size target
+    target_partition_bytes: int = 1 << 20
     #: LRU byte budget for persisted partitions (None = unbounded)
     cache_budget: Optional[int] = 64 * 1024 * 1024
     #: storage level for the crawl datasets persisted after a full
@@ -147,6 +154,8 @@ class ExploratoryPlatform:
             engine_columnar=self.config.engine_columnar,
             batch_rows=self.config.batch_rows,
             broadcast_join_threshold=self.config.broadcast_join_threshold,
+            engine_adaptive=self.config.engine_adaptive,
+            target_partition_bytes=self.config.target_partition_bytes,
             cache_budget=self.config.cache_budget,
             cache_dfs=self.dfs,
             task_deadline=self.config.task_deadline,

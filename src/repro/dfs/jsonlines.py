@@ -119,23 +119,111 @@ def read_json_dataset(dfs: MiniDfs, directory: str) -> List[Dict]:
     return list(iter_json_dataset(dfs, directory))
 
 
+# --------------------------------------------------------- pushdown scans
+class ScanCounters:
+    """Mutable accounting for a pushed-down scan (one part file)."""
+
+    __slots__ = ("bytes_skipped", "fields_pruned", "rows_read", "rows_kept")
+
+    def __init__(self):
+        self.bytes_skipped = 0
+        self.fields_pruned = 0
+        self.rows_read = 0
+        self.rows_kept = 0
+
+
+def read_part_pushdown(dfs: MiniDfs, path: str,
+                       ops: Sequence) -> tuple:
+    """One part file with filter/map ops evaluated per decoded line.
+
+    ``ops`` is the fused chain in lineage order: ``("filter", fn)``
+    drops a record (and counts the line's on-disk bytes, newline
+    included, as skipped) the moment ``fn`` rejects it — later ops never
+    see it, exactly like the unfused narrow stages; ``("map", fn)``
+    rewrites the record in place, counting dict fields a projection
+    removed. Returns ``(records, bytes_skipped, fields_pruned)`` with
+    ``records`` byte-identical to running the unfused chain over a full
+    :meth:`~repro.engine.context.SparkLiteContext.json_dataset` scan.
+    """
+    out: List = []
+    bytes_skipped = 0
+    fields_pruned = 0
+    for line in dfs.read_text(path).splitlines():
+        if not line:
+            continue
+        record = json.loads(line)
+        dropped = False
+        for kind, fn in ops:
+            if kind == "filter":
+                if not fn(record):
+                    dropped = True
+                    bytes_skipped += len(line) + 1
+                    break
+            else:
+                new = fn(record)
+                if isinstance(record, dict) and isinstance(new, dict):
+                    fields_pruned += max(0, len(record) - len(new))
+                record = new
+        if not dropped:
+            out.append(record)
+    return out, bytes_skipped, fields_pruned
+
+
 # ----------------------------------------------------- batch-native scans
-def read_part_batches(dfs: MiniDfs, path: str, batch_rows: int) -> List:
+def read_part_batches(dfs: MiniDfs, path: str, batch_rows: int,
+                      predicate=None, projection=None,
+                      counters: ScanCounters = None) -> List:
     """One part file as :class:`~repro.engine.columnar.RecordBatch`es.
 
     Records decode straight into batches of at most ``batch_rows`` rows
     — the columnar engine's scan entry point
     (``SparkLiteContext.json_batches``). Imported lazily so the storage
     layer stays importable without the engine package.
+
+    Explicit pushdown: ``predicate`` filters records during the read
+    (dropped lines never reach a batch; their on-disk bytes count into
+    ``counters.bytes_skipped``); ``projection`` is either a per-record
+    callable applied pre-batch or a sequence of field names pruned
+    *columnarly* — whole columns dropped from each built batch via
+    :func:`~repro.engine.columnar.project_batch`, with the cut cells
+    counted into ``counters.fields_pruned``.
     """
-    from repro.engine.columnar import RecordBatch
+    from repro.engine.columnar import RecordBatch, project_batch
     if batch_rows < 1:
         raise StorageError("batch_rows must be >= 1")
-    records = [json.loads(line)
-               for line in dfs.read_text(path).splitlines() if line]
-    return [RecordBatch.from_records(records[start:start + batch_rows])
-            for start in range(0, len(records), batch_rows)] or \
+    records = []
+    for line in dfs.read_text(path).splitlines():
+        if not line:
+            continue
+        record = json.loads(line)
+        if counters is not None:
+            counters.rows_read += 1
+        if predicate is not None and not predicate(record):
+            if counters is not None:
+                counters.bytes_skipped += len(line) + 1
+            continue
+        if projection is not None and callable(projection):
+            new = projection(record)
+            if (counters is not None and isinstance(record, dict)
+                    and isinstance(new, dict)):
+                counters.fields_pruned += max(0, len(record) - len(new))
+            record = new
+        if counters is not None:
+            counters.rows_kept += 1
+        records.append(record)
+    batches = [RecordBatch.from_records(records[start:start + batch_rows])
+               for start in range(0, len(records), batch_rows)] or \
         [RecordBatch.from_records([])]
+    if projection is not None and not callable(projection):
+        keys = tuple(projection)
+        projected = []
+        for batch in batches:
+            pruned_batch, cells_cut = project_batch(batch, keys)
+            projected.append(pruned_batch)
+            if counters is not None:
+                counters.fields_pruned += cells_cut
+        batches = projected
+    return batches
 
 
 def iter_json_batches(dfs: MiniDfs, directory: str,

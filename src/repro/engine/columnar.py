@@ -50,7 +50,8 @@ from typing import Any, Iterable, List, Optional, Sequence, Tuple
 __all__ = ["RecordBatch", "BatchBlock", "ShmRegistry",
            "shm_available", "new_job_prefix", "list_segments",
            "release_segments", "encode_rows", "decode_rows",
-           "batch_to_rows", "SHM_BASE_PREFIX", "DEFAULT_BATCH_ROWS"]
+           "batch_to_rows", "project_batch",
+           "SHM_BASE_PREFIX", "DEFAULT_BATCH_ROWS"]
 
 #: rows per batch for batched narrow ops / per-batch combiners
 DEFAULT_BATCH_ROWS = 4096
@@ -352,6 +353,38 @@ def batch_to_rows(batch: "RecordBatch") -> List[Any]:
     """Module-level (picklable) adapter for ``rdd.flat_map`` over
     batch-native scans: one batch in, its rows out."""
     return batch.to_rows()
+
+
+def project_batch(batch: "RecordBatch",
+                  keys: Sequence[str]) -> Tuple["RecordBatch", int]:
+    """Columnar projection: keep only ``keys``, in the requested order.
+
+    For a dict-mode batch this drops whole columns without touching a
+    single row — the batch-native half of the scan-pushdown contract.
+    Batches whose rows were too irregular for dict columns fall back to
+    a row-wise rebuild with identical results. Returns ``(projected,
+    cells_cut)`` where ``cells_cut`` counts the dropped fields (columns
+    removed x rows), and raises ``KeyError`` for a requested key the
+    records lack — the same error the row-wise ``{k: r[k] ...}``
+    projection would raise.
+    """
+    keys = tuple(keys)
+    if batch.mode == MODE_DICT and batch.keys is not None:
+        index = {k: i for i, k in enumerate(batch.keys)}
+        for k in keys:
+            if k not in index:
+                raise KeyError(k)
+        columns = [batch.columns[index[k]] for k in keys]
+        cells_cut = (len(batch.keys) - len(keys)) * batch.nrows
+        return RecordBatch(MODE_DICT, keys, columns, batch.nrows), cells_cut
+    rows = batch.to_rows()
+    cells_cut = 0
+    projected = []
+    for row in rows:
+        new = {k: row[k] for k in keys}
+        cells_cut += max(0, len(row) - len(new))
+        projected.append(new)
+    return RecordBatch.from_rows(projected), cells_cut
 
 
 # ------------------------------------------------------- row codec for spill

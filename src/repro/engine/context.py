@@ -11,6 +11,9 @@ from repro.engine.cache import CacheManager
 from repro.engine.checkpoint import CheckpointManager
 from repro.engine.metrics import MetricsTrace
 from repro.engine.columnar import DEFAULT_BATCH_ROWS, shm_available
+from repro.engine.planner import (DEFAULT_BROADCAST_CAPACITY,
+                                  DEFAULT_TARGET_PARTITION_BYTES,
+                                  AdaptivePlanner)
 from repro.engine.rdd import RDD, JobRunner
 from repro.engine.shuffle import DEFAULT_COMPRESS_THRESHOLD
 from repro.util.errors import EngineError
@@ -77,6 +80,23 @@ class SparkLiteContext:
             ``False`` forces the pickle path; ``True`` requests shm but
             still degrades cleanly to pickled payloads when the
             platform refuses.
+        engine_adaptive: adaptive, cost-based planning (see
+            :mod:`repro.engine.planner`): runtime stats sampling at
+            every stage boundary, post-shuffle coalescing of undersized
+            reduce partitions, skew-split of hot buckets, an
+            observed-size broadcast join decision that *replaces* the
+            static ``broadcast_join_threshold``, and filter/projection
+            pushdown into dataset scans. Action results stay
+            byte-identical to the naive plans (differential-tested);
+            only the physical execution — bytes moved, tasks run,
+            part-file layout of saved datasets — changes.
+        target_partition_bytes: the adaptive planner's coalesce/split
+            target — merge adjacent reduce buckets until they reach
+            this many serialized bytes, split hot buckets back down
+            toward it.
+        broadcast_capacity: serialized-size ceiling for the adaptive
+            broadcast decision (only consulted when
+            ``engine_adaptive`` is on).
 
     Note:
         Whatever the backend, the execution *model* is Spark's —
@@ -100,7 +120,10 @@ class SparkLiteContext:
                  checkpoint_dfs: Any = None,
                  engine_columnar: bool = False,
                  batch_rows: int = DEFAULT_BATCH_ROWS,
-                 shuffle_shm: Optional[bool] = None):
+                 shuffle_shm: Optional[bool] = None,
+                 engine_adaptive: bool = False,
+                 target_partition_bytes: int = DEFAULT_TARGET_PARTITION_BYTES,
+                 broadcast_capacity: int = DEFAULT_BROADCAST_CAPACITY):
         if parallelism < 1:
             raise EngineError("parallelism must be >= 1")
         if batch_rows < 1:
@@ -109,6 +132,10 @@ class SparkLiteContext:
             raise EngineError("task_retries must be >= 0")
         if broadcast_join_threshold < 0:
             raise EngineError("broadcast_join_threshold must be >= 0")
+        if target_partition_bytes < 1:
+            raise EngineError("target_partition_bytes must be >= 1")
+        if broadcast_capacity < 0:
+            raise EngineError("broadcast_capacity must be >= 0")
         if cache_budget is not None and cache_budget < 0:
             raise EngineError("cache_budget must be >= 0")
         if task_deadline is not None and task_deadline <= 0:
@@ -128,6 +155,12 @@ class SparkLiteContext:
         self.engine_columnar = engine_columnar
         self.batch_rows = batch_rows
         self.shuffle_shm = shuffle_shm
+        self.engine_adaptive = engine_adaptive
+        #: the JobRunner consults this (None = every adaptive pass off)
+        self.adaptive_planner = AdaptivePlanner(
+            target_partition_bytes=target_partition_bytes,
+            broadcast_capacity=broadcast_capacity) \
+            if engine_adaptive else None
         #: cross-job partition store backing RDD.persist()/cache()
         self.cache_manager = CacheManager(budget_bytes=cache_budget,
                                           dfs=cache_dfs)
@@ -205,11 +238,16 @@ class SparkLiteContext:
             text = dfs.read_text(paths[index])
             return [json.loads(line) for line in text.splitlines() if line]
         rdd = RDD(self, len(paths), (), compute, name=f"json:{directory}")
+        # lets the adaptive planner fuse adjacent filter/map ops into
+        # the read itself (repro.dfs.jsonlines.read_part_pushdown)
+        rdd.scan_info = {"dfs": dfs, "paths": tuple(paths), "kind": "rows"}
         self._datasets[key] = rdd
         return rdd
 
     def json_batches(self, dfs, directory: str,
-                     batch_rows: Optional[int] = None) -> RDD:
+                     batch_rows: Optional[int] = None,
+                     predicate: Optional[Callable] = None,
+                     projection: Any = None) -> RDD:
         """Batch-native scan: one partition per part file, each a list
         of :class:`~repro.engine.columnar.RecordBatch`es of at most
         ``batch_rows`` records (defaults to the context's).
@@ -217,19 +255,43 @@ class SparkLiteContext:
         ``flat_map(batch_to_rows)`` recovers the row view; pipelines
         that aggregate per batch skip the per-row object churn
         entirely.
+
+        Explicit scan pushdown: ``predicate`` filters records during
+        the read (their on-disk bytes count into the job's
+        ``scan_bytes_skipped``); ``projection`` is a per-record
+        callable or a sequence of field names to keep — the latter
+        prunes whole columns from each built batch
+        (``scan_fields_pruned`` counts the cut cells).
         """
-        from repro.dfs.jsonlines import read_part_batches
+        from repro.dfs.jsonlines import ScanCounters, read_part_batches
         paths = dfs.glob_parts(directory)
         if not paths:
             raise EngineError(f"no part files under {directory}")
         rows = batch_rows or self.batch_rows
-        key = (id(dfs), directory, tuple(paths), "batches", rows)
+        pushdown = ()
+        if predicate is not None:
+            pushdown += ("pred", id(predicate))
+        if projection is not None:
+            pushdown += (("proj", id(projection))
+                         if callable(projection)
+                         else ("proj", tuple(projection)))
+        key = (id(dfs), directory, tuple(paths), "batches", rows, pushdown)
         rdd = self._datasets.get(key)
         if rdd is not None:
             return rdd
 
         def compute(runner: JobRunner, index: int) -> List[Any]:
-            return read_part_batches(dfs, paths[index], rows)
+            counters = ScanCounters()
+            batches = read_part_batches(dfs, paths[index], rows,
+                                        predicate=predicate,
+                                        projection=projection,
+                                        counters=counters)
+            if predicate is not None or projection is not None:
+                runner.record_scan_pushdown(
+                    counters.bytes_skipped, counters.fields_pruned,
+                    filters=1 if predicate is not None else 0,
+                    projections=1 if projection is not None else 0)
+            return batches
         rdd = RDD(self, len(paths), (), compute,
                   name=f"jsonb:{directory}")
         self._datasets[key] = rdd
@@ -257,6 +319,7 @@ class SparkLiteContext:
             text = dfs.read_text(paths[index])
             return [json.loads(line) for line in text.splitlines() if line]
         rdd = RDD(self, len(paths), (), compute, name=f"jsonf:{name}")
+        rdd.scan_info = {"dfs": dfs, "paths": tuple(paths), "kind": "rows"}
         self._datasets[key] = rdd
         return rdd
 

@@ -48,6 +48,13 @@ class StageMetrics:
     cache_hit: bool = False
     fallback: bool = False
     broadcast: bool = False  # join served by a broadcast table, no shuffle
+    broadcast_bytes: int = 0  # serialized size of the broadcast table
+    # ---- adaptive-planner counters (see repro.engine.planner) ----
+    coalesced_from: int = 0   # declared bucket count before coalescing
+    coalesced_to: int = 0     # reduce groups that actually ran
+    skew_splits: int = 0      # hot buckets split into parallel tasks
+    scan_bytes_skipped: int = 0   # input bytes a pushed-down filter dropped
+    scan_fields_pruned: int = 0   # dict fields a pushed-down projection cut
     attempts: int = 0   # task executions, including retried attempts
     retried: int = 0    # tasks that needed more than one attempt
     # ---- supervision counters (see repro.engine.supervisor) ----
@@ -92,6 +99,12 @@ class StageMetrics:
             "cache_hit": self.cache_hit,
             "fallback": self.fallback,
             "broadcast": self.broadcast,
+            "broadcast_bytes": self.broadcast_bytes,
+            "coalesced_from": self.coalesced_from,
+            "coalesced_to": self.coalesced_to,
+            "skew_splits": self.skew_splits,
+            "scan_bytes_skipped": self.scan_bytes_skipped,
+            "scan_fields_pruned": self.scan_fields_pruned,
             "attempts": self.attempts,
             "retried": self.retried,
             "lost_executors": self.lost_executors,
@@ -126,6 +139,7 @@ class JobMetrics:
         self.shuffle_bytes_shm = 0
         self.shuffle_bytes_pickled = 0
         self.broadcast_joins = 0
+        self.broadcast_bytes = 0
         self.cached_hits = 0
         self.fallbacks = 0
         self.task_attempts = 0
@@ -138,6 +152,18 @@ class JobMetrics:
         self.pool_rebuilds = 0
         self.checkpoint_hits = 0
         self.checkpoint_writes = 0
+        # ---- adaptive planner (all zero when engine_adaptive is off) ----
+        self.adaptive_coalesces = 0          # shuffle stages coalesced
+        self.adaptive_partitions_merged = 0  # reduce buckets merged away
+        self.skew_splits = 0                 # hot buckets split
+        self.skew_split_tasks = 0            # reduce tasks the splits ran
+        self.scan_bytes_skipped = 0          # filter-pushdown bytes dropped
+        self.scan_fields_pruned = 0          # projection-pushdown fields cut
+        self.pushed_filters = 0              # filter ops fused into scans
+        self.pushed_projections = 0          # map ops fused into scans
+        self.stats_sampled_partitions = 0    # stage-boundary samples taken
+        self.stats_sampled_rows = 0          # rows pickled for estimates
+        self.stats_repeat_observations = 0   # idempotent-guard cache hits
         self.wall_s = 0.0
 
     # ------------------------------------------------------------- recording
@@ -193,8 +219,28 @@ class JobMetrics:
                                        if pickled_bytes is None
                                        else pickled_bytes)
 
-    def record_broadcast_join(self) -> None:
+    def record_broadcast_join(self, nbytes: int = 0) -> None:
+        """One join served by a broadcast table of ``nbytes`` serialized
+        bytes (the exact ``payload_bytes`` of the side that crossed)."""
         self.broadcast_joins += 1
+        self.broadcast_bytes += nbytes
+
+    def record_adaptive_reduce(self, merged_away: int, splits: int,
+                               split_tasks: int) -> None:
+        """One shuffle stage executed under an adaptive reduce plan."""
+        if merged_away:
+            self.adaptive_coalesces += 1
+            self.adaptive_partitions_merged += merged_away
+        self.skew_splits += splits
+        self.skew_split_tasks += split_tasks
+
+    def record_scan_pushdown(self, bytes_skipped: int, fields_pruned: int,
+                             filters: int = 0, projections: int = 0) -> None:
+        """One scan executed with filters/projections pushed into it."""
+        self.scan_bytes_skipped += bytes_skipped
+        self.scan_fields_pruned += fields_pruned
+        self.pushed_filters += filters
+        self.pushed_projections += projections
 
     def next_stage_id(self) -> int:
         return len(self.stages)
@@ -212,6 +258,7 @@ class JobMetrics:
             "shuffle_bytes_shm": self.shuffle_bytes_shm,
             "shuffle_bytes_pickled": self.shuffle_bytes_pickled,
             "broadcast_joins": self.broadcast_joins,
+            "broadcast_bytes": self.broadcast_bytes,
             "cached_hits": self.cached_hits,
             "fallbacks": self.fallbacks,
             "task_attempts": self.task_attempts,
@@ -224,6 +271,17 @@ class JobMetrics:
             "pool_rebuilds": self.pool_rebuilds,
             "checkpoint_hits": self.checkpoint_hits,
             "checkpoint_writes": self.checkpoint_writes,
+            "adaptive_coalesces": self.adaptive_coalesces,
+            "adaptive_partitions_merged": self.adaptive_partitions_merged,
+            "skew_splits": self.skew_splits,
+            "skew_split_tasks": self.skew_split_tasks,
+            "scan_bytes_skipped": self.scan_bytes_skipped,
+            "scan_fields_pruned": self.scan_fields_pruned,
+            "pushed_filters": self.pushed_filters,
+            "pushed_projections": self.pushed_projections,
+            "stats_sampled_partitions": self.stats_sampled_partitions,
+            "stats_sampled_rows": self.stats_sampled_rows,
+            "stats_repeat_observations": self.stats_repeat_observations,
             "backend": self.backend,
             "wall_s": round(self.wall_s, 6),
         }

@@ -39,6 +39,8 @@ from repro.engine.metrics import (STAGE_CACHED, STAGE_CHECKPOINT,
 # unchanged because CRC32 bucket placement is pinned by regression tests
 # that import these names from this module.
 from repro.engine.columnar import BatchBlock
+from repro.engine.planner import (StatsCollector, analyze_job,
+                                  merge_split_outputs)
 from repro.engine.shuffle import (BroadcastHashJoinOp, CogroupJoinTask,
                                   HashPartitioner, MapShuffleTask,
                                   ReduceShuffleTask, ShuffleBlock,
@@ -70,6 +72,7 @@ _rdd_ids = itertools.count()
 class _MapOp:
     __slots__ = ("fn",)
     elementwise = True
+    pushdown_kind = "map"    # fusable into an adjacent dataset scan
 
     def __init__(self, fn):
         self.fn = fn
@@ -82,6 +85,7 @@ class _MapOp:
 class _FilterOp:
     __slots__ = ("fn",)
     elementwise = True
+    pushdown_kind = "filter"  # fusable into an adjacent dataset scan
 
     def __init__(self, fn):
         self.fn = fn
@@ -192,6 +196,23 @@ class _SampleOp:
 
 
 # ------------------------------------------------------------ shuffle operators
+# Two adaptive-planner contracts, declared per post op (planner.py reads
+# them as duck attributes, never by type, so user-supplied post ops stay
+# conservatively naive):
+#
+# ``concat_safe`` — post(bucket_a + bucket_b) == post(bucket_a) +
+# post(bucket_b) whenever a and b hold disjoint key sets (hash/range
+# buckets always do) or, for positional buckets (gather/sort), whenever
+# a's elements all order before b's. This is what lets the planner merge
+# *adjacent* undersized buckets and still emit identical bytes.
+#
+# ``partial_merge`` — how partial outputs of one bucket's split chunks
+# merge back: "post" re-applies the op to the concatenated partials
+# (the map-side combiner contract: _ReduceByKeyOp folds fn over partial
+# values, _DistinctOp re-dedups), "group" concatenates per-key value
+# lists in first-seen order. Ops without it (raw _AggregateByKeyOp /
+# _CountPairsOp would double-apply seq / count partials as pairs;
+# _SortOp buckets are already balanced by range sampling) never split.
 def _pair_key(item):
     return item[0]
 
@@ -202,6 +223,7 @@ def _identity(item):
 
 class _GatherOp:
     __slots__ = ()
+    concat_safe = True
 
     def __call__(self, bucket):
         return bucket
@@ -209,6 +231,8 @@ class _GatherOp:
 
 class _DistinctOp:
     __slots__ = ()
+    concat_safe = True
+    partial_merge = "post"
 
     def __call__(self, bucket):
         seen = set()
@@ -222,6 +246,8 @@ class _DistinctOp:
 
 class _GroupByKeyOp:
     __slots__ = ()
+    concat_safe = True
+    partial_merge = "group"
 
     def __call__(self, bucket):
         grouped: Dict[Any, List[Any]] = defaultdict(list)
@@ -232,6 +258,8 @@ class _GroupByKeyOp:
 
 class _ReduceByKeyOp:
     __slots__ = ("fn",)
+    concat_safe = True
+    partial_merge = "post"
 
     def __init__(self, fn):
         self.fn = fn
@@ -246,6 +274,7 @@ class _ReduceByKeyOp:
 
 class _AggregateByKeyOp:
     __slots__ = ("zero", "seq", "comb")
+    concat_safe = True
 
     def __init__(self, zero, seq, comb):
         self.zero = zero
@@ -267,6 +296,7 @@ class _CountPairsOp:
     """Collapse ``(k, v)`` pairs to ``(k, count)`` in first-seen order."""
 
     __slots__ = ()
+    concat_safe = True
 
     def __call__(self, bucket):
         counts: Dict[Any, int] = {}
@@ -276,9 +306,15 @@ class _CountPairsOp:
 
 
 class _SortOp:
-    """Reduce side of a range sort: order one bucket (stable)."""
+    """Reduce side of a range sort: order one bucket (stable).
+
+    ``concat_safe``: adjacent range buckets hold adjacent key ranges
+    (equal keys always land in one bucket), so sorting the concatenation
+    of adjacent buckets emits the per-bucket sorts back to back with the
+    same stable tie order."""
 
     __slots__ = ("key_fn", "ascending")
+    concat_safe = True
 
     def __init__(self, key_fn, ascending):
         self.key_fn = key_fn
@@ -729,6 +765,15 @@ class JobRunner:
         if getattr(context, "shm_enabled", False):
             from repro.engine.columnar import ShmRegistry
             self.shm_registry = ShmRegistry()
+        #: adaptive planning (engine_adaptive=True): the context's
+        #: AdaptivePlanner, a job-scoped StatsCollector, and the lineage
+        #: analysis built lazily from this job's action root
+        self.adaptive = getattr(context, "adaptive_planner", None)
+        self.stats = (StatsCollector(self.adaptive.sample_rows,
+                                     metrics=self.metrics)
+                      if self.adaptive is not None else None)
+        self.plan = None
+        self._metrics_lock = threading.Lock()
 
     def release_shuffle_segments(self) -> int:
         """Unlink every shm segment this job created (idempotent).
@@ -819,21 +864,49 @@ class JobRunner:
             name=rdd.name, kind=kind,
             partitions=rdd.num_partitions, cache_hit=True))
 
+    def _ensure_plan(self, rdd: RDD) -> None:
+        """Analyze the job's lineage once, from the first action root.
+
+        Reentrant ``all_partitions`` calls (generic computes pulling
+        parents) keep the root's analysis — every node they touch is in
+        the root's lineage, so consumer sets stay complete.
+        """
+        if self.adaptive is not None and self.plan is None:
+            self.plan = analyze_job(rdd, self._has_cache)
+
+    def record_scan_pushdown(self, bytes_skipped: int, fields_pruned: int,
+                             filters: int = 0, projections: int = 0) -> None:
+        """Thread-safe pushdown accounting (scan computes may run on the
+        thread backend's pool)."""
+        with self._metrics_lock:
+            self.metrics.record_scan_pushdown(bytes_skipped, fields_pruned,
+                                              filters, projections)
+
     def all_partitions(self, rdd: RDD) -> List[List[Any]]:
         if rdd.rdd_id not in self._partitions:
+            self._ensure_plan(rdd)
             for node in self._lineage(rdd):
                 self._materialize(node)
         return self._partitions[rdd.rdd_id]
 
     def _materialize(self, rdd: RDD) -> None:
+        if self.plan is not None and rdd.rdd_id in self.plan.interior:
+            # interior link of a fused scan chain: its sole consumer
+            # reads straight from the DFS, so it never materializes
+            return
         if self._load_cached(rdd):
             return
         backend = self.context.backend
         start = time.perf_counter()
         broadcast = False
         rec_in = rec_moved = b_moved = b_raw = b_shm = b_pick = 0
+        broadcast_bytes = coalesced_from = coalesced_to = stage_splits = 0
+        scan_skipped = scan_pruned = 0
         runs: List[Any] = []
-        if rdd.part_fn is not None:
+        if self.plan is not None and rdd.rdd_id in self.plan.fusions:
+            results, scan_skipped, scan_pruned = self._fused_scan(rdd)
+            kind = STAGE_TASK
+        elif rdd.part_fn is not None:
             inputs = self.all_partitions(rdd.parents[0])
             run = backend.run(self._narrow_op(rdd.part_fn), inputs,
                               stage_key=self._stage_key("n"))
@@ -843,15 +916,31 @@ class JobRunner:
         elif rdd.shuffle is not None:
             pieces, stats, exchange = self._exchange(rdd)
             rec_in, rec_moved, b_moved, b_raw, b_shm, b_pick = stats
-            post = backend.run(ReduceShuffleTask(rdd.shuffle.post), pieces,
-                               stage_key=self._stage_key("r"))
-            runs.extend([exchange, post])
-            results = post.results
+            runs.append(exchange)
+            plan = None
+            if self.adaptive is not None:
+                plan = self.adaptive.plan_reduce(
+                    rdd.shuffle.post, pieces,
+                    allow_coalesce=rdd.rdd_id in self.plan.shape_safe)
+            if plan is None:
+                post = backend.run(ReduceShuffleTask(rdd.shuffle.post),
+                                   pieces, stage_key=self._stage_key("r"))
+                runs.append(post)
+                results = post.results
+            else:
+                results, post = self._run_reduce_plan(rdd, plan, pieces)
+                runs.append(post)
+                if plan.merged_away:
+                    coalesced_from = rdd.num_partitions
+                    coalesced_to = sum(1 for e in plan.entries
+                                       if e[0] == "merge")
+                stage_splits = plan.splits
             kind = STAGE_SHUFFLE
             self.metrics.record_shuffle(rec_in, b_moved, rec_moved, b_raw,
                                         b_shm, b_pick)
         elif rdd.join_how is not None:
-            results, stats, runs, broadcast = self._join(rdd)
+            results, stats, runs, broadcast, broadcast_bytes = \
+                self._join(rdd)
             rec_in, rec_moved, b_moved, b_raw, b_shm, b_pick = stats
             kind = STAGE_NARROW if broadcast else STAGE_SHUFFLE
         else:
@@ -880,6 +969,10 @@ class JobRunner:
             self._store_cache(rdd, results)
         if rdd._checkpoint_requested:
             self._store_checkpoint(rdd, results)
+        if self.stats is not None:
+            # stage-boundary sample: deterministic, driver-side, over the
+            # deduplicated results — recomputed attempts can't re-count
+            self.stats.observe(f"r{rdd.rdd_id}", results)
         stage = StageMetrics(
             stage_id=self.metrics.next_stage_id(), rdd_id=rdd.rdd_id,
             name=rdd.name, kind=kind, partitions=rdd.num_partitions,
@@ -887,7 +980,12 @@ class JobRunner:
             shuffle_records=rec_in, shuffle_records_moved=rec_moved,
             shuffle_bytes=b_moved, shuffle_bytes_raw=b_raw,
             shuffle_bytes_shm=b_shm, shuffle_bytes_pickled=b_pick,
-            wall_s=time.perf_counter() - start, broadcast=broadcast)
+            wall_s=time.perf_counter() - start, broadcast=broadcast,
+            broadcast_bytes=broadcast_bytes,
+            coalesced_from=coalesced_from, coalesced_to=coalesced_to,
+            skew_splits=stage_splits,
+            scan_bytes_skipped=scan_skipped,
+            scan_fields_pruned=scan_pruned)
         for run in runs:
             stage.add_run(run)
         self.metrics.record_stage(stage)
@@ -902,6 +1000,66 @@ class JobRunner:
     def partition(self, rdd: RDD, index: int) -> List[Any]:
         return self.all_partitions(rdd)[index]
 
+    # -------------------------------------------------- adaptive execution
+    def _fused_scan(self, rdd: RDD):
+        """Materialize a fused scan terminal straight from the DFS.
+
+        The fused chain's filter/map ops evaluate per decoded line
+        inside the read (same order the unfused narrow stages would
+        apply them, so results are identical); dropped lines count their
+        on-disk bytes as skipped, dict-shrinking projections count the
+        fields they cut.
+        """
+        from repro.dfs.jsonlines import read_part_pushdown
+        fusion = self.plan.fusions[rdd.rdd_id]
+        info = fusion.scan.scan_info
+        dfs, paths, ops = info["dfs"], info["paths"], fusion.ops
+        triples = self.context.backend.run_local(
+            lambda i: read_part_pushdown(dfs, paths[i], ops), len(paths))
+        results = [t[0] for t in triples]
+        skipped = sum(t[1] for t in triples)
+        pruned = sum(t[2] for t in triples)
+        self.record_scan_pushdown(
+            skipped, pruned,
+            filters=sum(1 for k, _fn in ops if k == "filter"),
+            projections=sum(1 for k, _fn in ops if k == "map"))
+        return results, skipped, pruned
+
+    def _run_reduce_plan(self, rdd: RDD, plan, pieces):
+        """Execute an adaptive reduce plan for one shuffle stage.
+
+        Merge entries feed one task the concatenated piece lists of
+        adjacent buckets (bucket order, map order within — the same
+        stream the per-bucket tasks would see back to back); split
+        entries fan a hot bucket's pieces across several tasks and fold
+        the partial outputs back together. Entry order equals bucket
+        order and the tail pads with empty partitions, so the declared
+        partition count and the flattened element order both hold.
+        """
+        post_op = rdd.shuffle.post
+        inputs: List[List[Any]] = []
+        for entry in plan.entries:
+            if entry[0] == "merge":
+                inputs.append([p for b in entry[1] for p in pieces[b]])
+            else:
+                _kind, bucket, chunks = entry
+                for lo, hi in chunks:
+                    inputs.append(pieces[bucket][lo:hi])
+        run = self.context.backend.run(ReduceShuffleTask(post_op), inputs,
+                                       stage_key=self._stage_key("r"))
+        outs = iter(run.results)
+        results: List[List[Any]] = []
+        for entry in plan.entries:
+            if entry[0] == "merge":
+                results.append(next(outs))
+            else:
+                partials = [next(outs) for _ in entry[2]]
+                results.append(merge_split_outputs(post_op, partials))
+        results.extend([] for _ in range(rdd.num_partitions - len(results)))
+        self.metrics.record_adaptive_reduce(plan.merged_away, plan.splits,
+                                            plan.split_tasks)
+        return results, run
+
     # ------------------------------------------------------------------- take
     def take(self, rdd: RDD, n: int) -> List[Any]:
         """First ``n`` elements, scanning as few partitions as possible.
@@ -915,6 +1073,7 @@ class JobRunner:
         """
         gathered: List[List[Any]] = []
         count = 0
+        self._ensure_plan(rdd)
         if (rdd._compute is not None and not rdd.parents
                 and not rdd._cache_requested
                 and not rdd._checkpoint_requested):
@@ -1036,9 +1195,15 @@ class JobRunner:
         """Adaptive pair join: broadcast-hash when a side fits, else
         a two-sided hash exchange cogrouped per bucket.
 
-        Returns ``(results, shuffle_stats, runs, broadcast)`` — the
-        caller folds each backend run's supervision counters into the
-        stage row via :meth:`StageMetrics.add_run`.
+        With the adaptive planner on, the broadcast decision comes from
+        the *observed* sizes of both materialized sides (replacing the
+        static threshold entirely); otherwise the configured
+        ``broadcast_join_threshold`` applies as before.
+
+        Returns ``(results, shuffle_stats, runs, broadcast,
+        broadcast_bytes)`` — the caller folds each backend run's
+        supervision counters into the stage row via
+        :meth:`StageMetrics.add_run`.
         """
         left, right = rdd.parents
         how = rdd.join_how
@@ -1047,18 +1212,22 @@ class JobRunner:
         num_buckets = rdd.num_partitions
         backend = self.context.backend
         threshold = getattr(self.context, "broadcast_join_threshold", 0) or 0
-        if threshold > 0:
+        pick = None
+        if self.adaptive is not None:
+            pick = self._adaptive_broadcast_side(left, right, left_parts,
+                                                 right_parts, how)
+        elif threshold > 0:
             pick = self._broadcast_side(left_parts, right_parts, how,
                                         threshold)
-            if pick is not None:
-                small_is_right, table = pick
-                big_parts = left_parts if small_is_right else right_parts
-                run = backend.run(
-                    BroadcastHashJoinOp(table, how, small_is_right),
-                    list(big_parts), stage_key=self._stage_key("b"))
-                self.metrics.record_broadcast_join()
-                results = _reshape(run.results, num_buckets)
-                return results, (0, 0, 0, 0, 0, 0), [run], True
+        if pick is not None:
+            small_is_right, table, table_bytes = pick
+            big_parts = left_parts if small_is_right else right_parts
+            run = backend.run(
+                BroadcastHashJoinOp(table, how, small_is_right),
+                list(big_parts), stage_key=self._stage_key("b"))
+            self.metrics.record_broadcast_join(table_bytes)
+            results = _reshape(run.results, num_buckets)
+            return results, (0, 0, 0, 0, 0, 0), [run], True, table_bytes
         partitioner = HashPartitioner(_pair_key, num_buckets)
         pieces_l, stats_l, run_l = self._exchange_parts(
             left_parts, num_buckets, partitioner,
@@ -1076,7 +1245,7 @@ class JobRunner:
                            list(zip(pieces_l, pieces_r)),
                            stage_key=self._stage_key("p"))
         stats = tuple(a + b for a, b in zip(stats_l, stats_r))
-        return post.results, stats, [run_l, run_r, post], False
+        return post.results, stats, [run_l, run_r, post], False, 0
 
     @staticmethod
     def _broadcast_side(left_parts, right_parts, how, threshold):
@@ -1086,15 +1255,38 @@ class JobRunner:
         joins (a left-outer join must emit unmatched *left* rows, which
         the probe side streams, so the left side has to stay big-side).
         A measured size of 0 means the payload would not pickle.
+        Returns ``(small_is_right, table, serialized_bytes)``.
         """
         right_size = payload_bytes(right_parts)
         if 0 < right_size <= threshold:
-            return True, _hash_table(right_parts)
+            return True, _hash_table(right_parts), right_size
         if how == "inner":
             left_size = payload_bytes(left_parts)
             if 0 < left_size <= threshold:
-                return False, _hash_table(left_parts)
+                return False, _hash_table(left_parts), left_size
         return None
+
+    def _adaptive_broadcast_side(self, left, right, left_parts,
+                                 right_parts, how):
+        """Observed-size broadcast decision (``engine_adaptive``).
+
+        Both sides are already materialized, so their stage-boundary
+        stats (exact counts, deterministic sampled sizes) are cached in
+        the collector — the planner just compares them. The chosen
+        side's *actual* serialized size is then measured exactly for the
+        ``broadcast_bytes`` metric; a side that turns out unpicklable
+        falls back to the hash exchange.
+        """
+        stats_l = self.stats.observe(f"r{left.rdd_id}", left_parts)
+        stats_r = self.stats.observe(f"r{right.rdd_id}", right_parts)
+        side = self.adaptive.choose_broadcast(stats_l, stats_r, how)
+        if side is None:
+            return None
+        parts = right_parts if side == "right" else left_parts
+        size = payload_bytes(parts)
+        if size <= 0 and any(len(p) for p in parts):
+            return None
+        return side == "right", _hash_table(parts), size
 
     def shuffle(self, rdd: RDD, num_buckets: int,
                 bucket_fn: Callable[[Any], Any],

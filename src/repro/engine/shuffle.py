@@ -40,6 +40,19 @@ DEFAULT_COMPRESS_THRESHOLD = 4096
 RANGE_SAMPLES_PER_PARTITION = 20
 
 
+def stride_sample(seq: List[Any], k: int) -> List[Any]:
+    """At most ``k`` elements taken at a fixed stride — no RNG, so the
+    sample is a pure function of the sequence. The adaptive planner's
+    size estimates (:mod:`repro.engine.planner`) sample through this —
+    the same idiom :func:`plan_range_partitioner` uses for its cut
+    points — which is what keeps retries, speculation and backend
+    choice from ever perturbing a data-dependent plan."""
+    if not seq:
+        return []
+    stride = max(1, len(seq) // max(1, k))
+    return seq[::stride][:k]
+
+
 # --------------------------------------------------------------------- hashing
 def _canonical_bytes(key: Any) -> bytes:
     """Deterministic, type-tagged encoding: equal keys → equal bytes.

@@ -54,12 +54,20 @@ class TestJobMetrics:
                           "shuffle_records_moved", "shuffle_bytes",
                           "shuffle_bytes_raw", "shuffle_bytes_shm",
                           "shuffle_bytes_pickled", "broadcast_joins",
+                          "broadcast_bytes",
                           "cached_hits", "fallbacks", "task_attempts",
                           "retried_tasks", "lost_executors",
                           "recomputed_partitions", "speculative_launched",
                           "speculative_won", "zombie_tasks",
                           "pool_rebuilds", "checkpoint_hits",
-                          "checkpoint_writes", "backend", "wall_s"}
+                          "checkpoint_writes",
+                          "adaptive_coalesces", "adaptive_partitions_merged",
+                          "skew_splits", "skew_split_tasks",
+                          "scan_bytes_skipped", "scan_fields_pruned",
+                          "pushed_filters", "pushed_projections",
+                          "stats_sampled_partitions", "stats_sampled_rows",
+                          "stats_repeat_observations",
+                          "backend", "wall_s"}
 
     def test_metrics_reset_per_job(self, sc):
         sc.parallelize(range(50), 2).map(lambda x: (x, 1)) \

@@ -209,12 +209,13 @@ class TestJoinOps:
         big = [[(k, k) for k in range(2000)]]
         pick = JobRunner._broadcast_side
         fits = payload_bytes(small)
-        small_is_right, table = pick(big, small, "inner", fits)
+        small_is_right, table, nbytes = pick(big, small, "inner", fits)
         assert small_is_right is True and table == {1: ["a"]}
+        assert nbytes == fits
         assert pick(big, small, "inner", 1) is None  # over-threshold
         # the left side may broadcast only for inner joins
-        small_is_right, _table = pick(small, big, "inner", fits)
-        assert small_is_right is False
+        small_is_right, _table, nbytes = pick(small, big, "inner", fits)
+        assert small_is_right is False and nbytes == fits
         assert pick(small, big, "left", fits) is None
 
 

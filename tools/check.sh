@@ -62,3 +62,14 @@ echo "== benchmark smoke (ingest kill-anywhere resume) =="
 # incremental recompute bounded (each source record scanned once)
 with_timeout python benchmarks/bench_a8_ingest.py \
     --smoke --json benchmarks/out/BENCH_ingest.json
+
+echo "== benchmark smoke (adaptive planner) =="
+# A9: adaptive planning vs the naive plans — the skewed join must move
+# >= 2x fewer shuffled bytes on all three backends, skew split /
+# coalesce / scan pushdown must fire, every arm byte-identical
+with_timeout python benchmarks/bench_a9_planner.py \
+    --smoke --json benchmarks/out/BENCH_planner.json
+
+echo "== merge benchmark artifacts =="
+# fold every BENCH_*.json into the single BENCH_summary.json artifact
+python tools/merge_bench.py --out benchmarks/out/BENCH_summary.json

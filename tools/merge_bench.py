@@ -1,0 +1,86 @@
+"""Merge the per-benchmark ``BENCH_*.json`` artifacts into one summary.
+
+``tools/check.sh`` (and CI) runs every A-series benchmark in smoke mode,
+each writing its own ``benchmarks/out/BENCH_<name>.json``. This tool
+folds them into a single ``BENCH_summary.json`` keyed by benchmark name,
+so a PR carries one machine-readable perf-trajectory artifact instead of
+a loose pile::
+
+    python tools/merge_bench.py \
+        --out benchmarks/out/BENCH_summary.json [benchmarks/out]
+
+Files that fail to parse are reported and skipped (exit stays 0 unless
+*nothing* merged — a missing directory or an all-corrupt set is a CI
+wiring bug worth failing on). The summary itself is excluded from its
+own inputs, so reruns are idempotent.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+DEFAULT_DIR = os.path.join("benchmarks", "out")
+SUMMARY_NAME = "BENCH_summary.json"
+
+
+def merge_bench_dir(directory: str) -> dict:
+    """Fold every ``BENCH_*.json`` under ``directory`` into one dict.
+
+    Returns ``{"benchmarks": {<name>: payload}, "skipped": [...]}``
+    where ``<name>`` is the filename between ``BENCH_`` and ``.json``.
+    """
+    merged = {}
+    skipped = []
+    try:
+        names = sorted(os.listdir(directory))
+    except OSError:
+        names = []
+    for name in names:
+        if not (name.startswith("BENCH_") and name.endswith(".json")):
+            continue
+        if name == SUMMARY_NAME:
+            continue
+        path = os.path.join(directory, name)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError) as exc:
+            skipped.append({"file": name, "error": str(exc)})
+            continue
+        merged[name[len("BENCH_"):-len(".json")]] = payload
+    return {"benchmarks": merged, "skipped": skipped}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Merge per-bench BENCH_*.json files into one "
+                    "BENCH_summary.json artifact.")
+    parser.add_argument("directory", nargs="?", default=DEFAULT_DIR,
+                        help="directory holding the BENCH_*.json files")
+    parser.add_argument("--out", metavar="FILE",
+                        help="summary path (default: <directory>/"
+                             f"{SUMMARY_NAME})")
+    args = parser.parse_args(argv)
+    out = args.out or os.path.join(args.directory, SUMMARY_NAME)
+
+    summary = merge_bench_dir(args.directory)
+    for skip in summary["skipped"]:
+        print(f"skipping {skip['file']}: {skip['error']}",
+              file=sys.stderr)
+    if not summary["benchmarks"]:
+        print(f"no BENCH_*.json files under {args.directory}",
+              file=sys.stderr)
+        return 1
+
+    os.makedirs(os.path.dirname(out) or ".", exist_ok=True)
+    with open(out, "w", encoding="utf-8") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=True)
+    names = ", ".join(sorted(summary["benchmarks"]))
+    print(f"merged {len(summary['benchmarks'])} benchmarks ({names}) "
+          f"into {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
