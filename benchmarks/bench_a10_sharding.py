@@ -1,0 +1,336 @@
+"""A10 — shard-failure-tolerant multi-tenant serving.
+
+Three gates, each of which fails the benchmark (non-zero exit):
+
+* **shard-loss SLO** — with the ``serve_shard_chaos`` profile active
+  and a forced ``kill_shard`` taking down every replica of one shard
+  mid-run, >= 99% of finally-admitted queries still answer inside their
+  deadline; every scatter-gather result's coverage accounting is exact
+  (``shards_answered`` matches the per-shard status map, ``partial``
+  iff some contacted shard failed), and every *full* fresh answer is
+  byte-identical to the unsharded oracle dataset;
+* **fair-share isolation** — an abusive tenant offering 10x its
+  weighted fair share cannot starve compliant tenants: every tenant's
+  goodput stays >= 90% of min(what it offered, its weighted share);
+* **determinism** — the whole sharded run (metrics, coverage, and the
+  autoscaler's decision log) is byte-identical across two same-seed
+  executions.
+
+Run standalone it writes ``BENCH_sharding.json`` for the perf
+trajectory::
+
+    PYTHONPATH=src python benchmarks/bench_a10_sharding.py \
+        --smoke --json benchmarks/out/BENCH_sharding.json
+"""
+
+import argparse
+import json
+
+import pytest
+
+from repro.core.platform import ExploratoryPlatform
+from repro.net.faults import FAULT_KILL_SHARD, FaultSchedule
+from repro.serve.autoscale import ACTION_ADD, REASON_DEAD, AutoscaleConfig
+from repro.serve.loadgen import LoadProfile, generate_schedule, replay
+from repro.serve.metrics import SHARD_OK, STATUS_FRESH, STATUS_PARTIAL
+from repro.serve.service import ServeConfig
+from repro.serve.sharding import ShardConfig, kill_target
+from repro.serve.tenancy import Tenant
+from repro.world.config import WorldConfig
+
+QPS_LIMIT = 40.0
+QUEUE_DEPTH = 16
+WORKERS = 4
+OVERLOAD = 2.5
+NUM_SHARDS = 4
+REPLICAS = 2
+SCHEDULE_SEED = 42
+CHAOS_SEED = 7
+#: forced one-shot shard kill at this backend-request index (early
+#: enough that even the --smoke schedule reaches it)
+KILL_AT = 60
+SLOW_DATANODE_S = 0.05
+MIN_ANSWERED_FRACTION = 0.99
+#: fair-share gate: tenant goodput floor as a fraction of entitlement
+FAIR_SHARE_FLOOR = 0.90
+ABUSE_FACTOR = 10.0
+TENANT_WEIGHTS = {"t0": 2.0, "t1": 1.0, "t2": 1.0}
+
+
+def _build_platform() -> ExploratoryPlatform:
+    platform = ExploratoryPlatform.over_new_world(WorldConfig.tiny())
+    platform.run_full_crawl()
+    platform.serve_dataset()
+    for index, node_id in enumerate(sorted(platform.dfs.datanodes)):
+        platform.dfs.set_datanode_latency(
+            node_id, SLOW_DATANODE_S if index == 0 else 0.004)
+    return platform
+
+
+def _chaos() -> FaultSchedule:
+    faults = FaultSchedule.serve_shard_chaos(1.0, seed=CHAOS_SEED)
+    faults.force_window(FAULT_KILL_SHARD, start=KILL_AT, span=1)
+    return faults
+
+
+def _run_chaos(platform: ExploratoryPlatform, duration_s: float):
+    """Gate (a)+(c): shard-chaos run with a forced mid-run shard kill."""
+    faults = _chaos()
+    service = platform.sharded_query_service(
+        config=ServeConfig(qps_limit=QPS_LIMIT, queue_depth=QUEUE_DEPTH,
+                           workers=WORKERS),
+        shard_config=ShardConfig(num_shards=NUM_SHARDS, replicas=REPLICAS),
+        # deliberately sluggish autoscaler: the killed shard stays dark
+        # long enough that scatter-gather must actually serve partials
+        autoscale=AutoscaleConfig(tick_every=50, replica_boot_s=0.4),
+        faults=faults)
+    profile = LoadProfile(qps=QPS_LIMIT * OVERLOAD, duration_s=duration_s,
+                          seed=SCHEDULE_SEED)
+    report = replay(service, generate_schedule(
+        profile, platform.serve_dataset()))
+    return report, service, profile
+
+
+def _tenant_schedule(platform, duration_s: float):
+    """Three merged open-loop streams: t0 abusive, t1/t2 compliant.
+
+    Each tenant gets its own seeded single-tenant schedule at its own
+    offered rate, retagged and merged by arrival time — so the abusive
+    tenant's volume cannot perturb the compliant tenants' draws.
+    """
+    dataset = platform.serve_dataset()
+    total_weight = sum(TENANT_WEIGHTS.values())
+    merged = []
+    for i, (tenant_id, weight) in enumerate(sorted(TENANT_WEIGHTS.items())):
+        share_qps = QPS_LIMIT * weight / total_weight
+        offered_qps = share_qps * (ABUSE_FACTOR if tenant_id == "t0"
+                                   else 0.8)
+        profile = LoadProfile(qps=offered_qps, duration_s=duration_s,
+                              seed=SCHEDULE_SEED + 100 + i)
+        for request in generate_schedule(profile, dataset):
+            request.tenant = tenant_id
+            merged.append(request)
+    merged.sort(key=lambda r: (r.arrival_s, r.tenant))
+    return merged
+
+
+def _run_tenants(platform: ExploratoryPlatform, duration_s: float):
+    """Gate (b): abusive tenant vs weighted-fair isolation."""
+    tenants = [Tenant(tid, w) for tid, w in sorted(TENANT_WEIGHTS.items())]
+    service = platform.sharded_query_service(
+        config=ServeConfig(qps_limit=QPS_LIMIT, queue_depth=QUEUE_DEPTH,
+                           workers=WORKERS, burst=QPS_LIMIT * 0.5),
+        shard_config=ShardConfig(num_shards=NUM_SHARDS, replicas=REPLICAS),
+        tenants=tenants)
+    report = replay(service, _tenant_schedule(platform, duration_s))
+    return report, service
+
+
+# ---------------------------------------------------------------- contracts
+def check_chaos_contract(report, service, profile, platform) -> list:
+    """Gate (a): SLO under shard loss + exact coverage accounting."""
+    violations = []
+    if report.answered_fraction < MIN_ANSWERED_FRACTION:
+        violations.append(
+            f"only {report.answered_fraction:.2%} of admitted requests "
+            f"answered under shard chaos (floor "
+            f"{MIN_ANSWERED_FRACTION:.0%})")
+
+    deadline_of = dict(profile.deadlines)
+    late = 0
+    for result in report.results:
+        if not result.answered:
+            continue
+        deadline = result.request.deadline_s
+        if deadline is None:
+            deadline = deadline_of.get(result.request.priority, 0.25)
+        if result.latency_s > deadline + 1e-9:
+            late += 1
+    if late:
+        violations.append(f"{late} answered requests finished past "
+                          f"their deadline — the per-shard budget "
+                          f"arithmetic is leaking")
+
+    # the forced kill must actually have taken a shard down...
+    killed = kill_target(CHAOS_SEED, KILL_AT, NUM_SHARDS)
+    shard_counters = service.metrics.per_shard.get(killed)
+    if shard_counters is None or shard_counters.failed_dead == 0:
+        violations.append(f"forced kill_shard at index {KILL_AT} left "
+                          f"shard {killed} without a single dead-replica "
+                          f"call — the fault never landed")
+    # ...and the autoscaler must have rebuilt it
+    rebuilds = [d for d in service.metrics.scaling_decisions
+                if d[1] == killed and d[2] == ACTION_ADD
+                and d[4] == REASON_DEAD]
+    if not rebuilds:
+        violations.append(f"autoscaler never rebooted killed shard "
+                          f"{killed} (no {REASON_DEAD} add decision)")
+
+    # coverage accounting must be exact on every scatter-gather result
+    oracle = platform.serve_dataset()
+    coverage_errors = 0
+    value_mismatches = 0
+    partials_seen = 0
+    for result in report.results:
+        cov = result.coverage
+        if cov is not None:
+            answered = sum(1 for s in cov["per_shard"].values()
+                           if s == SHARD_OK)
+            if (cov["shards_answered"] != answered
+                    or cov["shards_total"] != len(cov["per_shard"])
+                    or cov["partial"] != (answered < cov["shards_total"])):
+                coverage_errors += 1
+        if result.status == STATUS_PARTIAL:
+            partials_seen += 1
+            if cov is None or not cov["partial"]:
+                coverage_errors += 1
+        if result.status == STATUS_FRESH:
+            expect = oracle.run(result.request.kind, result.request.key,
+                                platform.dfs,
+                                depth=result.request.depth).value
+            if (json.dumps(expect, sort_keys=True)
+                    != json.dumps(result.value, sort_keys=True)):
+                value_mismatches += 1
+    if coverage_errors:
+        violations.append(f"{coverage_errors} results carry inconsistent "
+                          f"coverage accounting")
+    if value_mismatches:
+        violations.append(f"{value_mismatches} fully-covered fresh "
+                          f"answers differ from the unsharded oracle")
+    if partials_seen != report.partial_results:
+        violations.append(
+            f"partial bookkeeping split-brained: {partials_seen} partial "
+            f"coverages vs {report.partial_results} counted")
+    if report.partial_results == 0:
+        violations.append("the kill window produced no partial results — "
+                          "the coverage contract was never exercised")
+    return violations
+
+
+def check_tenant_contract(report, service, duration_s: float) -> list:
+    """Gate (b): zero cross-tenant starvation under 10x tenant abuse."""
+    violations = []
+    total_weight = sum(TENANT_WEIGHTS.values())
+    for tenant_id, weight in sorted(TENANT_WEIGHTS.items()):
+        row = report.per_tenant.get(tenant_id)
+        if row is None:
+            violations.append(f"tenant {tenant_id} missing from the "
+                              f"per-tenant accounting")
+            continue
+        share_qps = QPS_LIMIT * weight / total_weight
+        entitled = min(row["offered"], share_qps * duration_s)
+        if row["answered"] < FAIR_SHARE_FLOOR * entitled:
+            violations.append(
+                f"tenant {tenant_id} starved: answered {row['answered']} "
+                f"< {FAIR_SHARE_FLOOR:.0%} of its entitlement "
+                f"({entitled:.0f})")
+    abusive = report.per_tenant.get("t0", {})
+    if abusive and abusive.get("shed_rate", 0) == 0:
+        violations.append("abusive tenant t0 was never rate-clipped — "
+                          "per-tenant buckets are not engaging")
+    return violations
+
+
+# ------------------------------------------------------------------ pytest
+@pytest.fixture(scope="module")
+def shard_platform():
+    platform = _build_platform()
+    yield platform
+    platform.close()
+
+
+def test_a10_shard_loss_slo(shard_platform):
+    report, service, profile = _run_chaos(shard_platform, duration_s=3.0)
+    assert not check_chaos_contract(report, service, profile,
+                                    shard_platform)
+
+
+def test_a10_fair_share_isolation(shard_platform):
+    report, service = _run_tenants(shard_platform, duration_s=3.0)
+    assert not check_tenant_contract(report, service, 3.0)
+
+
+def test_a10_same_seed_runs_identical(shard_platform):
+    first, svc1, _ = _run_chaos(shard_platform, duration_s=3.0)
+    second, svc2, _ = _run_chaos(shard_platform, duration_s=3.0)
+    assert first.to_json() == second.to_json()
+    assert svc1.metrics.to_json() == svc2.metrics.to_json()
+    assert svc1.metrics.scaling_decisions == svc2.metrics.scaling_decisions
+
+
+# --------------------------------------------------------------- standalone
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Kill a shard mid-run, abuse a tenant at 10x its "
+                    "share, and demand SLOs, exact coverage, fair "
+                    "shares, and byte-identical replays.")
+    parser.add_argument("--duration", type=float, default=8.0,
+                        help="simulated seconds of offered load")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI scale: short schedule")
+    parser.add_argument("--json", metavar="FILE",
+                        help="write the measurements as JSON")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.duration = min(args.duration, 3.0)
+
+    platform = _build_platform()
+    try:
+        report, service, profile = _run_chaos(platform, args.duration)
+        rerun, rerun_service, _ = _run_chaos(platform, args.duration)
+        tenant_report, tenant_service = _run_tenants(platform,
+                                                     args.duration)
+        violations = check_chaos_contract(report, service, profile,
+                                          platform)
+        violations += check_tenant_contract(tenant_report, tenant_service,
+                                            args.duration)
+    finally:
+        platform.close()
+    deterministic = (
+        report.to_json() == rerun.to_json()
+        and service.metrics.to_json() == rerun_service.metrics.to_json())
+    if not deterministic:
+        violations.append("same-seed sharded runs differ — scatter-"
+                          "gather or autoscaling is nondeterministic")
+
+    killed = kill_target(CHAOS_SEED, KILL_AT, NUM_SHARDS)
+    print(f"chaos run: offered {report.offered}, admitted "
+          f"{report.admitted}, answered {report.answered_fraction:.1%} "
+          f"of admitted, {report.partial_results} partial results")
+    print(f"shard {killed} killed at backend index {KILL_AT}; "
+          f"{report.scaling_decisions} autoscaler decisions, "
+          f"p99 {1000 * report.p99_latency_s:.1f} ms")
+    for tenant_id in sorted(tenant_report.per_tenant):
+        row = tenant_report.per_tenant[tenant_id]
+        print(f"  tenant {tenant_id}: offered {row['offered']}, "
+              f"answered {row['answered']}, shed "
+              f"{row['shed_rate'] + row['shed_queue']}")
+    print(f"deterministic={deterministic}")
+
+    payload = {
+        "benchmark": "serve-sharding",
+        "num_shards": NUM_SHARDS,
+        "replicas": REPLICAS,
+        "qps_limit": QPS_LIMIT,
+        "overload": OVERLOAD,
+        "duration_s": args.duration,
+        "killed_shard": killed,
+        "deterministic": deterministic,
+        "violations": violations,
+        "report": json.loads(report.to_json()),
+        "tenant_report": json.loads(tenant_report.to_json()),
+    }
+    if args.json:
+        import os
+        os.makedirs(os.path.dirname(args.json) or ".", exist_ok=True)
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    for violation in violations:
+        print(f"SHARDING REGRESSION: {violation}")
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    import sys
+    sys.exit(main())

@@ -394,6 +394,43 @@ def _add_serve_args(parser: argparse.ArgumentParser) -> None:
                         metavar="SECONDS",
                         help="make one DFS datanode this slow (exercises "
                              "hedged replica reads); others get 4 ms")
+    parser.add_argument("--shards", type=int, default=0,
+                        help="shard the serve indexes across N scatter-"
+                             "gather shard servers (0 = single node)")
+    parser.add_argument("--shard-replicas", type=int, default=2,
+                        help="replicas per shard server")
+    parser.add_argument("--tenants", type=int, default=1,
+                        help="number of tenants in the workload")
+    parser.add_argument("--fair-share", action="store_true",
+                        help="isolate tenants with weighted-fair "
+                             "admission (per-tenant buckets + WFQ)")
+    parser.add_argument("--tenant-weights", default=None,
+                        metavar="W1,W2,...",
+                        help="fair-share weights, one per tenant "
+                             "(default: equal)")
+    parser.add_argument("--autoscale", action="store_true",
+                        help="enable the HealthMonitor-driven shard "
+                             "replica autoscaler")
+
+
+def _shard_objects(args: argparse.Namespace):
+    """(shard_config, tenants, autoscale) from the serve CLI flags."""
+    from repro.serve.autoscale import AutoscaleConfig
+    from repro.serve.sharding import ShardConfig
+    from repro.serve.tenancy import default_tenants
+
+    if args.shards <= 0:
+        return None, None, None
+    shard_config = ShardConfig(num_shards=args.shards,
+                               replicas=args.shard_replicas)
+    tenants = None
+    if args.fair_share and args.tenants > 1:
+        weights = ()
+        if args.tenant_weights:
+            weights = [float(w) for w in args.tenant_weights.split(",")]
+        tenants = default_tenants(args.tenants, weights)
+    autoscale = AutoscaleConfig() if args.autoscale else None
+    return shard_config, tenants, autoscale
 
 
 def _serve_config(args: argparse.Namespace):
@@ -421,11 +458,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
     try:
         dataset = platform.serve_dataset()
         _apply_serve_latencies(platform, args)
-        service = platform.query_service(config=_serve_config(args))
+        shard_config, tenants, autoscale = _shard_objects(args)
+        if shard_config is not None:
+            service = platform.sharded_query_service(
+                config=_serve_config(args), shard_config=shard_config,
+                tenants=tenants, autoscale=autoscale)
+        else:
+            service = platform.query_service(config=_serve_config(args))
         profile = LoadProfile(qps=max(1.0, args.qps_limit / 2),
                               duration_s=max(1.0,
                                              args.queries / args.qps_limit),
-                              seed=args.serve_seed)
+                              seed=args.serve_seed,
+                              tenants=args.tenants if tenants else 1)
         schedule = generate_schedule(profile, dataset)[:args.queries]
         for request in schedule:
             result = service.handle(request)
@@ -451,7 +495,10 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
     try:
         dataset = platform.serve_dataset()
         _apply_serve_latencies(platform, args)
-        if args.serve_chaos > 0:
+        if args.serve_shard_chaos > 0:
+            faults = FaultSchedule.serve_shard_chaos(
+                args.serve_shard_chaos, seed=args.chaos_seed)
+        elif args.serve_chaos > 0:
             faults = FaultSchedule.serve_chaos(args.serve_chaos,
                                                seed=args.chaos_seed)
         else:
@@ -459,11 +506,18 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         if args.brownout_at is not None:
             faults.force_window(FAULT_BROWNOUT, start=args.brownout_at,
                                 span=args.brownout_span, duration=0.4)
-        service = platform.query_service(config=_serve_config(args),
-                                         faults=faults)
+        shard_config, tenants, autoscale = _shard_objects(args)
+        if shard_config is not None:
+            service = platform.sharded_query_service(
+                config=_serve_config(args), shard_config=shard_config,
+                tenants=tenants, autoscale=autoscale, faults=faults)
+        else:
+            service = platform.query_service(config=_serve_config(args),
+                                             faults=faults)
         profile = LoadProfile(qps=args.qps_limit * args.overload,
                               duration_s=args.duration,
-                              seed=args.serve_seed)
+                              seed=args.serve_seed,
+                              tenants=args.tenants if tenants else 1)
         report = run_bench(service, dataset, profile)
         print(f"offered {report.offered} at {profile.qps:.0f} qps "
               f"({args.overload:.0f}x the {args.qps_limit:.0f} qps limit) "
@@ -478,8 +532,24 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
               f"goodput {report.goodput_qps:.1f} qps, "
               f"max queue {report.max_queue_len}/{args.queue_depth}")
         print(f"hedges {report.hedges_launched} launched / "
-              f"{report.hedges_won} won; health={report.health_state} "
+              f"{report.hedges_won} won "
+              f"({report.hedge_wasted_reads} wasted loser reads); "
+              f"health={report.health_state} "
               f"after {report.health_transitions} transitions")
+        if shard_config is not None:
+            shards = service.metrics.per_shard
+            calls = sum(c.calls for c in shards.values())
+            failed = sum(c.failed_dead + c.failed_partitioned
+                         + c.failed_deadline for c in shards.values())
+            print(f"shards: {shard_config.num_shards} x "
+                  f"{shard_config.replicas} replicas, {calls} calls "
+                  f"({failed} failed), {report.partial_results} partial "
+                  f"results, {report.scaling_decisions} scaling decisions")
+        for tenant_id in sorted(report.per_tenant):
+            row = report.per_tenant[tenant_id]
+            print(f"  tenant {tenant_id}: offered {row['offered']}, "
+                  f"admitted {row['admitted']}, answered "
+                  f"{row['answered']}")
         if args.json:
             with open(args.json, "w", encoding="utf-8") as handle:
                 handle.write(report.to_json() + "\n")
@@ -607,6 +677,12 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="INTENSITY",
                        help="seeded request-path fault intensity "
                             "(0 disables; 1.0 = the chaos profile)")
+    bench.add_argument("--serve-shard-chaos", type=float, default=0.0,
+                       metavar="INTENSITY",
+                       help="seeded shard-tier fault intensity: replica "
+                            "slowdowns, shard partitions, shard kills "
+                            "(0 disables; takes precedence over "
+                            "--serve-chaos)")
     bench.add_argument("--json", metavar="FILE",
                        help="write the full BenchReport as JSON")
     bench.set_defaults(fn=cmd_serve_bench)

@@ -354,6 +354,28 @@ class ExploratoryPlatform:
                             clock=SimClock(), config=config,
                             faults=faults)
 
+    def sharded_query_service(self, config: Optional[ServeConfig] = None,
+                              shard_config: Any = None,
+                              tenants: Any = None,
+                              autoscale: Any = None,
+                              faults: Any = None) -> QueryService:
+        """A scatter-gather sharded query service over this platform.
+
+        Splits the serve indexes across shard servers (persisting each
+        shard's index to the DFS for replica boots), optionally with
+        per-tenant fair-share admission and a HealthMonitor-driven
+        autoscaler. Same fresh-SimClock convention as
+        :meth:`query_service`.
+        """
+        from repro.serve.sharding import ShardedQueryService
+
+        return ShardedQueryService(self.serve_dataset(), self.dfs,
+                                   clock=SimClock(), config=config,
+                                   faults=faults,
+                                   shard_config=shard_config,
+                                   tenants=tenants,
+                                   autoscale=autoscale)
+
     # --------------------------------------------------------------- plug-ins
     def run_plugin(self, name: str, **kwargs: Any) -> Any:
         """Run a registered analytics plug-in over this platform."""

@@ -50,6 +50,9 @@ class HedgedRead:
     elapsed_s: float
     hedges_launched: int
     hedges_won: int
+    #: loser reads abandoned once the winner answered — work a real
+    #: cluster still paid for on the losing replica
+    wasted_reads: int = 0
 
 
 @dataclass
@@ -133,6 +136,9 @@ class MiniDfs:
         #: lifetime hedged-read counters (serve tier tail-latency cuts)
         self.hedges_launched = 0
         self.hedges_won = 0
+        #: every launched hedge leaves one abandoned loser read behind:
+        #: the replica that lost the race did its disk work for nothing
+        self.hedge_wasted_reads = 0
 
     # -- write ---------------------------------------------------------------
     def create(self, path: str, data: bytes) -> FileStatus:
@@ -268,8 +274,10 @@ class MiniDfs:
             parts.append(data)
         self.hedges_launched += launched
         self.hedges_won += won
+        self.hedge_wasted_reads += launched
         return HedgedRead(data=b"".join(parts), elapsed_s=elapsed,
-                          hedges_launched=launched, hedges_won=won)
+                          hedges_launched=launched, hedges_won=won,
+                          wasted_reads=launched)
 
     # -- namespace -------------------------------------------------------------
     def exists(self, path: str) -> bool:

@@ -45,6 +45,14 @@ FAULT_HANG_TASK = "hang_task"      # the task wedges for ``duration`` seconds
 #: backing store browns out for both readers and writers)
 FAULT_SLOW = "slow"                # backend latency spike of ``duration`` s
 
+#: shard faults — injected into the *sharded* serve tier
+#: (repro.serve.sharding); each claims a window of serve-request
+#: indexes, and the scatter-gather coordinator maps the window start to
+#: a deterministic target shard (and replica, for slow_replica)
+FAULT_KILL_SHARD = "kill_shard"            # every replica of one shard dies
+FAULT_PARTITION_SHARD = "partition_shard"  # shard unreachable for the window
+FAULT_SLOW_REPLICA = "slow_replica"        # one replica pads ``duration`` s
+
 #: ingest faults — injected into the continuous-ingest tier's ledger
 #: protocol (repro.crawl.scheduler), never into network requests
 FAULT_KILL_INGEST = "kill_ingest"    # SIGKILL-equivalent at a ledger state
@@ -54,6 +62,7 @@ POINT_FAULTS = (FAULT_ERROR, FAULT_TIMEOUT, FAULT_RESET, FAULT_CORRUPT)
 WINDOW_FAULTS = (FAULT_BROWNOUT, FAULT_STORM)
 ENGINE_FAULTS = (FAULT_KILL_WORKER, FAULT_HANG_TASK)
 SERVE_FAULTS = (FAULT_SLOW,)
+SHARD_FAULTS = (FAULT_KILL_SHARD, FAULT_PARTITION_SHARD, FAULT_SLOW_REPLICA)
 INGEST_FAULTS = (FAULT_KILL_INGEST, FAULT_LEASE_EXPIRY)
 
 
@@ -103,13 +112,14 @@ class FaultSpec:
 
     def __post_init__(self):
         if self.kind not in (POINT_FAULTS + WINDOW_FAULTS + ENGINE_FAULTS
-                             + SERVE_FAULTS + INGEST_FAULTS):
+                             + SERVE_FAULTS + SHARD_FAULTS + INGEST_FAULTS):
             raise ValueError(f"unknown fault kind {self.kind!r}")
         if not 0.0 <= self.rate < 1.0:
             raise ValueError(f"rate must be in [0, 1), got {self.rate}")
-        if self.kind in WINDOW_FAULTS and self.span < 1:
+        if self.kind in WINDOW_FAULTS + SHARD_FAULTS and self.span < 1:
             raise ValueError(f"{self.kind} needs span >= 1")
-        if self.kind in (FAULT_HANG_TASK, FAULT_SLOW) and self.duration <= 0:
+        if self.kind in (FAULT_HANG_TASK, FAULT_SLOW,
+                         FAULT_SLOW_REPLICA) and self.duration <= 0:
             raise ValueError(f"{self.kind} needs duration > 0")
 
 
@@ -136,13 +146,18 @@ class FaultSchedule:
         #: through :meth:`serve_fault_at`, never by SimServer
         self.serve_specs: List[FaultSpec] = [
             s for s in specs if s.kind in SERVE_FAULTS]
+        #: shard-level specs: consumed by the scatter-gather coordinator
+        #: through :meth:`shard_faults_at`, never by SimServer
+        self.shard_specs: List[FaultSpec] = [
+            s for s in specs if s.kind in SHARD_FAULTS]
         #: ingest-level specs: consumed by the continuous scheduler
         #: through :meth:`ingest_fault_at` at ledger protocol steps
         self.ingest_specs: List[FaultSpec] = [
             s for s in specs if s.kind in INGEST_FAULTS]
         self.specs: List[FaultSpec] = [
             s for s in specs
-            if s.kind not in ENGINE_FAULTS + SERVE_FAULTS + INGEST_FAULTS]
+            if s.kind not in (ENGINE_FAULTS + SERVE_FAULTS + SHARD_FAULTS
+                              + INGEST_FAULTS)]
         self.seed = seed
         #: deterministic windows forced by a test/benchmark regardless of
         #: the probabilistic schedule: (start, end, spec) half-open ranges
@@ -219,6 +234,31 @@ class FaultSchedule:
         ], seed)
 
     @classmethod
+    def serve_shard_chaos(cls, intensity: float = 1.0,
+                          seed: int = 0) -> "FaultSchedule":
+        """Shard-tier faults for the scatter-gather serve deployment.
+
+        ``slow_replica`` pads one deterministic replica's calls for a
+        window (the coordinator should hedge to a sibling),
+        ``partition_shard`` makes one shard unreachable for a window
+        (queries over its keyspace go partial), and ``kill_shard`` takes
+        every replica of one shard down until the autoscaler boots a
+        replacement. A light ``slow`` point fault keeps the base serve
+        path honest too. Consumed via :meth:`shard_faults_at` and
+        :meth:`serve_fault_at`, never by SimServer.
+        """
+        if intensity < 0:
+            raise ValueError(f"intensity must be >= 0, got {intensity}")
+        s = intensity
+        return cls([
+            FaultSpec(FAULT_SLOW_REPLICA, min(0.999, 0.004 * s),
+                      duration=0.05, span=15),
+            FaultSpec(FAULT_PARTITION_SHARD, min(0.999, 0.001 * s), span=20),
+            FaultSpec(FAULT_KILL_SHARD, min(0.999, 0.0003 * s), span=1),
+            FaultSpec(FAULT_SLOW, min(0.999, 0.02 * s), duration=0.05),
+        ], seed)
+
+    @classmethod
     def ingest_chaos(cls, intensity: float = 1.0,
                      seed: int = 0) -> "FaultSchedule":
         """Continuous-ingest faults: process kills and lease expiries.
@@ -253,11 +293,13 @@ class FaultSchedule:
                        seed)
         if profile == "serve-chaos":
             return cls.serve_chaos(seed=seed)
+        if profile == "serve-shard-chaos":
+            return cls.serve_shard_chaos(seed=seed)
         if profile == "chaos-ingest":
             return cls.ingest_chaos(seed=seed)
         raise ValueError(f"unknown fault profile {profile!r}; "
                          f"expected none/flaky/chaos/chaos-engine/"
-                         f"serve-chaos/chaos-ingest")
+                         f"serve-chaos/serve-shard-chaos/chaos-ingest")
 
     # -------------------------------------------------------------- decisions
     def _fraction(self, kind: str, request_index: int) -> float:
@@ -282,7 +324,8 @@ class FaultSchedule:
         if span < 1:
             raise ValueError(f"span must be >= 1, got {span}")
         spec = FaultSpec(kind, 0.0, duration=duration,
-                         span=span if kind in WINDOW_FAULTS else 0)
+                         span=span if kind in WINDOW_FAULTS + SHARD_FAULTS
+                         else 0)
         self.forced_windows.append((start, start + span, spec))
 
     def _forced_at(self, request_index: int) -> Optional[FaultSpec]:
@@ -322,6 +365,28 @@ class FaultSchedule:
             if self._fraction(spec.kind, request_index) < spec.rate:
                 return spec
         return None
+
+    def shard_faults_at(self, request_index: int) -> List[tuple]:
+        """All shard faults whose window covers this serve request.
+
+        Returns ``(spec, window_start)`` pairs — unlike the scalar fault
+        hooks, several shard faults can overlap (a replica can be slow
+        while a different shard is partitioned), and the coordinator
+        needs the *window start* to derive the deterministic target
+        shard/replica for each one. Forced windows come first so a
+        benchmark can pin a kill at an exact request index.
+        """
+        hits: List[tuple] = []
+        for start, end, spec in self.forced_windows:
+            if spec.kind in SHARD_FAULTS and start <= request_index < end:
+                hits.append((spec, start))
+        for spec in self.shard_specs:
+            lo = max(1, request_index - spec.span + 1)
+            for index in range(lo, request_index + 1):
+                if self._fraction(spec.kind + ":start", index) < spec.rate:
+                    hits.append((spec, index))
+                    break
+        return hits
 
     def force_ingest_kill(self, unit_id: str, state: str) -> None:
         """Arm a one-shot kill at an exact ledger state of one unit.
@@ -385,6 +450,7 @@ class FaultSchedule:
         return sorted({spec.kind for spec in self.specs}
                       | {spec.kind for spec in self.engine_specs}
                       | {spec.kind for spec in self.serve_specs}
+                      | {spec.kind for spec in self.shard_specs}
                       | {spec.kind for spec in self.ingest_specs})
 
     # ------------------------------------------------------------- injection

@@ -10,19 +10,27 @@ overload scenarios replay deterministically.
 """
 
 from repro.serve.admission import AdmissionController, TokenBucket
+from repro.serve.autoscale import AutoscaleConfig, Autoscaler
 from repro.serve.dataset import QUERY_KINDS, QueryAnswer, ServeDataset
 from repro.serve.degrade import ResultCache
 from repro.serve.health import (STATE_DEGRADED, STATE_HEALTHY,
                                 STATE_SHEDDING, HealthMonitor)
 from repro.serve.loadgen import (BenchReport, LoadProfile,
                                  generate_schedule, replay, run_bench)
-from repro.serve.metrics import PRIORITY_CLASSES, ServeMetrics
+from repro.serve.metrics import (PRIORITY_CLASSES, STATUS_PARTIAL,
+                                 ServeMetrics)
 from repro.serve.service import (QueryService, ServeConfig, ServeRequest,
                                  ServeResult)
+from repro.serve.sharding import (ShardConfig, ShardedQueryService,
+                                  ShardServer, shard_of, split_dataset)
+from repro.serve.tenancy import (FairShareAdmission, Tenant,
+                                 default_tenants)
 
 __all__ = [
     "AdmissionController",
     "TokenBucket",
+    "AutoscaleConfig",
+    "Autoscaler",
     "QUERY_KINDS",
     "QueryAnswer",
     "ServeDataset",
@@ -37,9 +45,18 @@ __all__ = [
     "replay",
     "run_bench",
     "PRIORITY_CLASSES",
+    "STATUS_PARTIAL",
     "ServeMetrics",
     "QueryService",
     "ServeConfig",
     "ServeRequest",
     "ServeResult",
+    "ShardConfig",
+    "ShardedQueryService",
+    "ShardServer",
+    "shard_of",
+    "split_dataset",
+    "FairShareAdmission",
+    "Tenant",
+    "default_tenants",
 ]

@@ -1,0 +1,137 @@
+"""Deterministic HealthMonitor-driven autoscaling of shard replicas.
+
+The autoscaler is a pure control loop over simulated state: it ticks
+every ``tick_every`` executed requests (request count, not wall time, so
+two same-seed runs tick at identical points), reads each shard's
+short-window :class:`~repro.serve.health.HealthMonitor` plus its live
+replica count, and turns *sustained* signals into scaling actions:
+
+* **panic add** — a shard with zero live replicas gets a new replica
+  immediately (no hysteresis: the shard is serving nothing);
+* **scale up** — ``scale_up_after`` consecutive degraded/shedding ticks
+  add one replica, up to ``max_replicas``;
+* **scale down** — ``scale_down_after`` consecutive healthy ticks drain
+  one replica, down to ``min_replicas``.
+
+A new replica boots from the shard's DFS-persisted index and becomes
+available ``replica_boot_s`` later on the service clock. Every decision
+is appended to ``ServeMetrics.scaling_decisions`` with its simulated
+time, shard, action, resulting replica count, and reason — the bench
+asserts this log is byte-identical across same-seed runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.serve.health import STATE_HEALTHY
+from repro.util.errors import ConfigError
+
+ACTION_ADD = "add_replica"
+ACTION_DRAIN = "drain_replica"
+
+REASON_DEAD = "all-replicas-dead"
+REASON_DEGRADED = "sustained-degraded"
+REASON_HEALTHY = "sustained-healthy"
+
+
+@dataclass
+class AutoscaleConfig:
+    """Control-loop knobs (CLI: ``--autoscale``)."""
+
+    #: evaluate every N executed requests
+    tick_every: int = 25
+    #: consecutive degraded ticks before adding a replica
+    scale_up_after: int = 2
+    #: consecutive healthy ticks before draining a replica
+    scale_down_after: int = 6
+    min_replicas: int = 1
+    max_replicas: int = 4
+    #: simulated time for a new replica to load its index from DFS
+    replica_boot_s: float = 0.05
+
+    def __post_init__(self):
+        if self.tick_every < 1:
+            raise ConfigError("tick_every must be >= 1")
+        if self.scale_up_after < 1 or self.scale_down_after < 1:
+            raise ConfigError("scale thresholds must be >= 1")
+        if not 1 <= self.min_replicas <= self.max_replicas:
+            raise ConfigError("need 1 <= min_replicas <= max_replicas")
+        if self.replica_boot_s < 0:
+            raise ConfigError("replica_boot_s must be >= 0")
+
+
+class Autoscaler:
+    """Ticks over shard servers; adds/drains replicas deterministically.
+
+    ``servers`` is any sequence of shard-server objects exposing
+    ``shard_id``, ``replica_count``, ``fleet_size``,
+    ``alive_count(now)``, ``add_replica(now, boot_s)``,
+    ``reboot_one(now, boot_s)`` and ``drain_replica()`` — the concrete
+    type lives in :mod:`repro.serve.sharding`.
+    """
+
+    def __init__(self, config: AutoscaleConfig, servers: Sequence,
+                 monitors: Dict[int, object], metrics):
+        self.config = config
+        self.servers = list(servers)
+        self.monitors = monitors
+        self.metrics = metrics
+        self._degraded_ticks: Dict[int, int] = {
+            s.shard_id: 0 for s in self.servers}
+        self._healthy_ticks: Dict[int, int] = {
+            s.shard_id: 0 for s in self.servers}
+        self.ticks = 0
+
+    def tick(self, now: float) -> List[tuple]:
+        """One control-loop evaluation; returns the decisions taken."""
+        cfg = self.config
+        self.ticks += 1
+        decisions: List[tuple] = []
+        for server in self.servers:
+            sid = server.shard_id
+            if server.alive_count(now) == 0:
+                # bound on fleet *size*: a dead fleet at max_replicas is
+                # rebooted in place, never grown past the cap
+                if server.fleet_size < cfg.max_replicas:
+                    server.add_replica(now, cfg.replica_boot_s)
+                else:
+                    server.reboot_one(now, cfg.replica_boot_s)
+                self._degraded_ticks[sid] = 0
+                self._healthy_ticks[sid] = 0
+                decisions.append(self._record(now, sid, ACTION_ADD,
+                                              server.replica_count,
+                                              REASON_DEAD))
+                continue
+            state = self.monitors[sid].state
+            if state != STATE_HEALTHY:
+                self._degraded_ticks[sid] += 1
+                self._healthy_ticks[sid] = 0
+                if (self._degraded_ticks[sid] >= cfg.scale_up_after
+                        and server.replica_count < cfg.max_replicas):
+                    if server.fleet_size < cfg.max_replicas:
+                        server.add_replica(now, cfg.replica_boot_s)
+                    else:
+                        server.reboot_one(now, cfg.replica_boot_s)
+                    self._degraded_ticks[sid] = 0
+                    decisions.append(self._record(now, sid, ACTION_ADD,
+                                                  server.replica_count,
+                                                  REASON_DEGRADED))
+            else:
+                self._healthy_ticks[sid] += 1
+                self._degraded_ticks[sid] = 0
+                if (self._healthy_ticks[sid] >= cfg.scale_down_after
+                        and server.alive_count(now) > cfg.min_replicas):
+                    server.drain_replica()
+                    self._healthy_ticks[sid] = 0
+                    decisions.append(self._record(now, sid, ACTION_DRAIN,
+                                                  server.replica_count,
+                                                  REASON_HEALTHY))
+        return decisions
+
+    def _record(self, now: float, shard_id: int, action: str,
+                replicas_after: int, reason: str) -> tuple:
+        self.metrics.record_scaling(now, shard_id, action, replicas_after,
+                                    reason)
+        return (now, shard_id, action, replicas_after, reason)

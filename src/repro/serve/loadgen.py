@@ -52,12 +52,20 @@ class LoadProfile:
     zipf_alpha: float = 1.1
     #: fraction of neighborhood queries that ask for two hops
     deep_neighborhood_fraction: float = 0.3
+    #: number of tenants (1 = single-tenant: no tenant draws at all, so
+    #: pre-existing single-tenant schedules replay unchanged)
+    tenants: int = 1
+    #: tenant-popularity skew — Zipf over tenant ids, so tenant t0 is
+    #: the hottest (the bench makes it the abusive one)
+    tenant_zipf_alpha: float = 1.2
 
     def __post_init__(self):
         if self.qps <= 0:
             raise ConfigError(f"qps must be > 0, got {self.qps}")
         if self.duration_s <= 0:
             raise ConfigError("duration_s must be > 0")
+        if self.tenants < 1:
+            raise ConfigError(f"tenants must be >= 1, got {self.tenants}")
 
 
 def generate_schedule(profile: LoadProfile,
@@ -72,6 +80,17 @@ def generate_schedule(profile: LoadProfile,
     key_pools: Dict[str, List[int]] = {
         kind: dataset.keys_for(kind) for kind in kinds}
 
+    # multi-tenant runs give each tenant its own seeded *perturbation*
+    # of the class mix (tenants differ, reproducibly) and draw the
+    # tenant per request from a Zipf over tenant ids; single-tenant
+    # runs skip both draws so historical schedules replay unchanged
+    tenant_class_weights: List[List[float]] = []
+    if profile.tenants > 1:
+        for i in range(profile.tenants):
+            mix_rng = RngStream(profile.seed, f"tenant-mix:{i}")
+            tenant_class_weights.append(
+                [w * mix_rng.uniform(0.5, 1.5) for w in class_weights])
+
     schedule: List[ServeRequest] = []
     now = 0.0
     while True:
@@ -79,6 +98,13 @@ def generate_schedule(profile: LoadProfile,
         now += gap
         if now >= profile.duration_s:
             break
+        tenant = "default"
+        weights = class_weights
+        if profile.tenants > 1:
+            t = rng.zipf_bounded(profile.tenant_zipf_alpha,
+                                 profile.tenants) - 1
+            tenant = f"t{t}"
+            weights = tenant_class_weights[t]
         kind = kinds[weighted_choice_index(kind_weights, rng.uniform())]
         pool = key_pools[kind]
         if pool:
@@ -86,15 +112,15 @@ def generate_schedule(profile: LoadProfile,
             key = pool[rank - 1]
         else:
             key = 0  # empty dataset: every query is a miss, still valid
-        priority = classes[weighted_choice_index(class_weights,
-                                                 rng.uniform())]
+        priority = classes[weighted_choice_index(weights, rng.uniform())]
         depth = 1
         if (kind == KIND_NEIGHBORHOOD
                 and rng.bernoulli(profile.deep_neighborhood_fraction)):
             depth = 2
         schedule.append(ServeRequest(
             kind=kind, key=key, priority=priority, arrival_s=round(now, 9),
-            deadline_s=deadline_of.get(priority), depth=depth))
+            deadline_s=deadline_of.get(priority), depth=depth,
+            tenant=tenant))
     return schedule
 
 
@@ -119,6 +145,15 @@ class BenchReport:
     health_transitions: int
     duration_s: float
     metrics: Dict = field(default_factory=dict)
+    #: sharded-tier extensions (zero/empty on the single-node tier)
+    partial_results: int = 0
+    hedge_wasted_reads: int = 0
+    scaling_decisions: int = 0
+    per_tenant: Dict = field(default_factory=dict)
+    #: every terminal ServeResult of the replay, in completion order —
+    #: deliberately excluded from to_json (not seed-stable summary data,
+    #: but the sharding bench needs per-result coverage accounting)
+    results: List[ServeResult] = field(default_factory=list, repr=False)
 
     @property
     def answered_fraction(self) -> float:
@@ -151,6 +186,11 @@ class BenchReport:
             "health_transitions": self.health_transitions,
             "duration_s": self.duration_s,
             "metrics": self.metrics,
+            "partial_results": self.partial_results,
+            "hedge_wasted_reads": self.hedge_wasted_reads,
+            "scaling_decisions": self.scaling_decisions,
+            "per_tenant": {k: self.per_tenant[k]
+                           for k in sorted(self.per_tenant)},
         }
         return json.dumps(payload, indent=indent, sort_keys=True)
 
@@ -205,6 +245,12 @@ def replay(service: QueryService,
         health_transitions=len(metrics.health_transitions),
         duration_s=round(duration, 6),
         metrics=metrics.snapshot(),
+        partial_results=metrics.partial_results,
+        hedge_wasted_reads=metrics.hedge_wasted_reads,
+        scaling_decisions=len(metrics.scaling_decisions),
+        per_tenant={t: c.as_dict()
+                    for t, c in metrics.per_tenant.items()},
+        results=results,
     )
 
 

@@ -29,7 +29,7 @@ posture (healthy/degraded/shedding) into ``ServeMetrics``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from repro.crawl.breaker import CircuitBreaker
 from repro.dfs.filesystem import MiniDfs
@@ -105,6 +105,8 @@ class ServeRequest:
     deadline_s: Optional[float] = None
     #: traversal depth for neighborhood queries
     depth: int = 1
+    #: owning tenant (fair-share isolation in the sharded tier)
+    tenant: str = "default"
 
     def __post_init__(self):
         if self.kind not in QUERY_KINDS:
@@ -124,10 +126,18 @@ class ServeResult:
     latency_s: float = 0.0   # finish − arrival (0 for front-door sheds)
     service_s: float = 0.0   # simulated execution cost charged
     started_s: float = 0.0
+    #: coverage accounting for sharded answers: set on every scatter-
+    #: gather result; ``partial=True`` means some shards were lost and
+    #: the value covers only ``shards_answered / shards_total``
+    coverage: Optional[Dict[str, Any]] = None
 
     @property
     def answered(self) -> bool:
         return self.status in ANSWERED_STATUSES
+
+    @property
+    def partial(self) -> bool:
+        return bool(self.coverage) and self.coverage.get("partial", False)
 
 
 class QueryService:
@@ -284,7 +294,8 @@ class QueryService:
             cost += answer.hedged.elapsed_s
             self.metrics.record_hedges(request.priority,
                                        answer.hedged.hedges_launched,
-                                       answer.hedged.hedges_won)
+                                       answer.hedged.hedges_won,
+                                       answer.hedged.wasted_reads)
         breaker.record_success()
         self.cache.store(cache_key, answer.value, start_s + cost)
         return self._finish(request, start_s, STATUS_FRESH, answer.value,

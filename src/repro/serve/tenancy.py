@@ -1,0 +1,204 @@
+"""Per-tenant fair-share admission: weighted buckets + WFQ dequeue.
+
+Multi-tenant isolation is enforced at the same front door as single-
+tenant admission control, with two mechanisms stacked:
+
+* **strict weighted token buckets** — tenant *i* gets its own bucket at
+  rate ``qps_limit * w_i / W`` (W = sum of weights). There is no
+  borrowing: an abusive tenant offering 10x its share is clipped to its
+  own bucket and cannot draw down anyone else's tokens;
+* **weighted-fair queueing** — each tenant owns a bounded priority
+  queue (an arrival displacing a queued request can only evict a
+  *same-tenant* victim), and the worker loop dequeues by virtual finish
+  time: when tenant *i* becomes backlogged (and again after each
+  service) it is stamped a frozen tag
+  ``max(V, last_finish_i) + 1 / w_i``; the smallest stamped tag wins
+  each dequeue. Freezing the tag at backlog time — not at pop time —
+  is what makes the schedule converge to the weight ratio: a
+  backlogged tenant's turn cannot be pushed back by the virtual clock
+  advancing under other tenants' service.
+
+Together these give zero cross-tenant starvation *by construction*: a
+compliant tenant's admitted rate and queue space never depend on any
+other tenant's behaviour. The class mirrors the protocol of
+:class:`~repro.serve.admission.AdmissionController` (``offer`` /
+``pop`` / ``queue_len`` / ``max_queue_len``) so the open-loop replay in
+:mod:`repro.serve.loadgen` drives either interchangeably.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.serve.admission import (ADMIT, AdmissionDecision, TokenBucket,
+                                   priority_rank)
+from repro.serve.metrics import STATUS_SHED_QUEUE, STATUS_SHED_RATE
+from repro.util.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One tenant of the serve tier and its fair-share weight."""
+
+    tenant_id: str
+    weight: float = 1.0
+
+    def __post_init__(self):
+        if not self.tenant_id:
+            raise ConfigError("tenant_id must be non-empty")
+        if self.weight <= 0:
+            raise ConfigError(
+                f"tenant weight must be > 0, got {self.weight}")
+
+
+def default_tenants(count: int, weights: Sequence[float] = ()) -> List[Tenant]:
+    """``t0..t{n-1}`` with the given weights (default: all 1.0)."""
+    if count < 1:
+        raise ConfigError(f"tenant count must be >= 1, got {count}")
+    if weights and len(weights) != count:
+        raise ConfigError(f"expected {count} weights, got {len(weights)}")
+    return [Tenant(f"t{i}", weights[i] if weights else 1.0)
+            for i in range(count)]
+
+
+@dataclass(order=True)
+class _Entry:
+    rank: int
+    seq: int
+    request: object = field(compare=False)
+
+
+class FairShareAdmission:
+    """Front door with per-tenant isolation; drop-in for AdmissionController."""
+
+    def __init__(self, qps_limit: float, queue_depth: int,
+                 tenants: Sequence[Tenant], burst: float = None):
+        if qps_limit <= 0:
+            raise ConfigError(f"qps_limit must be > 0, got {qps_limit}")
+        if queue_depth < 1:
+            raise ConfigError(
+                f"queue_depth must be >= 1, got {queue_depth}")
+        if not tenants:
+            raise ConfigError("need at least one tenant")
+        ids = [t.tenant_id for t in tenants]
+        if len(set(ids)) != len(ids):
+            raise ConfigError(f"duplicate tenant ids in {ids}")
+        self.qps_limit = float(qps_limit)
+        self.queue_depth = int(queue_depth)
+        self.tenants: Dict[str, Tenant] = {t.tenant_id: t for t in tenants}
+        total_weight = sum(t.weight for t in tenants)
+        total_burst = (burst if burst is not None
+                       else max(1.0, qps_limit * 0.25))
+        per_tenant_depth = max(1, queue_depth // len(tenants))
+        self.tenant_queue_depth = per_tenant_depth
+        self.buckets: Dict[str, TokenBucket] = {}
+        self._queues: Dict[str, List[_Entry]] = {}
+        self._last_finish: Dict[str, float] = {}
+        #: frozen virtual finish tag of each backlogged tenant (None =
+        #: idle); stamped on idle→backlogged and after every dequeue
+        self._tags: Dict[str, Optional[float]] = {}
+        for t in tenants:
+            share = t.weight / total_weight
+            self.buckets[t.tenant_id] = TokenBucket(
+                qps_limit * share, max(1.0, total_burst * share))
+            self._queues[t.tenant_id] = []
+            self._last_finish[t.tenant_id] = 0.0
+            self._tags[t.tenant_id] = None
+        self._virtual_time = 0.0
+        self._seq = 0
+        #: high-water mark over the *total* queued population
+        self.max_queue_len = 0
+
+    # ------------------------------------------------------------------ flow
+    def share(self, tenant_id: str) -> float:
+        """Tenant's guaranteed fraction of the admitted rate."""
+        tenant = self.tenants.get(tenant_id)
+        if tenant is None:
+            raise ConfigError(f"unknown tenant {tenant_id!r}")
+        return tenant.weight / sum(t.weight for t in self.tenants.values())
+
+    def offer(self, request, now: float) -> AdmissionDecision:
+        """Admit, shed, or admit-by-same-tenant-eviction one arrival.
+
+        Isolation invariant: every path through here touches only the
+        arriving request's own tenant — its bucket, its queue, its
+        eviction victims.
+        """
+        tenant_id = getattr(request, "tenant", "default")
+        bucket = self.buckets.get(tenant_id)
+        if bucket is None:
+            raise ConfigError(f"unknown tenant {tenant_id!r}; expected "
+                              f"one of {sorted(self.tenants)}")
+        if not bucket.try_take(now):
+            return AdmissionDecision(STATUS_SHED_RATE)
+        rank = priority_rank(request.priority)
+        queue = self._queues[tenant_id]
+        if len(queue) >= self.tenant_queue_depth:
+            worst = max(queue)
+            if worst.rank <= rank:
+                return AdmissionDecision(STATUS_SHED_QUEUE)
+            queue.remove(worst)
+            self._push(tenant_id, rank, request)
+            return AdmissionDecision(ADMIT, evicted=worst.request)
+        self._push(tenant_id, rank, request)
+        return AdmissionDecision(ADMIT)
+
+    def _stamp(self, tenant_id: str) -> None:
+        """Freeze this tenant's next virtual finish tag."""
+        weight = self.tenants[tenant_id].weight
+        self._tags[tenant_id] = max(
+            self._virtual_time,
+            self._last_finish[tenant_id]) + 1.0 / weight
+
+    def _push(self, tenant_id: str, rank: int, request) -> None:
+        if not self._queues[tenant_id]:
+            self._stamp(tenant_id)   # idle -> backlogged
+        self._queues[tenant_id].append(_Entry(rank, self._seq, request))
+        self._seq += 1
+        self.max_queue_len = max(self.max_queue_len, self.queue_len)
+
+    def pop(self):
+        """WFQ dequeue: the tenant with the smallest frozen finish tag.
+
+        The tag was stamped when the tenant became backlogged (or after
+        its previous dequeue), so other tenants' service cannot push it
+        back; a tenant re-stamps immediately after each dequeue, so its
+        opportunities advance by ``1 / w_i`` per service and the
+        long-run dequeue ratio among backlogged tenants equals the
+        weight ratio. Within the chosen tenant: highest priority first,
+        FIFO within a class. Ties break on tenant id (deterministic).
+        """
+        best_id, best_tag = None, 0.0
+        for tenant_id in sorted(self._queues):
+            tag = self._tags[tenant_id]
+            if not self._queues[tenant_id] or tag is None:
+                continue
+            if best_id is None or tag < best_tag:
+                best_id, best_tag = tenant_id, tag
+        if best_id is None:
+            return None
+        queue = self._queues[best_id]
+        entry = min(queue)
+        queue.remove(entry)
+        self._last_finish[best_id] = best_tag
+        self._virtual_time = max(self._virtual_time, best_tag)
+        if queue:
+            self._stamp(best_id)
+        else:
+            self._tags[best_id] = None
+        return entry.request
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def queue_len(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def tenant_queue_len(self, tenant_id: str) -> int:
+        return len(self._queues[tenant_id])
+
+    def queued(self) -> Tuple:
+        merged: List[_Entry] = []
+        for queue in self._queues.values():
+            merged.extend(queue)
+        return tuple(e.request for e in sorted(merged))

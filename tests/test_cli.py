@@ -133,3 +133,34 @@ class TestServeCommands:
                      "--default-deadline", "0.5",
                      "--stale-ttl", "60"]) == 0
         assert "goodput" in capsys.readouterr().out
+
+
+class TestShardedServeCommands:
+    def test_serve_bench_sharded_multi_tenant(self, tmp_path, capsys):
+        import json
+        path = str(tmp_path / "sharded.json")
+        assert main(["serve-bench", *SCALE, "--qps-limit", "20",
+                     "--duration", "2", "--shards", "4",
+                     "--shard-replicas", "2", "--tenants", "3",
+                     "--fair-share", "--tenant-weights", "3,1,1",
+                     "--autoscale", "--serve-shard-chaos", "1.0",
+                     "--json", path]) == 0
+        out = capsys.readouterr().out
+        assert "shard" in out
+        assert "tenant t0" in out
+        with open(path, encoding="utf-8") as handle:
+            report = json.load(handle)
+        assert set(report["per_tenant"]) <= {"t0", "t1", "t2"}
+        assert report["metrics"]["shards"]
+        assert report["metrics"]["totals"]["answered"] > 0
+
+    def test_serve_sharded_queries(self, capsys):
+        assert main(["serve", *SCALE, "--queries", "6",
+                     "--shards", "2"]) == 0
+        assert "fresh" in capsys.readouterr().out
+
+    def test_fair_share_requires_multiple_tenants(self):
+        # --fair-share with a single tenant falls back to the plain
+        # admission controller rather than rejecting "default" traffic
+        assert main(["serve", *SCALE, "--queries", "3", "--shards", "2",
+                     "--fair-share", "--tenants", "1"]) == 0

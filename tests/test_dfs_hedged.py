@@ -76,3 +76,40 @@ class TestHedgedRead:
     def test_missing_file(self, dfs):
         with pytest.raises(NotFoundError):
             dfs.read_hedged("/serve/absent")
+
+
+class TestWastedReads:
+    """Every launched hedge leaves one abandoned loser read behind."""
+
+    def test_no_hedge_no_waste(self, dfs):
+        for node_id in dfs.datanodes:
+            dfs.set_datanode_latency(node_id, 0.001)
+        hedged = dfs.read_hedged("/serve/single", hedge_after_s=0.03)
+        assert hedged.wasted_reads == 0
+        assert dfs.hedge_wasted_reads == 0
+
+    def test_winning_hedge_wastes_the_primary(self, dfs):
+        primary, _ = _primary_and_secondary(dfs, "/serve/single")
+        for node_id in dfs.datanodes:
+            dfs.set_datanode_latency(
+                node_id, 0.1 if node_id == primary else 0.001)
+        hedged = dfs.read_hedged("/serve/single", hedge_after_s=0.03)
+        assert hedged.hedges_launched == 1
+        assert hedged.wasted_reads == 1
+        assert dfs.hedge_wasted_reads == 1
+
+    def test_losing_hedge_is_wasted_too(self, dfs):
+        for node_id in dfs.datanodes:
+            dfs.set_datanode_latency(node_id, 0.05)
+        hedged = dfs.read_hedged("/serve/single", hedge_after_s=0.03)
+        assert hedged.hedges_won == 0
+        assert hedged.wasted_reads == 1
+
+    def test_counter_accumulates_across_reads(self, dfs):
+        for node_id in dfs.datanodes:
+            dfs.set_datanode_latency(node_id, 0.05)
+        first = dfs.read_hedged("/serve/part-00000", hedge_after_s=0.03)
+        second = dfs.read_hedged("/serve/single", hedge_after_s=0.03)
+        assert dfs.hedge_wasted_reads \
+            == first.wasted_reads + second.wasted_reads
+        assert dfs.hedge_wasted_reads >= 2

@@ -176,3 +176,74 @@ class TestSimServerIntegration:
         clock = SimClock()
         server = _PingServer(clock, FaultSchedule.none())
         assert server.get("/ping").body == {"pong": True}
+
+
+class TestShardFaults:
+    def test_shard_spec_validation(self):
+        from repro.net.faults import (FAULT_KILL_SHARD,
+                                      FAULT_PARTITION_SHARD,
+                                      FAULT_SLOW_REPLICA)
+        with pytest.raises(ValueError):
+            FaultSpec(FAULT_KILL_SHARD, 0.01)            # needs span
+        with pytest.raises(ValueError):
+            FaultSpec(FAULT_SLOW_REPLICA, 0.01, span=5)  # needs duration
+        spec = FaultSpec(FAULT_PARTITION_SHARD, 0.01, span=5)
+        assert spec.span == 5
+
+    def test_shard_specs_partition_away_from_network_specs(self):
+        from repro.net.faults import FAULT_KILL_SHARD, FAULT_SLOW
+        schedule = FaultSchedule([
+            FaultSpec(FAULT_KILL_SHARD, 0.01, span=1),
+            FaultSpec(FAULT_SLOW, 0.01, duration=0.05),
+            FaultSpec(FAULT_ERROR, 0.01),
+        ], seed=0)
+        assert [s.kind for s in schedule.shard_specs] == [FAULT_KILL_SHARD]
+        assert [s.kind for s in schedule.serve_specs] == [FAULT_SLOW]
+        assert [s.kind for s in schedule.specs] == [FAULT_ERROR]
+        # shard faults never leak into the network injection path
+        assert all(schedule.fault_at(i) is None
+                   or schedule.fault_at(i).kind == FAULT_ERROR
+                   for i in range(1, 500))
+
+    def test_serve_shard_chaos_profile(self):
+        from repro.net.faults import (FAULT_KILL_SHARD,
+                                      FAULT_PARTITION_SHARD, FAULT_SLOW,
+                                      FAULT_SLOW_REPLICA)
+        schedule = FaultSchedule.from_profile("serve-shard-chaos", seed=5)
+        assert set(schedule.kinds) == {FAULT_KILL_SHARD,
+                                       FAULT_PARTITION_SHARD,
+                                       FAULT_SLOW_REPLICA, FAULT_SLOW}
+        assert len(schedule.shard_specs) == 3
+        with pytest.raises(ValueError):
+            FaultSchedule.serve_shard_chaos(intensity=-1.0)
+
+    def test_shard_faults_at_is_deterministic(self):
+        a = FaultSchedule.serve_shard_chaos(5.0, seed=3)
+        b = FaultSchedule.serve_shard_chaos(5.0, seed=3)
+        hits_a = [[(s.kind, w) for s, w in a.shard_faults_at(i)]
+                  for i in range(1, 3000)]
+        hits_b = [[(s.kind, w) for s, w in b.shard_faults_at(i)]
+                  for i in range(1, 3000)]
+        assert hits_a == hits_b
+        assert any(hits_a), "seed produced no shard faults in 3000 reqs"
+
+    def test_forced_window_covers_exact_span(self):
+        from repro.net.faults import FAULT_KILL_SHARD
+        schedule = FaultSchedule.none()
+        schedule.force_window(FAULT_KILL_SHARD, start=10, span=3)
+        for index in (9, 13, 50):
+            assert schedule.shard_faults_at(index) == []
+        for index in (10, 11, 12):
+            hits = schedule.shard_faults_at(index)
+            assert len(hits) == 1
+            spec, window_start = hits[0]
+            assert spec.kind == FAULT_KILL_SHARD
+            assert window_start == 10
+
+    def test_window_start_identifies_overlapping_windows(self):
+        from repro.net.faults import FAULT_PARTITION_SHARD
+        schedule = FaultSchedule.none()
+        schedule.force_window(FAULT_PARTITION_SHARD, start=5, span=4)
+        schedule.force_window(FAULT_PARTITION_SHARD, start=7, span=4)
+        starts = [w for _, w in schedule.shard_faults_at(8)]
+        assert starts == [5, 7]

@@ -1,0 +1,136 @@
+"""Tests for the health-driven shard autoscaler."""
+
+import pytest
+
+from repro.serve.autoscale import (ACTION_ADD, ACTION_DRAIN, REASON_DEAD,
+                                   REASON_DEGRADED, REASON_HEALTHY,
+                                   AutoscaleConfig, Autoscaler)
+from repro.serve.dataset import ServeDataset
+from repro.serve.health import HealthMonitor, STATE_DEGRADED, STATE_HEALTHY
+from repro.serve.metrics import ServeMetrics
+from repro.serve.sharding import ShardServer
+from repro.util.errors import ConfigError
+
+
+def _fleet(replicas=2, shards=1):
+    servers = [ShardServer(sid, ServeDataset(), f"/serve/shards/{sid}",
+                           replicas)
+               for sid in range(shards)]
+    monitors = {s.shard_id: HealthMonitor(window=10, min_events=1)
+                for s in servers}
+    return servers, monitors
+
+
+def _autoscaler(servers, monitors, **overrides):
+    metrics = ServeMetrics()
+    return Autoscaler(AutoscaleConfig(**overrides), servers, monitors,
+                      metrics), metrics
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            AutoscaleConfig(tick_every=0)
+        with pytest.raises(ConfigError):
+            AutoscaleConfig(scale_up_after=0)
+        with pytest.raises(ConfigError):
+            AutoscaleConfig(min_replicas=3, max_replicas=2)
+        with pytest.raises(ConfigError):
+            AutoscaleConfig(replica_boot_s=-0.1)
+
+
+class TestPanicAdd:
+    def test_dead_shard_gets_replica_immediately(self):
+        servers, monitors = _fleet()
+        scaler, metrics = _autoscaler(servers, monitors,
+                                      replica_boot_s=0.5)
+        servers[0].kill_all()
+        decisions = scaler.tick(now=1.0)
+        assert decisions == [(1.0, 0, ACTION_ADD, 1, REASON_DEAD)]
+        assert metrics.scaling_decisions == [
+            (1.0, 0, ACTION_ADD, 1, REASON_DEAD)]
+        # the replacement is alive but boots from DFS: ready at 1.5
+        assert servers[0].replica_count == 1
+        assert servers[0].alive_count(1.0) == 0
+        assert servers[0].alive_count(1.5) == 1
+
+    def test_dead_shard_at_max_reboots_in_place(self):
+        servers, monitors = _fleet(replicas=4)
+        scaler, _metrics = _autoscaler(servers, monitors, max_replicas=4,
+                                       replica_boot_s=0.1)
+        servers[0].kill_all()
+        decisions = scaler.tick(now=2.0)
+        assert decisions[0][2] == ACTION_ADD
+        assert decisions[0][4] == REASON_DEAD
+        # fleet size stays at max: a dead replica was rebooted, not added
+        assert len(servers[0].replicas) == 4
+        assert servers[0].alive_count(2.1) == 1
+
+
+class TestScaleUp:
+    def test_sustained_degraded_adds_a_replica(self):
+        servers, monitors = _fleet()
+        scaler, _metrics = _autoscaler(servers, monitors,
+                                       scale_up_after=2, max_replicas=4)
+        monitors[0].state = STATE_DEGRADED
+        assert scaler.tick(now=1.0) == []          # 1 degraded tick
+        decisions = scaler.tick(now=2.0)           # 2nd: sustained
+        assert decisions == [(2.0, 0, ACTION_ADD, 3, REASON_DEGRADED)]
+        assert servers[0].replica_count == 3
+
+    def test_recovery_resets_the_streak(self):
+        servers, monitors = _fleet()
+        scaler, _metrics = _autoscaler(servers, monitors,
+                                       scale_up_after=2)
+        monitors[0].state = STATE_DEGRADED
+        scaler.tick(now=1.0)
+        monitors[0].state = STATE_HEALTHY
+        scaler.tick(now=2.0)
+        monitors[0].state = STATE_DEGRADED
+        assert scaler.tick(now=3.0) == []          # streak restarted
+
+    def test_never_exceeds_max_replicas(self):
+        servers, monitors = _fleet(replicas=2)
+        scaler, _metrics = _autoscaler(servers, monitors,
+                                       scale_up_after=1, max_replicas=2)
+        monitors[0].state = STATE_DEGRADED
+        for t in range(1, 6):
+            assert scaler.tick(now=float(t)) == []
+        assert servers[0].replica_count == 2
+
+
+class TestScaleDown:
+    def test_sustained_healthy_drains_a_replica(self):
+        servers, monitors = _fleet(replicas=3)
+        scaler, _metrics = _autoscaler(servers, monitors,
+                                       scale_down_after=3)
+        for t in range(1, 3):
+            assert scaler.tick(now=float(t)) == []
+        decisions = scaler.tick(now=3.0)
+        assert decisions == [(3.0, 0, ACTION_DRAIN, 2, REASON_HEALTHY)]
+        assert servers[0].replica_count == 2
+
+    def test_never_drains_below_min_replicas(self):
+        servers, monitors = _fleet(replicas=1)
+        scaler, _metrics = _autoscaler(servers, monitors,
+                                       scale_down_after=1, min_replicas=1)
+        for t in range(1, 5):
+            assert scaler.tick(now=float(t)) == []
+        assert servers[0].replica_count == 1
+
+
+class TestDeterminism:
+    def test_same_inputs_same_decision_log(self):
+        logs = []
+        for _ in range(2):
+            servers, monitors = _fleet(replicas=2, shards=3)
+            scaler, metrics = _autoscaler(servers, monitors,
+                                          scale_up_after=2,
+                                          scale_down_after=2)
+            servers[1].kill_all()
+            monitors[2].state = STATE_DEGRADED
+            for t in range(1, 6):
+                scaler.tick(now=float(t))
+            logs.append(metrics.scaling_decisions)
+        assert logs[0] == logs[1]
+        assert logs[0]

@@ -1,0 +1,168 @@
+"""Tests for weighted fair-share multi-tenant admission."""
+
+import pytest
+
+from repro.serve.admission import ADMIT
+from repro.serve.metrics import STATUS_SHED_QUEUE, STATUS_SHED_RATE
+from repro.serve.service import ServeRequest
+from repro.serve.tenancy import (FairShareAdmission, Tenant,
+                                 default_tenants)
+from repro.util.errors import ConfigError
+
+
+def _request(tenant, priority="interactive", key=1):
+    return ServeRequest(kind="company", key=key, priority=priority,
+                        tenant=tenant)
+
+
+def _admission(weights=(1.0, 1.0), qps_limit=10.0, queue_depth=8,
+               burst=None):
+    return FairShareAdmission(qps_limit, queue_depth,
+                              default_tenants(len(weights), list(weights)),
+                              burst=burst)
+
+
+class TestTenant:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            Tenant("", 1.0)
+        with pytest.raises(ConfigError):
+            Tenant("t0", 0.0)
+        with pytest.raises(ConfigError):
+            Tenant("t0", -1.0)
+
+    def test_default_tenants(self):
+        tenants = default_tenants(3, [3.0, 1.0, 1.0])
+        assert [t.tenant_id for t in tenants] == ["t0", "t1", "t2"]
+        assert [t.weight for t in tenants] == [3.0, 1.0, 1.0]
+        assert all(t.weight == 1.0 for t in default_tenants(2))
+        with pytest.raises(ConfigError):
+            default_tenants(0)
+        with pytest.raises(ConfigError):
+            default_tenants(2, [1.0])
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            _admission(qps_limit=0.0)
+        with pytest.raises(ConfigError):
+            _admission(queue_depth=0)
+        with pytest.raises(ConfigError):
+            FairShareAdmission(10.0, 8, [])
+        with pytest.raises(ConfigError):
+            FairShareAdmission(10.0, 8, [Tenant("a"), Tenant("a")])
+
+    def test_share_math(self):
+        admission = _admission(weights=(3.0, 1.0))
+        assert admission.share("t0") == pytest.approx(0.75)
+        assert admission.share("t1") == pytest.approx(0.25)
+        with pytest.raises(ConfigError):
+            admission.share("nope")
+
+    def test_queue_depth_splits_evenly(self):
+        admission = FairShareAdmission(10.0, 16, default_tenants(3))
+        assert admission.tenant_queue_depth == 5
+        # never below one slot, however many tenants
+        tiny = FairShareAdmission(10.0, 2, default_tenants(5))
+        assert tiny.tenant_queue_depth == 1
+
+
+class TestIsolation:
+    def test_unknown_tenant_raises(self):
+        admission = _admission()
+        with pytest.raises(ConfigError):
+            admission.offer(_request("mystery"), now=0.0)
+
+    def test_abusive_tenant_cannot_drain_siblings(self):
+        admission = _admission(weights=(1.0, 1.0), qps_limit=10.0,
+                               burst=4.0)
+        # t0 floods at time zero until its own bucket runs dry
+        sheds = 0
+        for _ in range(50):
+            decision = admission.offer(_request("t0"), now=0.0)
+            if decision.status == STATUS_SHED_RATE:
+                sheds += 1
+        assert sheds > 0
+        # t1's bucket is untouched: it still admits at the same instant
+        assert admission.offer(_request("t1"), now=0.0).status == ADMIT
+
+    def test_bucket_rate_follows_weight(self):
+        admission = _admission(weights=(3.0, 1.0), qps_limit=8.0,
+                               burst=4.0)
+        assert admission.buckets["t0"].rate == pytest.approx(6.0)
+        assert admission.buckets["t1"].rate == pytest.approx(2.0)
+
+    def test_eviction_only_hits_same_tenant(self):
+        admission = FairShareAdmission(
+            1000.0, 4, default_tenants(2), burst=1000.0)
+        # both tenants queue a bulk request; t0 fills its queue (depth 2)
+        admission.offer(_request("t0", "bulk"), now=0.0)
+        admission.offer(_request("t0", "bulk"), now=0.0)
+        admission.offer(_request("t1", "bulk"), now=0.0)
+        decision = admission.offer(_request("t0", "interactive"), now=0.0)
+        assert decision.status == ADMIT
+        assert decision.evicted is not None
+        assert decision.evicted.tenant == "t0"
+        assert admission.tenant_queue_len("t1") == 1
+
+    def test_full_queue_sheds_equal_or_lower_priority(self):
+        admission = FairShareAdmission(
+            1000.0, 2, default_tenants(2), burst=1000.0)
+        admission.offer(_request("t0", "interactive"), now=0.0)
+        decision = admission.offer(_request("t0", "bulk"), now=0.0)
+        assert decision.status == STATUS_SHED_QUEUE
+
+
+class TestWfqDequeue:
+    def test_dequeue_ratio_matches_weights(self):
+        admission = FairShareAdmission(
+            1000.0, 30, default_tenants(2, [2.0, 1.0]), burst=1000.0)
+        for i in range(12):
+            admission.offer(_request("t0", key=i), now=0.0)
+            admission.offer(_request("t1", key=i), now=0.0)
+        order = []
+        for _ in range(9):
+            order.append(admission.pop().tenant)
+        # tags advance by 1/w: t0 (w=2) gets two dequeues per t1 one
+        assert order.count("t0") == 6
+        assert order.count("t1") == 3
+
+    def test_pop_prefers_priority_within_tenant(self):
+        admission = FairShareAdmission(
+            1000.0, 8, default_tenants(1), burst=1000.0)
+        admission.offer(_request("t0", "bulk", key=1), now=0.0)
+        admission.offer(_request("t0", "interactive", key=2), now=0.0)
+        assert admission.pop().key == 2
+        assert admission.pop().key == 1
+        assert admission.pop() is None
+
+    def test_idle_tenant_does_not_bank_credit(self):
+        admission = FairShareAdmission(
+            1000.0, 40, default_tenants(2), burst=1000.0)
+        # t0 drains alone for a while...
+        for i in range(10):
+            admission.offer(_request("t0", key=i), now=0.0)
+        for _ in range(10):
+            assert admission.pop().tenant == "t0"
+        # ...then t1 shows up; it may not monopolise to "catch up"
+        for i in range(6):
+            admission.offer(_request("t0", key=100 + i), now=0.0)
+            admission.offer(_request("t1", key=100 + i), now=0.0)
+        order = [admission.pop().tenant for _ in range(6)]
+        assert order.count("t0") == 3
+        assert order.count("t1") == 3
+
+    def test_queue_len_and_high_water(self):
+        admission = FairShareAdmission(
+            1000.0, 8, default_tenants(2), burst=1000.0)
+        for i in range(3):
+            admission.offer(_request("t0", key=i), now=0.0)
+            admission.offer(_request("t1", key=i), now=0.0)
+        assert admission.queue_len == 6
+        assert admission.max_queue_len == 6
+        assert len(admission.queued()) == 6
+        while admission.pop() is not None:
+            pass
+        assert admission.queue_len == 0
+        assert admission.max_queue_len == 6

@@ -70,6 +70,16 @@ echo "== benchmark smoke (adaptive planner) =="
 with_timeout python benchmarks/bench_a9_planner.py \
     --smoke --json benchmarks/out/BENCH_planner.json
 
+echo "== benchmark smoke (sharded serving) =="
+# A10: serve_shard_chaos kills one shard of four mid-run — >= 99% of
+# admitted queries still answer inside their deadline, every partial
+# result's coverage accounting is exact vs the unsharded oracle, an
+# abusive tenant at 10x its fair share starves nobody, and the whole
+# run (autoscaler decisions included) is byte-identical on a same-seed
+# rerun
+with_timeout python benchmarks/bench_a10_sharding.py \
+    --smoke --json benchmarks/out/BENCH_sharding.json
+
 echo "== merge benchmark artifacts =="
 # fold every BENCH_*.json into the single BENCH_summary.json artifact
 python tools/merge_bench.py --out benchmarks/out/BENCH_summary.json
