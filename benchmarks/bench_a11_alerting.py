@@ -1,0 +1,533 @@
+"""A11 — chaos-hardened standing queries on the serve tier.
+
+Four gates, each of which fails the benchmark (non-zero exit):
+
+* **chaos correctness** — with the ``alert-chaos`` profile active
+  (subscriber kills, dropped acks, duplicated deliveries, probabilistic
+  ingest kills) plus a *forced* mid-run ingest kill at a derived unit's
+  ``mid-land`` crash point, every event matched by the offline
+  full-rescan oracle is delivered at least once, and after idempotent
+  redelivery dedupe no subscriber observes a single duplicate effect;
+* **fair-share delivery** — a tenant with 100x subscriber volume rides
+  the same per-tenant token buckets and WFQ as interactive queries (as
+  bulk-priority tickets): interactive p99 stays inside its deadline and
+  every compliant tenant keeps >= 90% of its weighted entitlement;
+* **poison quarantine** — a subscriber that never acks is quarantined
+  after ``max_delivery_attempts`` without stalling the outbox for
+  anyone else;
+* **determinism** — two same-seed chaos runs (ingest kills, retries,
+  backoff and all) produce byte-identical delivery logs and effects.
+
+Run standalone it writes ``BENCH_alerting.json``::
+
+    PYTHONPATH=src python benchmarks/bench_a11_alerting.py \
+        --smoke --json benchmarks/out/BENCH_alerting.json
+"""
+
+import argparse
+import json
+
+import pytest
+
+from repro.core.platform import ExploratoryPlatform
+from repro.net.faults import FaultSchedule
+from repro.serve.alerting import rescan_oracle
+from repro.serve.loadgen import LoadProfile, generate_schedule
+from repro.serve.outbox import DeliveryOutbox, Subscriber
+from repro.serve.subscriptions import (KIND_COMMUNITY_INVESTOR,
+                                       KIND_COMPANY_FUNDING,
+                                       KIND_NEIGHBORHOOD_FOLLOW)
+from repro.serve.tenancy import FairShareAdmission, Tenant
+from repro.util.clock import SimClock
+from repro.util.errors import IngestKilled
+from repro.world.config import WorldConfig
+
+DAYS = 10
+SMOKE_DAYS = 6
+CHAOS_SEED = 7
+#: forced SIGKILL-equivalent mid-run: the derived unit dies between its
+#: two dataset lands, the nastiest window for exactly-once alerting
+KILL_UNIT = "day-0002:derived"
+KILL_STATE = "mid-land"
+#: healthy subscribers under chaos fail one attempt with p ~= 0.18;
+#: eight consecutive failures (~1e-6) would be a real poison signal
+MAX_ATTEMPTS = 8
+RETRY_BASE_S = 2.0
+#: subscription population per predicate family
+COMPANY_SUBS = 30
+USER_SUBS = 40
+MIN_ORACLE = 20
+MAX_RESUMES = 60
+
+# fair-share gate
+QPS_LIMIT = 40.0
+QUEUE_DEPTH = 16
+FAIR_DURATION_S = 3.0
+TENANT_WEIGHTS = {"t0": 1.0, "t1": 2.0, "t2": 1.0}
+SUBSCRIBER_MULTIPLE = 100.0   # t0's ticket load vs its entitled rate
+INTERACTIVE_FRACTION = 0.8    # compliant tenants' offered load vs share
+QUERY_SERVICE_S = 0.005
+DELIVERY_SERVICE_S = 0.002
+INTERACTIVE_DEADLINE_S = 0.25
+FAIR_SHARE_FLOOR = 0.90
+
+POISON_ATTEMPTS = 6
+
+
+def _build_platform() -> ExploratoryPlatform:
+    platform = ExploratoryPlatform.over_new_world(WorldConfig.tiny())
+    platform.config.max_delivery_attempts = MAX_ATTEMPTS
+    platform.config.alert_retry_base_s = RETRY_BASE_S
+    platform.config.faults = FaultSchedule.alert_chaos(1.0,
+                                                       seed=CHAOS_SEED)
+    platform.run_full_crawl()
+    platform.serve_dataset()
+    return platform
+
+
+class ChaosRun:
+    """Everything one alert-chaos ingest run produced."""
+
+    def __init__(self, platform, registry, evaluator, outbox,
+                 subscribers, scheduler, kills):
+        self.platform = platform
+        self.registry = registry
+        self.evaluator = evaluator
+        self.outbox = outbox
+        self.subscribers = subscribers
+        self.scheduler = scheduler
+        self.kills = kills
+        self.oracle = rescan_oracle(registry, platform.serve_dataset(),
+                                    scheduler.derived)
+
+
+def _run_alert_chaos(days: int) -> ChaosRun:
+    """Gates (a)+(d): chaos ingest with standing queries attached."""
+    platform = _build_platform()
+    dataset = platform.serve_dataset()
+    registry = platform.subscription_registry()
+    subscribers = {}
+
+    def ensure(sub):
+        subscribers.setdefault(
+            sub.subscriber_id,
+            Subscriber(sub.subscriber_id, tenant=sub.tenant))
+
+    for label in sorted(dataset.community_members):
+        ensure(registry.register("t1", KIND_COMMUNITY_INVESTOR,
+                                 int(label)))
+    for company in dataset.keys_for("company")[:COMPANY_SUBS]:
+        ensure(registry.register("t0", KIND_COMPANY_FUNDING,
+                                 int(company)))
+    for user in sorted(dataset.follows_out)[:USER_SUBS]:
+        ensure(registry.register("t2", KIND_NEIGHBORHOOD_FOLLOW,
+                                 int(user)))
+
+    _, evaluator, outbox = platform.alerting_stack(
+        registry=registry, subscribers=subscribers, seed=CHAOS_SEED)
+    platform.config.faults.force_ingest_kill(KILL_UNIT, KILL_STATE)
+
+    kills = 0
+    scheduler = platform.ingest_pipeline(alerting=evaluator)
+    while True:
+        try:
+            scheduler.run_until_day(days)
+            break
+        except IngestKilled:
+            kills += 1
+            if kills > MAX_RESUMES:
+                raise
+            # a fresh scheduler over the same storage: ledger replay
+            # re-commits pending units and re-emits their notifications
+            scheduler = platform.ingest_pipeline(alerting=evaluator)
+    outbox.drain()
+    return ChaosRun(platform, registry, evaluator, outbox, subscribers,
+                    scheduler, kills)
+
+
+# ---------------------------------------------------------------- contracts
+def check_chaos_contract(run: ChaosRun) -> list:
+    """Gate (a): delivered set == oracle, exactly-once in effect."""
+    violations = []
+    if run.kills < 1:
+        violations.append(f"the forced ingest kill at {KILL_UNIT} "
+                          f"[{KILL_STATE}] never fired")
+    if len(run.oracle) < MIN_ORACLE:
+        violations.append(f"oracle matched only {len(run.oracle)} "
+                          f"events (< {MIN_ORACLE}) — the gate is "
+                          f"not exercising anything")
+
+    delivered = set(run.outbox.delivered_ids())
+    missing = run.oracle - delivered
+    extra = delivered - run.oracle
+    if missing:
+        violations.append(f"{len(missing)} oracle-matched events never "
+                          f"delivered (e.g. {sorted(missing)[:3]})")
+    if extra:
+        violations.append(f"{len(extra)} delivered events the full-"
+                          f"rescan oracle never matched "
+                          f"(e.g. {sorted(extra)[:3]})")
+
+    expected_by_sid = {}
+    for notification in run.evaluator.emitted:
+        expected_by_sid.setdefault(notification.subscriber_id,
+                                   set()).add(notification.id)
+    for sid, subscriber in sorted(run.subscribers.items()):
+        if len(subscriber.effects) != len(set(subscriber.effects)):
+            violations.append(f"subscriber {sid} observed duplicate "
+                              f"effects after dedupe")
+        if len(subscriber.received) < len(subscriber.effects):
+            violations.append(f"subscriber {sid} has more effects than "
+                              f"channel deliveries — accounting broke")
+        expected = expected_by_sid.get(sid, set()) & run.oracle
+        if set(subscriber.effects) != expected:
+            violations.append(
+                f"subscriber {sid} effects diverge from its oracle "
+                f"slice ({len(subscriber.effects)} vs {len(expected)})")
+
+    stats = run.outbox.stats
+    if stats.failures == 0 or stats.acks_dropped == 0 \
+            or stats.dup_deliveries == 0:
+        violations.append(
+            f"alert chaos never fired all three fault kinds "
+            f"(failures={stats.failures}, acks_dropped="
+            f"{stats.acks_dropped}, dups={stats.dup_deliveries})")
+    if stats.attempts <= stats.delivered:
+        violations.append("no delivery ever needed a retry — the chaos "
+                          "run degenerated into the happy path")
+    if run.outbox.quarantined():
+        violations.append(f"healthy subscribers quarantined: "
+                          f"{sorted(run.outbox.quarantined())}")
+    if run.outbox.pending():
+        violations.append(f"{len(run.outbox.pending())} notifications "
+                          f"still pending after drain")
+    return violations
+
+
+def check_determinism(first: ChaosRun, second: ChaosRun) -> list:
+    """Gate (d): same seed, byte-identical delivery log included."""
+    violations = []
+    if first.outbox.log_json() != second.outbox.log_json():
+        violations.append("same-seed delivery logs differ")
+    if first.outbox.delivered_ids() != second.outbox.delivered_ids():
+        violations.append("same-seed delivered sets differ")
+    effects_a = {sid: s.effects for sid, s in first.subscribers.items()}
+    effects_b = {sid: s.effects for sid, s in second.subscribers.items()}
+    if effects_a != effects_b:
+        violations.append("same-seed subscriber effects differ")
+    if first.oracle != second.oracle:
+        violations.append("same-seed oracle sets differ — the ingest "
+                          "timeline itself is nondeterministic")
+    return violations
+
+
+def _run_fair_share(platform: ExploratoryPlatform):
+    """Gate (b): 100x delivery tickets vs interactive queries, one door.
+
+    A deterministic replay loop drives a single service pipe: every
+    arrival (query or delivery ticket) is offered to the *same*
+    FairShareAdmission; admitted work executes in WFQ pop order with
+    fixed service costs. Deliveries the bucket clips are deferred —
+    deferral is back-pressure, not a failed attempt.
+    """
+    dataset = platform.serve_dataset()
+    total_weight = sum(TENANT_WEIGHTS.values())
+    tenants = [Tenant(t, w) for t, w in sorted(TENANT_WEIGHTS.items())]
+    admission = FairShareAdmission(QPS_LIMIT, QUEUE_DEPTH, tenants,
+                                   burst=QPS_LIMIT * 0.25)
+    clock = SimClock()
+    subscribers = {"t0:default": Subscriber("t0:default", tenant="t0")}
+    outbox = DeliveryOutbox(platform.dfs, clock, subscribers,
+                            root="/serve/outbox-fair", seed=1)
+
+    from repro.serve.alerting import Notification
+    t0_share_qps = QPS_LIMIT * TENANT_WEIGHTS["t0"] / total_weight
+    tickets = int(t0_share_qps * SUBSCRIBER_MULTIPLE * FAIR_DURATION_S)
+    arrivals = []
+    for i in range(tickets):
+        note = Notification(
+            id=f"ntf-sub-9{i:05d}-fair-evt:{i}", sub_id=f"sub-9{i:05d}",
+            tenant="t0", subscriber_id="t0:default",
+            kind="company_funding", key=i, unit="fair",
+            entity=f"evt:{i}")
+        outbox.enqueue(note)
+        arrivals.append((i * FAIR_DURATION_S / tickets, 1, "ticket",
+                         outbox.ticket(note.id, now=0.0)))
+    for i, tenant_id in enumerate(("t1", "t2")):
+        share = QPS_LIMIT * TENANT_WEIGHTS[tenant_id] / total_weight
+        profile = LoadProfile(qps=share * INTERACTIVE_FRACTION,
+                              duration_s=FAIR_DURATION_S,
+                              seed=CHAOS_SEED + 100 + i)
+        for request in generate_schedule(profile, dataset):
+            request.tenant = tenant_id
+            request.priority = "interactive"
+            arrivals.append((request.arrival_s, 0, "query", request))
+    arrivals.sort(key=lambda a: (a[0], a[1], getattr(a[3], "nid", "")))
+
+    served = {t: 0 for t in TENANT_WEIGHTS}
+    offered = {t: 0 for t in TENANT_WEIGHTS}
+    sheds = {t: 0 for t in TENANT_WEIGHTS}
+    latencies = []            # interactive only
+    server_free = 0.0
+
+    def execute(item, start):
+        cost = (DELIVERY_SERVICE_S if hasattr(item, "nid")
+                else QUERY_SERVICE_S)
+        finish = start + cost
+        tenant = item.tenant
+        served[tenant] += 1
+        if hasattr(item, "nid"):
+            outbox.attempt(item.nid)
+        else:
+            latencies.append(finish - item.arrival_s)
+        return finish
+
+    for arrival_s, _, kind, item in arrivals:
+        # the server catches up on queued work before this arrival
+        while server_free <= arrival_s:
+            queued = admission.pop()
+            if queued is None:
+                break
+            server_free = execute(item=queued,
+                                  start=max(server_free, arrival_s))
+        offered[item.tenant] += 1
+        decision = admission.offer(item, now=arrival_s)
+        if decision.status != "admit":
+            sheds[item.tenant] += 1
+            if kind == "ticket":
+                outbox.defer(item.nid, arrival_s + 1.0)
+    now = FAIR_DURATION_S
+    while True:
+        queued = admission.pop()
+        if queued is None:
+            break
+        server_free = max(server_free, now)
+        server_free = execute(item=queued, start=server_free)
+    return {"served": served, "offered": offered, "sheds": sheds,
+            "latencies": sorted(latencies), "outbox": outbox}
+
+
+def check_fair_share_contract(fair: dict) -> list:
+    violations = []
+    latencies = fair["latencies"]
+    if not latencies:
+        violations.append("no interactive queries ran at all")
+        return violations
+    p99 = latencies[min(len(latencies) - 1,
+                        int(0.99 * len(latencies)))]
+    if p99 > INTERACTIVE_DEADLINE_S:
+        violations.append(
+            f"interactive p99 {1000 * p99:.1f} ms blew the "
+            f"{1000 * INTERACTIVE_DEADLINE_S:.0f} ms deadline under "
+            f"100x subscriber load")
+    total_weight = sum(TENANT_WEIGHTS.values())
+    for tenant_id in ("t1", "t2"):
+        share = QPS_LIMIT * TENANT_WEIGHTS[tenant_id] / total_weight
+        entitled = min(fair["offered"][tenant_id],
+                       share * FAIR_DURATION_S)
+        if fair["served"][tenant_id] < FAIR_SHARE_FLOOR * entitled:
+            violations.append(
+                f"compliant tenant {tenant_id} starved: served "
+                f"{fair['served'][tenant_id]} < "
+                f"{FAIR_SHARE_FLOOR:.0%} of entitlement "
+                f"({entitled:.0f})")
+    t0_share = QPS_LIMIT * TENANT_WEIGHTS["t0"] / total_weight
+    entitled_t0 = t0_share * FAIR_DURATION_S
+    if fair["outbox"].stats.delivered < FAIR_SHARE_FLOOR * entitled_t0:
+        violations.append(
+            f"delivery tenant t0 under-served its own share: "
+            f"{fair['outbox'].stats.delivered} delivered < "
+            f"{FAIR_SHARE_FLOOR:.0%} of {entitled_t0:.0f}")
+    if fair["sheds"]["t0"] == 0:
+        violations.append("t0's 100x ticket flood was never clipped — "
+                          "per-tenant buckets are not engaging")
+    if fair["sheds"]["t1"] + fair["sheds"]["t2"] > \
+            0.1 * (fair["offered"]["t1"] + fair["offered"]["t2"]):
+        violations.append("compliant interactive traffic was shed in "
+                          "bulk — the ticket flood leaked across "
+                          "tenant buckets")
+    return violations
+
+
+def _run_poison(platform: ExploratoryPlatform):
+    """Gate (c): a never-acking subscriber must not stall the outbox."""
+    from repro.serve.alerting import Notification
+    clock = SimClock()
+    subscribers = {
+        "t0:poison": Subscriber("t0:poison", tenant="t0", poison=True),
+        "t0:healthy": Subscriber("t0:healthy", tenant="t0"),
+        "t1:default": Subscriber("t1:default", tenant="t1"),
+    }
+    outbox = DeliveryOutbox(
+        platform.dfs, clock, subscribers, root="/serve/outbox-poison",
+        faults=FaultSchedule.alert_chaos(1.0, seed=CHAOS_SEED + 1),
+        seed=CHAOS_SEED + 1, max_delivery_attempts=POISON_ATTEMPTS)
+    notes = {"t0:poison": [], "t0:healthy": [], "t1:default": []}
+    for i, sid in enumerate(sorted(notes) * 4):
+        note = Notification(
+            id=f"ntf-sub-8{i:05d}-poison-evt:{i}",
+            sub_id=f"sub-8{i:05d}", tenant=sid.split(":")[0],
+            subscriber_id=sid, kind="company_funding", key=i,
+            unit="poison", entity=f"evt:{i}")
+        outbox.enqueue(note)
+        notes[sid].append(note.id)
+    outbox.drain()
+    return outbox, notes, subscribers
+
+
+def check_poison_contract(outbox, notes, subscribers) -> list:
+    violations = []
+    if not outbox.is_quarantined("t0:poison"):
+        violations.append("the poison subscriber was never quarantined")
+    parked = outbox.quarantined().get("t0:poison", [])
+    if sorted(parked) != sorted(notes["t0:poison"]):
+        violations.append(f"quarantine parked {len(parked)} of "
+                          f"{len(notes['t0:poison'])} poison letters")
+    for sid in ("t0:healthy", "t1:default"):
+        if sorted(subscribers[sid].effects) != sorted(notes[sid]):
+            violations.append(f"healthy subscriber {sid} lost "
+                              f"deliveries to the poison neighbour")
+    if outbox.pending():
+        violations.append("outbox stalled: pending letters remain "
+                          "after the poison quarantine")
+    cap = POISON_ATTEMPTS * len(notes["t0:poison"])
+    poison_attempts = sum(1 for e in outbox.delivery_log
+                          if e[1] == "t0:poison")
+    if poison_attempts > cap:
+        violations.append(f"poison subscriber burned {poison_attempts} "
+                          f"attempts (> cap {cap}) before quarantine")
+    return violations
+
+
+# ------------------------------------------------------------------ pytest
+@pytest.fixture(scope="module")
+def chaos_run():
+    run = _run_alert_chaos(SMOKE_DAYS)
+    yield run
+    run.platform.close()
+
+
+def test_a11_chaos_correctness(chaos_run):
+    assert not check_chaos_contract(chaos_run)
+
+
+def test_a11_fair_share(chaos_run):
+    assert not check_fair_share_contract(
+        _run_fair_share(chaos_run.platform))
+
+
+def test_a11_poison_quarantine(chaos_run):
+    outbox, notes, subscribers = _run_poison(chaos_run.platform)
+    assert not check_poison_contract(outbox, notes, subscribers)
+
+
+def test_a11_same_seed_runs_identical(chaos_run):
+    rerun = _run_alert_chaos(SMOKE_DAYS)
+    try:
+        assert not check_determinism(chaos_run, rerun)
+    finally:
+        rerun.platform.close()
+
+
+# --------------------------------------------------------------- standalone
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Kill subscribers, drop acks, duplicate deliveries "
+                    "and the ingest scheduler itself; demand oracle-"
+                    "exact delivery, fair shares under 100x subscriber "
+                    "load, poison quarantine, and byte-identical "
+                    "replays.")
+    parser.add_argument("--days", type=int, default=DAYS,
+                        help="simulated ingest days per chaos run")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI scale: fewer ingest days")
+    parser.add_argument("--json", metavar="FILE",
+                        help="write the measurements as JSON")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.days = min(args.days, SMOKE_DAYS)
+
+    first = _run_alert_chaos(args.days)
+    second = _run_alert_chaos(args.days)
+    try:
+        violations = check_chaos_contract(first)
+        violations += check_determinism(first, second)
+        fair = _run_fair_share(first.platform)
+        violations += check_fair_share_contract(fair)
+        poison_outbox, notes, poison_subs = _run_poison(first.platform)
+        violations += check_poison_contract(poison_outbox, notes,
+                                            poison_subs)
+
+        stats = first.outbox.stats
+        estats = first.evaluator.stats
+        latencies = fair["latencies"]
+        p99 = latencies[min(len(latencies) - 1,
+                            int(0.99 * len(latencies)))] if latencies \
+            else float("nan")
+        print(f"chaos run: {len(first.registry)} subscriptions, "
+              f"{len(first.oracle)} oracle events, "
+              f"{stats.delivered} delivered in {stats.attempts} "
+              f"attempts, {first.kills} ingest kill(s) survived")
+        print(f"evaluator: {estats.units_evaluated} derived units, "
+              f"{estats.records_scanned} delta records scanned, "
+              f"{estats.index_rebuilds} index rebuilds, "
+              f"{stats.duplicates_suppressed} replay re-emissions "
+              f"absorbed")
+        print(f"chaos: {stats.failures} subscriber kills, "
+              f"{stats.acks_dropped} dropped acks, "
+              f"{stats.dup_deliveries} channel dups "
+              f"({stats.effects_deduped} effects deduped)")
+        print(f"fair share: {fair['outbox'].stats.delivered} of "
+              f"{fair['offered']['t0']} tickets delivered, "
+              f"t1 served {fair['served']['t1']}/"
+              f"{fair['offered']['t1']}, t2 served "
+              f"{fair['served']['t2']}/{fair['offered']['t2']}, "
+              f"interactive p99 {1000 * p99:.1f} ms")
+        print(f"poison: quarantined="
+              f"{sorted(poison_outbox.quarantined())}")
+        deterministic = not check_determinism(first, second)
+        print(f"deterministic={deterministic}")
+
+        payload = {
+            "benchmark": "serve-alerting",
+            "days": args.days,
+            "subscriptions": len(first.registry),
+            "oracle_events": len(first.oracle),
+            "delivered": stats.delivered,
+            "attempts": stats.attempts,
+            "ingest_kills": first.kills,
+            "subscriber_kills": stats.failures,
+            "acks_dropped": stats.acks_dropped,
+            "dup_deliveries": stats.dup_deliveries,
+            "effects_deduped": stats.effects_deduped,
+            "replay_reemissions": stats.duplicates_suppressed,
+            "units_evaluated": estats.units_evaluated,
+            "delta_records_scanned": estats.records_scanned,
+            "fair_share": {
+                "tickets_offered": fair["offered"]["t0"],
+                "tickets_delivered": fair["outbox"].stats.delivered,
+                "t1_served": fair["served"]["t1"],
+                "t2_served": fair["served"]["t2"],
+                "interactive_p99_ms": round(1000 * p99, 3),
+            },
+            "deterministic": deterministic,
+            "violations": violations,
+        }
+        if args.json:
+            import os
+            os.makedirs(os.path.dirname(args.json) or ".",
+                        exist_ok=True)
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+            print(f"wrote {args.json}")
+    finally:
+        first.platform.close()
+        second.platform.close()
+    for violation in violations:
+        print(f"ALERTING REGRESSION: {violation}")
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    import sys
+    sys.exit(main())

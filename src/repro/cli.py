@@ -46,14 +46,17 @@ def _add_world_args(parser: argparse.ArgumentParser) -> None:
                              "engine job as JSON")
     parser.add_argument("--fault-profile", default="none",
                         choices=("none", "flaky", "chaos", "chaos-engine",
-                                 "chaos-ingest"),
+                                 "chaos-ingest", "alert-chaos"),
                         help="inject seeded faults into every simulated "
                              "source (see repro.net.faults.FaultSchedule); "
                              "chaos-engine adds kill-worker/hang-task "
                              "faults inside the engine itself; "
                              "chaos-ingest kills the continuous-ingest "
                              "scheduler at ledger protocol steps and "
-                             "lapses its leases")
+                             "lapses its leases; alert-chaos targets the "
+                             "standing-query delivery path (kill "
+                             "subscribers, drop acks, duplicate "
+                             "deliveries) plus occasional ingest kills")
     parser.add_argument("--chaos-seed", type=int, default=0,
                         help="seed of the fault schedule; same seed, same "
                              "faults")
@@ -263,6 +266,53 @@ def cmd_snapshot(args: argparse.Namespace) -> int:
     return 0
 
 
+def _alerting_setup(platform: ExploratoryPlatform,
+                    args: argparse.Namespace):
+    """Register --subscribe/--subscribers standing queries and return
+    (registry, evaluator, outbox), or None on a malformed spec."""
+    import random
+
+    from repro.serve.outbox import Subscriber
+    from repro.serve.subscriptions import SUBSCRIPTION_KINDS
+
+    # predicates need community labels + the follow graph
+    platform.run_full_crawl()
+    registry = platform.subscription_registry()
+    subscribers = {}
+
+    def ensure(sub) -> None:
+        subscribers.setdefault(
+            sub.subscriber_id,
+            Subscriber(sub.subscriber_id, tenant=sub.tenant))
+
+    for spec in args.subscribe:
+        parts = spec.split(":")
+        if len(parts) not in (2, 3) or parts[0] not in SUBSCRIPTION_KINDS \
+                or not parts[1].lstrip("-").isdigit():
+            print(f"--subscribe takes KIND:KEY[:TENANT] with KIND one of "
+                  f"{', '.join(SUBSCRIPTION_KINDS)}; got {spec!r}",
+                  file=sys.stderr)
+            return None
+        tenant = parts[2] if len(parts) == 3 else "default"
+        ensure(registry.register(tenant, parts[0], int(parts[1])))
+    if args.subscribers:
+        dataset = platform.serve_dataset()
+        rng = random.Random(args.seed)
+        pools = {
+            "company_funding": dataset.keys_for("company"),
+            "community_investor": sorted(dataset.community_members),
+            "neighborhood_follow": sorted(dataset.follows_out),
+        }
+        kinds = [k for k in SUBSCRIPTION_KINDS if pools.get(k)]
+        for i in range(args.subscribers):
+            kind = kinds[i % len(kinds)]
+            ensure(registry.register(f"tenant-{i % 4}", kind,
+                                     int(rng.choice(pools[kind]))))
+    _, evaluator, outbox = platform.alerting_stack(
+        registry=registry, subscribers=subscribers, seed=args.seed)
+    return registry, evaluator, outbox
+
+
 def cmd_ingest(args: argparse.Namespace) -> int:
     from repro.crawl.scheduler import CRASH_STATES
     from repro.net.faults import FaultSchedule
@@ -272,8 +322,18 @@ def cmd_ingest(args: argparse.Namespace) -> int:
                                    config=_platform_config(args))
     platform.config.beat_interval_s = args.beat_interval
     platform.config.frontier_batch = args.frontier_batch
+    platform.config.max_delivery_attempts = args.max_delivery_attempts
+    if args.alert_chaos:
+        platform.config.faults = FaultSchedule.alert_chaos(
+            args.alert_chaos, seed=args.chaos_seed)
     try:
-        scheduler = platform.ingest_pipeline()
+        alerting = outbox = None
+        if args.subscribe or args.subscribers:
+            setup = _alerting_setup(platform, args)
+            if setup is None:
+                return 2
+            _, alerting, outbox = setup
+        scheduler = platform.ingest_pipeline(alerting=alerting)
         if args.kill_at:
             unit, sep, state = args.kill_at.partition("@")
             if not sep or state not in CRASH_STATES:
@@ -293,7 +353,7 @@ def cmd_ingest(args: argparse.Namespace) -> int:
                     print("rerun with --ingest-resume to pick the work "
                           "back up from the write-ahead ledger")
                     return 1
-                scheduler = platform.ingest_pipeline()
+                scheduler = platform.ingest_pipeline(alerting=alerting)
                 pending = scheduler.ledger.pending_units()
                 print(f"resumed as {scheduler.owner}: "
                       f"{len(pending)} pending unit(s) to redeliver, "
@@ -309,6 +369,21 @@ def cmd_ingest(args: argparse.Namespace) -> int:
             print(f"  {name:<26} {count:>7} keys")
         print(f"derived recompute scanned "
               f"{report.derived_records_scanned} delta records")
+        if outbox is not None:
+            outbox.drain()
+            ostats = outbox.stats
+            quarantined = outbox.quarantined()
+            print(f"standing queries: {alerting.stats.notifications} "
+                  f"notifications from "
+                  f"{alerting.stats.units_evaluated} derived units "
+                  f"({alerting.stats.records_scanned} delta records "
+                  f"scanned, never a rescan)")
+            print(f"outbox: {ostats.delivered} delivered in "
+                  f"{ostats.attempts} attempts "
+                  f"({ostats.failures} subscriber failures, "
+                  f"{ostats.acks_dropped} dropped acks, "
+                  f"{ostats.dup_deliveries} channel duplicates deduped), "
+                  f"{len(quarantined)} poison subscriber(s) quarantined")
     finally:
         platform.close()
     return 0
@@ -629,6 +704,27 @@ def build_parser() -> argparse.ArgumentParser:
                         help="after a kill, construct a fresh scheduler "
                              "over the same storage and resume from the "
                              "write-ahead ledger")
+    ingest.add_argument("--subscribe", action="append", default=[],
+                        metavar="KIND:KEY[:TENANT]",
+                        help="register a standing query before ingest "
+                             "starts (kinds: community_investor, "
+                             "company_funding, neighborhood_follow; "
+                             "tenant defaults to 'default'); repeatable. "
+                             "Matched events are delivered through the "
+                             "durable outbox after the run")
+    ingest.add_argument("--subscribers", type=int, default=0, metavar="N",
+                        help="additionally register N synthetic standing "
+                             "queries spread across kinds and tenants "
+                             "(deterministic in --seed)")
+    ingest.add_argument("--max-delivery-attempts", type=int, default=5,
+                        help="failed outbox deliveries before a "
+                             "subscriber is quarantined as poison")
+    ingest.add_argument("--alert-chaos", type=float, default=0.0,
+                        metavar="INTENSITY",
+                        help="seeded delivery-path fault intensity "
+                             "(kill_subscriber/drop_ack/dup_deliver + "
+                             "rare ingest kills; 0 disables, 1.0 = the "
+                             "alert-chaos profile)")
     ingest.set_defaults(fn=cmd_ingest)
 
     figures = sub.add_parser(

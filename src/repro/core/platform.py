@@ -105,6 +105,13 @@ class PlatformConfig:
     frontier_batch: int = 16
     #: compact the upsert datasets every N completed days (0 = never)
     compact_every_days: int = 0
+    # ---- standing queries (see DESIGN.md "Standing queries") ----
+    #: failed delivery attempts before a subscriber is quarantined
+    max_delivery_attempts: int = 5
+    #: base of the outbox's deterministic jittered backoff (sim seconds)
+    alert_retry_base_s: float = 5.0
+    #: partitions of the standing-query predicate index (shard_of)
+    alert_shards: int = 4
 
 
 @dataclass
@@ -305,7 +312,8 @@ class ExploratoryPlatform:
 
     # ------------------------------------------------------------- ingestion
     def ingest_pipeline(self, root: str = "/ingest",
-                        owner: Optional[str] = None) -> Any:
+                        owner: Optional[str] = None,
+                        alerting: Any = None) -> Any:
         """A continuous-ingest scheduler over this platform's world.
 
         Unlike :meth:`run_full_crawl` this tier never "finishes": it
@@ -331,7 +339,45 @@ class ExploratoryPlatform:
             faults=faults,
             frontier_batch=cfg.frontier_batch,
             records_per_part=cfg.records_per_part,
-            compact_every_days=cfg.compact_every_days)
+            compact_every_days=cfg.compact_every_days,
+            alerting=alerting)
+
+    # ------------------------------------------------------- standing queries
+    def subscription_registry(self, root: str = "/serve/subscriptions",
+                              ) -> Any:
+        """A durable standing-query registry over this platform's DFS."""
+        from repro.serve.subscriptions import SubscriptionRegistry
+
+        return SubscriptionRegistry(self.dfs, root=root).open()
+
+    def alerting_stack(self, registry: Any = None,
+                       subscribers: Any = None,
+                       seed: int = 0,
+                       outbox_root: str = "/serve/outbox") -> Any:
+        """(registry, evaluator, outbox), wired and ready to hook into
+        :meth:`ingest_pipeline` via its ``alerting=`` parameter.
+
+        The outbox shares the hub clock with the ingest tier — alerts
+        and the deliveries they trigger live on the ingest timeline.
+        ``subscribers`` maps subscriber id → :class:`Subscriber`; pass
+        the ones your subscriptions name.
+        """
+        from repro.serve.alerting import AlertEvaluator
+        from repro.serve.outbox import DeliveryOutbox
+
+        cfg = self.config
+        registry = registry or self.subscription_registry()
+        faults = cfg.faults if hasattr(cfg.faults, "alert_fault_at") \
+            else None
+        outbox = DeliveryOutbox(
+            self.dfs, self.clock, subscribers or {},
+            root=outbox_root, faults=faults, seed=seed,
+            max_delivery_attempts=cfg.max_delivery_attempts,
+            retry_base_s=cfg.alert_retry_base_s)
+        evaluator = AlertEvaluator(registry, self.serve_dataset(),
+                                   num_shards=cfg.alert_shards,
+                                   outbox=outbox)
+        return registry, evaluator, outbox
 
     # ---------------------------------------------------------------- serving
     def serve_dataset(self, community_seed: int = 0) -> ServeDataset:

@@ -108,7 +108,8 @@ class ContinuousScheduler:
                  records_per_part: int = 5000,
                  heartbeat_every: int = 8,
                  max_unit_attempts: int = 25,
-                 compact_every_days: int = 0):
+                 compact_every_days: int = 0,
+                 alerting: Any = None):
         if beat_interval_s <= 0:
             raise IngestError("beat_interval_s must be > 0")
         if frontier_batch < 1:
@@ -125,6 +126,10 @@ class ContinuousScheduler:
         self.heartbeat_every = heartbeat_every
         self.max_unit_attempts = max_unit_attempts
         self.compact_every_days = compact_every_days
+        #: standing-query evaluator (repro.serve.alerting) hooked into
+        #: the derived commit path; replayed commits re-evaluate too, so
+        #: a crashed scheduler re-emits — the outbox dedupes by id
+        self.alerting = alerting
         self._own_sc = sc is None
         self.sc = sc or SparkLiteContext(parallelism=2, backend="serial")
         self.stats = IngestStats()
@@ -216,7 +221,7 @@ class ContinuousScheduler:
             self.seen |= claimed
             self.frontier = [e for e in self.frontier if e not in claimed]
 
-    def _absorb_commit(self, kind: str, payload: Dict) -> None:
+    def _absorb_commit(self, unit: str, kind: str, payload: Dict) -> None:
         if kind == "advance":
             self.day_committed = int(payload["day"])
         elif kind == "discover":
@@ -229,6 +234,9 @@ class ContinuousScheduler:
         elif kind == "derived":
             self.watermarks = {k: int(v)
                                for k, v in payload["watermarks"].items()}
+            if self.alerting is not None:
+                self.alerting.on_derived_commit(unit, payload,
+                                                self.derived)
 
     def _replay_state(self) -> None:
         """Rebuild every in-memory structure from the durable ledger."""
@@ -237,7 +245,7 @@ class ContinuousScheduler:
             if record.type == "intent":
                 self._absorb_intent(kind, record.payload)
             else:
-                self._absorb_commit(kind, record.payload)
+                self._absorb_commit(record.unit, kind, record.payload)
 
     # ----------------------------------------------------------- fault hooks
     def _crash_point(self, unit: str, state: str, epoch: int) -> None:
@@ -378,7 +386,7 @@ class ContinuousScheduler:
             self._crash_point(unit, "pre-commit", lease.epoch)
             self.ledger.commit(unit, result, owner=self.owner,
                                epoch=lease.epoch)
-            self._absorb_commit(kind, result)
+            self._absorb_commit(unit, kind, result)
             self.stats.units_committed += 1
             self._crash_point(unit, "post-commit", lease.epoch)
             self.ledger.release(lease)
@@ -402,7 +410,7 @@ class ContinuousScheduler:
         if kind == "frontier":
             return self._exec_frontier(unit, payload, lease)
         if kind == "derived":
-            return self._exec_derived(unit, payload)
+            return self._exec_derived(unit, payload, lease)
         raise AssertionError(kind)  # pragma: no cover
 
     def _exec_advance(self, payload: Dict) -> Dict:
@@ -522,13 +530,13 @@ class ContinuousScheduler:
                            "follow_edges": len(follow_rows),
                            "investments": len(invest_rows)}}
 
-    def _exec_derived(self, unit: str, payload: Dict) -> Dict:
+    def _exec_derived(self, unit: str, payload: Dict, lease) -> Dict:
         plan = {name: [int(a), int(b)]
                 for name, (a, b) in payload["plan"].items()}
         update = self.derived.update(
             unit, plan,
             on_delta_written=lambda: self._crash_point(
-                unit, "mid-land", 0))
+                unit, "mid-land", lease.epoch))
         return {"day": int(payload["day"]),
                 "watermarks": update.watermarks,
                 "records_scanned": update.records_scanned}

@@ -55,7 +55,7 @@ class CompactionStats:
     deltas_folded: int = 0
     records_before: int = 0   # raw records across base + deltas
     records_after: int = 0    # distinct keys in the new base
-    files_removed: int = 0
+    files_retired: int = 0    # old files left on disk for vacuum()
 
 
 def record_key(record: Dict, key_fields: Tuple[str, ...]) -> Tuple:
@@ -221,10 +221,16 @@ class UpsertDataset:
     def compact(self) -> CompactionStats:
         """Fold base + deltas into a fresh base; manifest-last commit.
 
-        Old files are deleted only after the new manifest is live, so a
+        The old generation's files are NOT deleted here: a reader that
+        loaded the pre-compaction manifest may still be mid-scan over
+        them, and snapshot isolation means its view must stay readable
+        until it lets go. Retired files become unreferenced the instant
+        the new manifest is live, and the next :meth:`vacuum` pass
+        reclaims them (vacuum only ever touches files the *current*
+        manifest doesn't own, so it can never collect the new base). A
         crash anywhere leaves either the old dataset (manifest not yet
-        flipped) or the new one plus unreferenced garbage that
-        :meth:`vacuum` sweeps — never a broken view.
+        flipped) or the new one plus garbage vacuum sweeps — never a
+        broken view.
         """
         manifest = self._load_manifest()
         stats = CompactionStats(
@@ -248,10 +254,8 @@ class UpsertDataset:
         manifest["base"] = new_base
         manifest["deltas"] = []
         self._store_manifest(manifest)
-        for path in old_files:
-            if self.dfs.exists(path):
-                self.dfs.delete(path)
-                stats.files_removed += 1
+        stats.files_retired = sum(1 for path in old_files
+                                  if self.dfs.exists(path))
         return stats
 
     def vacuum(self) -> List[str]:

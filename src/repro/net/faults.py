@@ -58,12 +58,20 @@ FAULT_SLOW_REPLICA = "slow_replica"        # one replica pads ``duration`` s
 FAULT_KILL_INGEST = "kill_ingest"    # SIGKILL-equivalent at a ledger state
 FAULT_LEASE_EXPIRY = "lease_expiry"  # heartbeats lost; the lease lapses
 
+#: alert faults — injected into the standing-query delivery path
+#: (repro.serve.outbox), keyed by delivery-attempt step keys so a retry
+#: rolls new dice, exactly like the ingest tier
+FAULT_KILL_SUBSCRIBER = "kill_subscriber"  # subscriber down; attempt fails
+FAULT_DROP_ACK = "drop_ack"      # delivered, but the ack never lands
+FAULT_DUP_DELIVER = "dup_deliver"  # the channel duplicates a delivery
+
 POINT_FAULTS = (FAULT_ERROR, FAULT_TIMEOUT, FAULT_RESET, FAULT_CORRUPT)
 WINDOW_FAULTS = (FAULT_BROWNOUT, FAULT_STORM)
 ENGINE_FAULTS = (FAULT_KILL_WORKER, FAULT_HANG_TASK)
 SERVE_FAULTS = (FAULT_SLOW,)
 SHARD_FAULTS = (FAULT_KILL_SHARD, FAULT_PARTITION_SHARD, FAULT_SLOW_REPLICA)
 INGEST_FAULTS = (FAULT_KILL_INGEST, FAULT_LEASE_EXPIRY)
+ALERT_FAULTS = (FAULT_KILL_SUBSCRIBER, FAULT_DROP_ACK, FAULT_DUP_DELIVER)
 
 
 @dataclass(frozen=True)
@@ -112,7 +120,8 @@ class FaultSpec:
 
     def __post_init__(self):
         if self.kind not in (POINT_FAULTS + WINDOW_FAULTS + ENGINE_FAULTS
-                             + SERVE_FAULTS + SHARD_FAULTS + INGEST_FAULTS):
+                             + SERVE_FAULTS + SHARD_FAULTS + INGEST_FAULTS
+                             + ALERT_FAULTS):
             raise ValueError(f"unknown fault kind {self.kind!r}")
         if not 0.0 <= self.rate < 1.0:
             raise ValueError(f"rate must be in [0, 1), got {self.rate}")
@@ -154,10 +163,14 @@ class FaultSchedule:
         #: through :meth:`ingest_fault_at` at ledger protocol steps
         self.ingest_specs: List[FaultSpec] = [
             s for s in specs if s.kind in INGEST_FAULTS]
+        #: alert-level specs: consumed by the delivery outbox through
+        #: :meth:`alert_fault_at` at delivery-attempt steps
+        self.alert_specs: List[FaultSpec] = [
+            s for s in specs if s.kind in ALERT_FAULTS]
         self.specs: List[FaultSpec] = [
             s for s in specs
             if s.kind not in (ENGINE_FAULTS + SERVE_FAULTS + SHARD_FAULTS
-                              + INGEST_FAULTS)]
+                              + INGEST_FAULTS + ALERT_FAULTS)]
         self.seed = seed
         #: deterministic windows forced by a test/benchmark regardless of
         #: the probabilistic schedule: (start, end, spec) half-open ranges
@@ -279,6 +292,31 @@ class FaultSchedule:
         ], seed)
 
     @classmethod
+    def alert_chaos(cls, intensity: float = 1.0,
+                    seed: int = 0) -> "FaultSchedule":
+        """Delivery-path faults for the standing-query outbox.
+
+        ``kill_subscriber`` fails a delivery attempt outright (the
+        subscriber is down; the outbox must back off and retry),
+        ``drop_ack`` applies the subscriber's effect but loses the ack
+        (the outbox re-delivers; dedupe by notification id must absorb
+        it), and ``dup_deliver`` duplicates one attempt on the channel
+        itself. A light ``kill_ingest`` keeps the producing tier honest
+        too — the benchmark additionally forces one mid-run ingest kill
+        at an exact ledger state. Consumed via :meth:`alert_fault_at`
+        and :meth:`ingest_fault_at`, never by SimServer.
+        """
+        if intensity < 0:
+            raise ValueError(f"intensity must be >= 0, got {intensity}")
+        s = intensity
+        return cls([
+            FaultSpec(FAULT_KILL_SUBSCRIBER, min(0.999, 0.10 * s)),
+            FaultSpec(FAULT_DROP_ACK, min(0.999, 0.08 * s)),
+            FaultSpec(FAULT_DUP_DELIVER, min(0.999, 0.08 * s)),
+            FaultSpec(FAULT_KILL_INGEST, min(0.999, 0.02 * s)),
+        ], seed)
+
+    @classmethod
     def from_profile(cls, profile: str, seed: int = 0) -> "FaultSchedule":
         """Resolve a named CLI profile (``--fault-profile``)."""
         if profile == "none":
@@ -297,9 +335,12 @@ class FaultSchedule:
             return cls.serve_shard_chaos(seed=seed)
         if profile == "chaos-ingest":
             return cls.ingest_chaos(seed=seed)
+        if profile == "alert-chaos":
+            return cls.alert_chaos(seed=seed)
         raise ValueError(f"unknown fault profile {profile!r}; "
                          f"expected none/flaky/chaos/chaos-engine/"
-                         f"serve-chaos/serve-shard-chaos/chaos-ingest")
+                         f"serve-chaos/serve-shard-chaos/chaos-ingest/"
+                         f"alert-chaos")
 
     # -------------------------------------------------------------- decisions
     def _fraction(self, kind: str, request_index: int) -> float:
@@ -421,6 +462,20 @@ class FaultSchedule:
                 return spec
         return None
 
+    def alert_fault_at(self, step_key: str) -> Optional[FaultSpec]:
+        """Which alert fault (if any) claims this delivery attempt.
+
+        ``step_key`` is a stable identifier of one attempt of one
+        notification at one subscriber (notification id + subscriber +
+        attempt ordinal), so a retried delivery rolls new dice — a
+        probabilistic subscriber kill cannot wedge one notification
+        forever. First matching spec wins, in declaration order.
+        """
+        for spec in self.alert_specs:
+            if self._fraction(spec.kind, step_key) < spec.rate:
+                return spec
+        return None
+
     def engine_fault_at(self, task_key: str) -> Optional[FaultSpec]:
         """Which engine fault (if any) claims this partition task.
 
@@ -451,7 +506,8 @@ class FaultSchedule:
                       | {spec.kind for spec in self.engine_specs}
                       | {spec.kind for spec in self.serve_specs}
                       | {spec.kind for spec in self.shard_specs}
-                      | {spec.kind for spec in self.ingest_specs})
+                      | {spec.kind for spec in self.ingest_specs}
+                      | {spec.kind for spec in self.alert_specs})
 
     # ------------------------------------------------------------- injection
     def inject(self, request_index: int) -> Optional["Response"]:

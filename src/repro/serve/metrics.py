@@ -93,6 +93,11 @@ class TenantCounters:
     shed_rate: int = 0
     shed_queue: int = 0
     answered: int = 0
+    #: degraded-ladder answers, counted inside ``answered`` too — a
+    #: tenant's SLO report needs to show *what kind* of answer fair
+    #: share bought them, not just that one arrived
+    stale_served: int = 0
+    summary_served: int = 0
     deadline_exceeded: int = 0
 
     def as_dict(self) -> Dict[str, int]:
@@ -102,6 +107,8 @@ class TenantCounters:
             "shed_rate": self.shed_rate,
             "shed_queue": self.shed_queue,
             "answered": self.answered,
+            "stale_served": self.stale_served,
+            "summary_served": self.summary_served,
             "deadline_exceeded": self.deadline_exceeded,
         }
 
@@ -264,6 +271,10 @@ class ServeMetrics:
         counters = self.tenant_counters(tenant)
         if status in ANSWERED_STATUSES:
             counters.answered += 1
+            if status == STATUS_STALE:
+                counters.stale_served += 1
+            elif status == STATUS_SUMMARY:
+                counters.summary_served += 1
         elif status == STATUS_DEADLINE:
             counters.deadline_exceeded += 1
         else:

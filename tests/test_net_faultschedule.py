@@ -247,3 +247,81 @@ class TestShardFaults:
         schedule.force_window(FAULT_PARTITION_SHARD, start=7, span=4)
         starts = [w for _, w in schedule.shard_faults_at(8)]
         assert starts == [5, 7]
+
+
+class TestAlertFaults:
+    def test_alert_chaos_profile(self):
+        from repro.net.faults import (ALERT_FAULTS, FAULT_DROP_ACK,
+                                      FAULT_DUP_DELIVER, FAULT_KILL_INGEST,
+                                      FAULT_KILL_SUBSCRIBER)
+        schedule = FaultSchedule.from_profile("alert-chaos", seed=4)
+        assert set(schedule.kinds) == {FAULT_KILL_SUBSCRIBER,
+                                       FAULT_DROP_ACK, FAULT_DUP_DELIVER,
+                                       FAULT_KILL_INGEST}
+        # the delivery faults live on their own tier: they never leak
+        # into the network or ingest injection paths
+        assert [s.kind for s in schedule.alert_specs] == list(ALERT_FAULTS)
+        assert all(s.kind not in ALERT_FAULTS for s in schedule.specs)
+        assert all(s.kind not in ALERT_FAULTS
+                   for s in schedule.ingest_specs)
+        hit = schedule.alert_fault_at
+        kinds = {hit(f"t0:default:ntf-x-{i}#a1").kind
+                 for i in range(2000)
+                 if hit(f"t0:default:ntf-x-{i}#a1") is not None}
+        assert kinds == set(ALERT_FAULTS)
+
+    def test_retry_rolls_new_dice(self):
+        schedule = FaultSchedule.alert_chaos(1.0, seed=9)
+        # some step key that faults on attempt 1 must eventually clear:
+        # the attempt number is part of the key, so redelivery is not
+        # doomed to repeat the same outcome forever
+        for i in range(500):
+            if schedule.alert_fault_at(f"s:{i}#a1") is not None:
+                outcomes = {schedule.alert_fault_at(f"s:{i}#a{a}") is None
+                            for a in range(1, 30)}
+                assert True in outcomes
+                return
+        raise AssertionError("seed produced no alert faults in 500 keys")
+
+
+class TestKillResumeDeterminism:
+    """A resumed process rebuilds its FaultSchedule from (profile, seed)
+    alone; every decision — point faults, probabilistic windows, shard
+    windows, step-keyed tiers — must be byte-identical to the schedule
+    the killed process was using, regardless of query order."""
+
+    PROFILES = ("flaky", "chaos", "chaos-engine", "chaos-ingest",
+                "serve-chaos", "serve-shard-chaos", "alert-chaos")
+
+    @staticmethod
+    def _trace(schedule, indexes):
+        def name(fault):
+            return fault.kind if fault is not None else None
+        return [(name(schedule.fault_at(i)),
+                 name(schedule.serve_fault_at(i)),
+                 [(s.kind, w) for s, w in schedule.shard_faults_at(i)],
+                 name(schedule.ingest_fault_at(f"day-{i:04d}:snap#s1")),
+                 name(schedule.alert_fault_at(f"t:sub:{i}#a1")))
+                for i in indexes]
+
+    @pytest.mark.parametrize("profile", PROFILES)
+    @pytest.mark.parametrize("seed", [0, 7, 20160626])
+    def test_windows_identical_across_kill_resume(self, profile, seed):
+        before = FaultSchedule.from_profile(profile, seed=seed)
+        resumed = FaultSchedule.from_profile(profile, seed=seed)
+        # the first incarnation walked the stream front to back...
+        full = self._trace(before, range(1, 800))
+        # ...the resumed one starts mid-stream (where the kill landed)
+        # and only later backfills — decisions must not depend on query
+        # order or on any wall-clock residue, only on (seed, index)
+        tail = self._trace(resumed, range(400, 800))
+        head = self._trace(resumed, range(1, 400))
+        assert head + tail == full
+
+    def test_decisions_are_pure_functions(self):
+        schedule = FaultSchedule.from_profile("alert-chaos", seed=11)
+        keys = [f"t:s:{i}#a1" for i in range(300)]
+        first = [schedule.alert_fault_at(k) for k in keys]
+        second = [schedule.alert_fault_at(k) for k in keys]
+        assert [getattr(f, "kind", None) for f in first] == \
+               [getattr(f, "kind", None) for f in second]

@@ -1,0 +1,121 @@
+"""Durable standing-query registry: lifecycle, replay, determinism."""
+
+import pytest
+
+from repro.dfs.filesystem import MiniDfs
+from repro.serve.subscriptions import (KIND_COMMUNITY_INVESTOR,
+                                       KIND_COMPANY_FUNDING,
+                                       KIND_NEIGHBORHOOD_FOLLOW,
+                                       STATE_ACTIVE, STATE_CANCELLED,
+                                       STATE_PAUSED, SubscriptionRegistry)
+from repro.util.errors import ConfigError
+
+
+@pytest.fixture()
+def dfs():
+    return MiniDfs(num_datanodes=3)
+
+
+@pytest.fixture()
+def registry(dfs):
+    return SubscriptionRegistry(dfs).open()
+
+
+class TestRegister:
+    def test_ids_are_sequential_and_deterministic(self, registry):
+        a = registry.register("t0", KIND_COMPANY_FUNDING, 7)
+        b = registry.register("t1", KIND_COMMUNITY_INVESTOR, 3)
+        assert (a.sub_id, b.sub_id) == ("sub-000001", "sub-000002")
+        assert a.state == STATE_ACTIVE
+        assert a.subscriber_id == "t0:default"
+
+    def test_explicit_subscriber_id(self, registry):
+        sub = registry.register("t0", KIND_NEIGHBORHOOD_FOLLOW, 5,
+                                subscriber_id="t0:pager")
+        assert sub.subscriber_id == "t0:pager"
+
+    def test_invalid_kind_and_tenant_rejected(self, registry):
+        with pytest.raises(ConfigError):
+            registry.register("t0", "psychic_premonition", 1)
+        with pytest.raises(ConfigError):
+            registry.register("", KIND_COMPANY_FUNDING, 1)
+
+    def test_must_be_opened_first(self, dfs):
+        closed = SubscriptionRegistry(dfs)
+        with pytest.raises(ConfigError):
+            closed.register("t0", KIND_COMPANY_FUNDING, 1)
+
+
+class TestLifecycle:
+    def test_pause_resume_cancel(self, registry):
+        sub = registry.register("t0", KIND_COMPANY_FUNDING, 7)
+        registry.pause(sub.sub_id)
+        assert registry.get(sub.sub_id).state == STATE_PAUSED
+        assert registry.active() == []
+        registry.resume(sub.sub_id)
+        assert registry.get(sub.sub_id).state == STATE_ACTIVE
+        registry.cancel(sub.sub_id)
+        assert registry.get(sub.sub_id).state == STATE_CANCELLED
+
+    def test_cancelled_is_terminal(self, registry):
+        sub = registry.register("t0", KIND_COMPANY_FUNDING, 7)
+        registry.cancel(sub.sub_id)
+        for op in (registry.pause, registry.resume, registry.cancel):
+            with pytest.raises(ConfigError):
+                op(sub.sub_id)
+
+    def test_invalid_transitions_rejected(self, registry):
+        sub = registry.register("t0", KIND_COMPANY_FUNDING, 7)
+        with pytest.raises(ConfigError):
+            registry.resume(sub.sub_id)  # not paused
+        registry.pause(sub.sub_id)
+        with pytest.raises(ConfigError):
+            registry.pause(sub.sub_id)  # already paused
+        registry.cancel(sub.sub_id)  # cancel from paused is fine
+
+    def test_unknown_sub_rejected(self, registry):
+        with pytest.raises(ConfigError):
+            registry.pause("sub-999999")
+
+    def test_version_bumps_on_every_event(self, registry):
+        v0 = registry.version
+        sub = registry.register("t0", KIND_COMPANY_FUNDING, 7)
+        registry.pause(sub.sub_id)
+        assert registry.version == v0 + 2
+
+
+class TestReplay:
+    """Nothing about a subscription lives only in memory."""
+
+    def test_crash_rebuild_is_byte_identical(self, dfs, registry):
+        a = registry.register("t0", KIND_COMPANY_FUNDING, 7)
+        b = registry.register("t1", KIND_COMMUNITY_INVESTOR, 3)
+        registry.register("t2", KIND_NEIGHBORHOOD_FOLLOW, 9)
+        registry.pause(a.sub_id)
+        registry.cancel(b.sub_id)
+        # the process dies; a fresh registry replays the event log
+        rebuilt = SubscriptionRegistry(dfs).open()
+        assert [s.as_dict() for s in rebuilt.all()] == \
+               [s.as_dict() for s in registry.all()]
+        assert rebuilt.version == registry.version
+        assert len(rebuilt) == 3
+
+    def test_replay_continues_the_id_sequence(self, dfs, registry):
+        registry.register("t0", KIND_COMPANY_FUNDING, 7)
+        rebuilt = SubscriptionRegistry(dfs).open()
+        nxt = rebuilt.register("t0", KIND_COMPANY_FUNDING, 8)
+        assert nxt.sub_id == "sub-000002"
+
+    def test_replayed_state_machine_still_enforced(self, dfs, registry):
+        sub = registry.register("t0", KIND_COMPANY_FUNDING, 7)
+        registry.cancel(sub.sub_id)
+        rebuilt = SubscriptionRegistry(dfs).open()
+        with pytest.raises(ConfigError):
+            rebuilt.resume(sub.sub_id)
+
+    def test_active_filters_by_state(self, registry):
+        a = registry.register("t0", KIND_COMPANY_FUNDING, 1)
+        b = registry.register("t0", KIND_COMPANY_FUNDING, 2)
+        registry.pause(b.sub_id)
+        assert [s.sub_id for s in registry.active()] == [a.sub_id]
+        assert [s.sub_id for s in registry.all()] == [a.sub_id, b.sub_id]

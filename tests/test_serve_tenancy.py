@@ -166,3 +166,37 @@ class TestWfqDequeue:
             pass
         assert admission.queue_len == 0
         assert admission.max_queue_len == 6
+
+
+class TestTenantSloAccounting:
+    """Degradation-ladder fallbacks must land in the per-tenant ledger:
+    an SLO report that lumps stale/summary into 'answered' hides what
+    kind of answer fair share actually bought each tenant."""
+
+    def test_degraded_results_split_per_tenant(self):
+        from repro.serve.metrics import (ServeMetrics, STATUS_CACHED,
+                                         STATUS_FRESH, STATUS_STALE,
+                                         STATUS_SUMMARY)
+        metrics = ServeMetrics()
+        for status in (STATUS_FRESH, STATUS_CACHED, STATUS_STALE,
+                       STATUS_STALE, STATUS_SUMMARY):
+            metrics.record_tenant_result("t0", status)
+        metrics.record_tenant_result("t1", STATUS_FRESH)
+        t0 = metrics.tenant_counters("t0").as_dict()
+        # the aggregate stays intact (bench gates read 'answered')...
+        assert t0["answered"] == 5
+        # ...and the degraded ladder is now visible per tenant
+        assert t0["stale_served"] == 2
+        assert t0["summary_served"] == 1
+        t1 = metrics.tenant_counters("t1").as_dict()
+        assert (t1["answered"], t1["stale_served"],
+                t1["summary_served"]) == (1, 0, 0)
+
+    def test_deadline_not_counted_as_degraded(self):
+        from repro.serve.metrics import ServeMetrics, STATUS_DEADLINE
+        metrics = ServeMetrics()
+        metrics.record_tenant_result("t0", STATUS_DEADLINE)
+        t0 = metrics.tenant_counters("t0").as_dict()
+        assert t0["deadline_exceeded"] == 1
+        assert t0["answered"] == 0
+        assert t0["stale_served"] == 0 and t0["summary_served"] == 0

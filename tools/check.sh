@@ -80,6 +80,37 @@ echo "== benchmark smoke (sharded serving) =="
 with_timeout python benchmarks/bench_a10_sharding.py \
     --smoke --json benchmarks/out/BENCH_sharding.json
 
+echo "== benchmark smoke (standing-query alerting) =="
+# A11: alert-chaos (kill_subscriber / drop_ack / dup_deliver plus a
+# forced mid-run ingest kill) — every matched event delivered
+# at-least-once with zero observable duplicates after dedupe vs the
+# offline full-rescan oracle, 100x subscriber load leaves interactive
+# p99 inside its deadline with zero cross-tenant starvation, poison
+# subscribers quarantine without stalling the outbox, and same-seed
+# reruns (delivery log included) are byte-identical
+with_timeout python benchmarks/bench_a11_alerting.py \
+    --smoke --json benchmarks/out/BENCH_alerting.json
+
+echo "== verify benchmark artifacts =="
+# a bench that silently wrote nothing must fail the gate here, not
+# vanish from the merged summary
+expected_artifacts=(
+    BENCH_engine.json BENCH_recovery.json BENCH_serving.json
+    BENCH_columnar.json BENCH_ingest.json BENCH_planner.json
+    BENCH_sharding.json BENCH_alerting.json
+)
+missing=0
+for artifact in "${expected_artifacts[@]}"; do
+    if [ ! -s "benchmarks/out/$artifact" ]; then
+        echo "MISSING benchmark artifact: benchmarks/out/$artifact" >&2
+        missing=1
+    fi
+done
+if [ "$missing" -ne 0 ]; then
+    echo "refusing to merge an incomplete artifact set" >&2
+    exit 1
+fi
+
 echo "== merge benchmark artifacts =="
 # fold every BENCH_*.json into the single BENCH_summary.json artifact
 python tools/merge_bench.py --out benchmarks/out/BENCH_summary.json
